@@ -1,0 +1,69 @@
+"""Shared state for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures.  The heavy
+simulation state is shared at session scope:
+
+* one :class:`~repro.sim.runner.Stage1Cache` holds every per-app run,
+* the evaluation matrices (workloads x schemes) are built once per
+  configuration and reused by every figure extracted from them.
+
+``REPRO_INSTRUCTIONS`` (default 150 000 here) sets the per-core
+instruction budget; the paper used 100 M — lifetime and IPC are
+rate-based, so the shapes reproduce at laptop scale.  ``REPRO_SEED``
+fixes the synthetic-trace seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.main_result import ALL_SCHEMES, run_main_matrix
+from repro.experiments.sensitivity import SENSITIVITY_CONFIGS
+from repro.sim.runner import Stage1Cache
+
+BENCH_INSTRUCTIONS: int = int(os.environ.get("REPRO_INSTRUCTIONS", "150000"))
+BENCH_SEED: int = int(os.environ.get("REPRO_SEED", "1"))
+BENCH_WORKLOADS: int = int(os.environ.get("REPRO_WORKLOADS", "10"))
+
+
+@pytest.fixture(scope="session")
+def stage1():
+    """Session-wide stage-1 memo (per-app core+L1/L2 simulations)."""
+    return Stage1Cache()
+
+
+def _progress(workload: str, scheme: str) -> None:
+    print(f"    [stage 2] {workload} / {scheme}", flush=True)
+
+
+@pytest.fixture(scope="session")
+def matrices(stage1):
+    """Lazily-built evaluation matrices, one per Table III configuration."""
+    cache: dict[str, object] = {}
+
+    def get(variant: str):
+        if variant not in cache:
+            print(f"\n  building matrix for {variant!r} "
+                  f"({BENCH_WORKLOADS} workloads x {len(ALL_SCHEMES)} schemes, "
+                  f"{BENCH_INSTRUCTIONS} instructions/core)", flush=True)
+            cache[variant] = run_main_matrix(
+                SENSITIVITY_CONFIGS[variant](),
+                schemes=ALL_SCHEMES,
+                label=variant,
+                num_workloads=BENCH_WORKLOADS,
+                seed=BENCH_SEED,
+                n_instructions=BENCH_INSTRUCTIONS,
+                stage1=stage1,
+                progress=_progress,
+            )
+        return cache[variant]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def main_matrix(matrices):
+    """The baseline-configuration grid (Figures 3/4/11/12)."""
+    return matrices("Actual Results")

@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe the knobs the paper fixes:
+
+* the criticality threshold (the paper picks 3% from Figure 7),
+* D-NUCA migration (the paper argues it multiplies ReRAM wear),
+* intra-bank set rotation (the Related-Work complementary technique).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.cache.cache import Cache
+from repro.config import CacheConfig, CriticalityConfig, baseline_config
+from repro.mem.model import MainMemory
+from repro.noc.mesh import Mesh
+from repro.nuca import NucaLLC, make_policy
+from repro.reram.intrabank import IntraBankLeveler, SetWearMeter
+from repro.reram.wear import WearTracker
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.trace.workloads import make_workloads
+
+_ABLATION_INSTRUCTIONS = 60_000
+
+
+def test_bench_ablation_criticality_threshold(benchmark):
+    """Re-NUCA lifetime/IPC as the criticality threshold moves off 3%."""
+    workload = make_workloads(num_cores=16, count=1, seed=BENCH_SEED)[0]
+
+    def sweep():
+        rows = []
+        for threshold in (3.0, 25.0, 100.0):
+            config = dataclasses.replace(
+                baseline_config(),
+                criticality=CriticalityConfig(threshold_percent=threshold),
+            )
+            stage1 = Stage1Cache()
+            re = run_workload(workload, "Re-NUCA", config, seed=BENCH_SEED,
+                              n_instructions=_ABLATION_INSTRUCTIONS, stage1=stage1)
+            rows.append((threshold, re.ipc, re.min_lifetime,
+                         re.critical_fill_fraction))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: Re-NUCA criticality threshold ===")
+    print(f"{'threshold':>9s} {'IPC':>7s} {'min life':>9s} {'crit fills':>10s}")
+    for threshold, ipc, life, frac in rows:
+        print(f"{threshold:8.0f}% {ipc:7.2f} {life:8.2f}y {frac:10.2f}")
+    # Raising the threshold marks fewer lines critical (more spreading).
+    fracs = [frac for _t, _i, _l, frac in rows]
+    assert fracs[0] > fracs[-1]
+
+
+def test_bench_ablation_dnuca_migration(benchmark):
+    """D-NUCA's migration wear vs R-NUCA on the same workload.
+
+    The paper (Section I): D-NUCA 'may exacerbate the lifetime problem
+    in ReRAM caches because data migration between banks increases the
+    write traffic into the cache'.
+    """
+    config = baseline_config()
+    workload = make_workloads(num_cores=16, count=1, seed=BENCH_SEED)[0]
+    stage1 = Stage1Cache()
+
+    def run():
+        out = {}
+        for scheme in ("R-NUCA", "D-NUCA"):
+            result = run_workload(workload, scheme, config, seed=BENCH_SEED,
+                                  n_instructions=_ABLATION_INSTRUCTIONS,
+                                  stage1=stage1)
+            out[scheme] = result
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: D-NUCA migration wear ===")
+    for scheme, r in results.items():
+        print(f"  {scheme:7s} total writes {int(r.bank_writes.sum()):>9d} "
+              f"min life {r.min_lifetime:6.2f}y IPC {r.ipc:6.2f}")
+    assert results["D-NUCA"].bank_writes.sum() > results["R-NUCA"].bank_writes.sum()
+
+
+def test_bench_ablation_intrabank_rotation(benchmark):
+    """Set-rotation period vs intra-bank wear imbalance (i2wap-style)."""
+    rng = np.random.default_rng(BENCH_SEED)
+    # Zipf-ish write-hammering of one bank-sized cache.
+    hot = rng.integers(0, 64, size=30_000)          # hot lines, few sets
+    cold = rng.integers(0, 32768, size=10_000)      # background writes
+    lines = np.concatenate([hot, cold])
+    rng.shuffle(lines)
+
+    def run(period: int) -> SetWearMeter:
+        cache = Cache(CacheConfig(2 * 1024 * 1024, 16, 100, name="bank"))
+        meter = SetWearMeter(cache.num_sets)
+        leveler = IntraBankLeveler(cache, period, meter)
+        for line in lines.tolist():
+            if not cache.contains(line):
+                cache.allocate(line, dirty=True)
+            else:
+                cache.mark_dirty(line)
+            leveler.on_write(line)
+        return meter
+
+    def sweep():
+        return {period: run(period) for period in (0, 2000, 200)}
+
+    meters = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Ablation: intra-bank set rotation ===")
+    print(f"{'period':>8s} {'max/mean set writes':>20s} {'CV':>6s}")
+    for period, meter in meters.items():
+        label = "off" if period == 0 else str(period)
+        print(f"{label:>8s} {meter.imbalance:20.2f} {meter.variation:6.2f}")
+    assert meters[200].imbalance < meters[0].imbalance

@@ -1,0 +1,38 @@
+"""Energy accounting bench: SRAM vs ReRAM LLC on one workload.
+
+Not a paper figure — it quantifies the Section I motivation ("standby
+power is up to 80% of their total power" for SRAM LLCs) on a simulated
+run, using the same activity counts the wear model sees.
+"""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.config import baseline_config
+from repro.reram.energy import RERAM, SRAM_32NM, energy_of_result
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.trace.workloads import make_workloads
+
+
+def test_bench_energy_motivation(benchmark):
+    config = baseline_config()
+    workload = make_workloads(num_cores=16, count=1, seed=BENCH_SEED)[0]
+    stage1 = Stage1Cache()
+
+    def run():
+        result = run_workload(
+            workload, "S-NUCA", config, seed=BENCH_SEED,
+            n_instructions=40_000, stage1=stage1,
+        )
+        return (
+            energy_of_result(result, config, SRAM_32NM),
+            energy_of_result(result, config, RERAM),
+        )
+
+    sram, reram = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== LLC energy: SRAM vs ReRAM (Section I motivation) ===")
+    for report in (sram, reram):
+        print(f"  {report.technology:6s} total {report.total_mj:9.3f} mJ "
+              f"(static {report.static_fraction:5.1%}, "
+              f"writes {report.write_mj:7.3f} mJ)")
+    assert sram.static_fraction > 0.5       # the paper's "up to 80%"
+    assert reram.total_mj < sram.total_mj   # why ReRAM wins overall
+    assert reram.write_mj > sram.write_mj   # the tax the paper manages

@@ -1,0 +1,78 @@
+"""Figures 11/12 and Table III's baseline row: the headline results."""
+
+import numpy as np
+
+from repro.experiments.main_result import ALL_SCHEMES
+from repro.experiments.report import (
+    render_ipc_improvements,
+    render_lifetime_bars,
+)
+
+
+def test_bench_fig11_ipc(benchmark, main_matrix):
+    improvements = benchmark.pedantic(
+        lambda: {
+            s: main_matrix.mean_ipc_improvement(s)
+            for s in ("R-NUCA", "Private", "Re-NUCA", "Naive")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Figure 11: IPC improvement over S-NUCA [%] ===")
+    print(render_ipc_improvements(main_matrix, ALL_SCHEMES))
+
+    # Paper: R-NUCA +4.7%, Private +8%, Re-NUCA ~= R-NUCA, Naive -21%.
+    # Private's sign is mix/scale-sensitive in this reproduction (its
+    # capacity loss weighs more than in the paper; see EXPERIMENTS.md).
+    assert improvements["R-NUCA"] > 1.0
+    assert improvements["Private"] > -3.0
+    assert improvements["Naive"] < -5.0
+    # Re-NUCA must recover a meaningful share of R-NUCA's advantage
+    # (see EXPERIMENTS.md for the known deviation from full parity).
+    assert improvements["Re-NUCA"] > improvements["Naive"]
+    assert improvements["Re-NUCA"] > -1.0
+
+
+def test_bench_fig12_wearout(benchmark, main_matrix):
+    bars = benchmark.pedantic(
+        lambda: {s: main_matrix.hmean_bank_lifetimes(s) for s in ALL_SCHEMES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Figure 12: Re-NUCA wear-out (per-bank h-mean lifetime, years) ===")
+    print(render_lifetime_bars(main_matrix, ALL_SCHEMES))
+    from repro.experiments.ascii_plot import wear_heatmap
+
+    for scheme in ("R-NUCA", "Re-NUCA", "S-NUCA"):
+        writes = sum(
+            main_matrix.get(wl, scheme).bank_writes
+            for wl in main_matrix.workloads
+        )
+        print(f"\n{scheme} aggregate bank-write heat (4x4 mesh):")
+        print(wear_heatmap(list(writes), cols=4))
+
+    cv = lambda x: float(np.std(x) / np.mean(x))
+    # Re-NUCA wear-levels R-NUCA: lower variation, higher minimum.
+    assert cv(bars["Re-NUCA"]) < cv(bars["R-NUCA"])
+    assert bars["Re-NUCA"].min() > bars["R-NUCA"].min()
+    assert cv(bars["S-NUCA"]) <= cv(bars["Re-NUCA"]) + 0.05
+
+
+def test_bench_table3_baseline(benchmark, main_matrix):
+    raw_min = benchmark.pedantic(
+        lambda: {s: main_matrix.raw_min_lifetime(s) for s in ALL_SCHEMES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Table III (Actual Results row): raw minimum lifetime [years] ===")
+    for scheme in ALL_SCHEMES:
+        print(f"  {scheme:8s} {raw_min[scheme]:7.2f}")
+    ratio = raw_min["Re-NUCA"] / raw_min["R-NUCA"]
+    print(f"  Re-NUCA / R-NUCA = {ratio:.2f}x   (paper: 1.42x, +42%)")
+
+    # Paper ordering: Naive > S-NUCA > Re-NUCA > R-NUCA > Private,
+    # with Re-NUCA >= ~1.3x R-NUCA.
+    assert raw_min["Naive"] >= raw_min["S-NUCA"] * 0.95
+    assert raw_min["S-NUCA"] > raw_min["R-NUCA"]
+    assert raw_min["Re-NUCA"] > raw_min["R-NUCA"] * 1.2
+    assert raw_min["R-NUCA"] > raw_min["Private"] * 0.95

@@ -1,0 +1,23 @@
+"""Figure 5: percentage of loads that never block the ROB head."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_INSTRUCTIONS, BENCH_SEED
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import render_percent_map
+
+
+def test_bench_fig5(benchmark, stage1):
+    data = benchmark.pedantic(
+        lambda: run_fig5(
+            seed=BENCH_SEED, n_instructions=BENCH_INSTRUCTIONS, stage1=stage1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_percent_map("=== Figure 5: non-critical loads [%] ===", data))
+    # Paper: "on average, over 80% of all loads issued by the processor
+    # do not stall the ROB".
+    assert float(np.mean(list(data.values()))) > 80.0
+    assert all(0.0 <= v <= 100.0 for v in data.values())

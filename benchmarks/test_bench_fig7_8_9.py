@@ -1,0 +1,47 @@
+"""Figures 7, 8 and 9: criticality-predictor threshold sweeps."""
+
+from benchmarks.conftest import BENCH_INSTRUCTIONS, BENCH_SEED
+from repro.experiments.criticality import run_criticality_sweep
+from repro.experiments.report import render_threshold_sweep
+
+
+def test_bench_fig7_8_9(benchmark, stage1):
+    sweep = benchmark.pedantic(
+        lambda: run_criticality_sweep(
+            seed=BENCH_SEED, n_instructions=BENCH_INSTRUCTIONS, stage1=stage1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_threshold_sweep(
+        "=== Figure 7: criticality prediction accuracy [%] ===",
+        sweep.accuracy, sweep.thresholds,
+    ))
+    print()
+    print(render_threshold_sweep(
+        "=== Figure 8: non-critical cache blocks [%] ===",
+        sweep.noncritical_blocks, sweep.thresholds,
+    ))
+    print()
+    print(render_threshold_sweep(
+        "=== Figure 9: writes to non-critical blocks [%] ===",
+        sweep.noncritical_writes, sweep.thresholds,
+    ))
+
+    acc_avg = sweep.average(sweep.accuracy)
+    blocks_avg = sweep.average(sweep.noncritical_blocks)
+    writes_avg = sweep.average(sweep.noncritical_writes)
+    # Paper shapes: accuracy decreases with the threshold (83% at 3%,
+    # 14.5% at 100%); non-critical shares increase with the threshold
+    # (~50% of blocks and writes at the 3% threshold).  Our absolute
+    # recall at low thresholds runs below the paper's because several
+    # study apps' blocking loads are one-off stream leaders with no PC
+    # history (see EXPERIMENTS.md); the monotone shape and the 100%
+    # endpoint are the asserted content.
+    assert acc_avg[3] > 25.0
+    assert acc_avg[3] > acc_avg[100] + 10.0
+    assert acc_avg[100] < 40.0
+    assert 25.0 < blocks_avg[3] < 95.0
+    assert blocks_avg[100] > blocks_avg[3]
+    assert 25.0 < writes_avg[3] < 95.0

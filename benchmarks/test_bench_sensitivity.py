@@ -1,0 +1,62 @@
+"""Figures 13-18 and the full Table III: the Section V-C sensitivity grid.
+
+Each variant re-runs the entire evaluation with one parameter changed:
+L2 = 128 KB (Figures 13/14), L3 bank = 1 MB (Figures 15/16), and
+ROB = 168 entries (Figures 17/18).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.main_result import ALL_SCHEMES
+from repro.experiments.report import (
+    render_ipc_improvements,
+    render_lifetime_bars,
+    render_table3,
+)
+
+_FIGS = {
+    "L2-128KB": ("Figure 13", "Figure 14"),
+    "L3-1MB": ("Figure 15", "Figure 16"),
+    "ROB-168": ("Figure 17", "Figure 18"),
+}
+
+
+@pytest.mark.parametrize("variant", list(_FIGS))
+def test_bench_sensitivity_variant(benchmark, matrices, variant):
+    matrix = benchmark.pedantic(lambda: matrices(variant), rounds=1, iterations=1)
+    wear_fig, ipc_fig = _FIGS[variant]
+    print(f"\n=== {wear_fig}: wear-levelling with {variant} "
+          f"(per-bank h-mean lifetime, years) ===")
+    print(render_lifetime_bars(matrix, ALL_SCHEMES))
+    print(f"\n=== {ipc_fig}: IPC improvements with {variant} "
+          f"(over S-NUCA, %) ===")
+    print(render_ipc_improvements(matrix, ALL_SCHEMES))
+
+    cv = lambda x: float(np.std(x) / np.mean(x))
+    re_bars = matrix.hmean_bank_lifetimes("Re-NUCA")
+    r_bars = matrix.hmean_bank_lifetimes("R-NUCA")
+    # The wear-levelling story must survive every variant.
+    assert cv(re_bars) < cv(r_bars)
+    assert matrix.raw_min_lifetime("Re-NUCA") > matrix.raw_min_lifetime("R-NUCA")
+
+
+def test_bench_table3_full(benchmark, matrices):
+    from repro.experiments.sensitivity import table3
+
+    def build():
+        return table3(
+            {label: matrices(label) for label in
+             ("Actual Results", "L2-128KB", "L3-1MB", "ROB-168")},
+            ALL_SCHEMES,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n=== Table III: raw minimum lifetimes [years] ===")
+    print(render_table3(table))
+
+    for label, row in table.items():
+        assert row["Re-NUCA"] > row["R-NUCA"], label
+        assert row["Naive"] >= row["S-NUCA"] * 0.9, label
+    # The 1 MB L3 halves every lifetime roughly (more fills per byte).
+    assert table["L3-1MB"]["S-NUCA"] < table["Actual Results"]["S-NUCA"]

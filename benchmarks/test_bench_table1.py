@@ -1,0 +1,11 @@
+"""Table I: the simulated architecture configuration."""
+
+from repro.config import baseline_config
+
+
+def test_bench_table1(benchmark):
+    config = benchmark(baseline_config)
+    print("\n=== Table I: simulated architecture configuration ===")
+    print(config.describe())
+    assert config.num_cores == 16
+    assert config.l3_total_bytes == 32 * 1024 * 1024

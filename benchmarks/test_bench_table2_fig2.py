@@ -1,0 +1,32 @@
+"""Table II + Figure 2: per-application characterisation."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_INSTRUCTIONS, BENCH_SEED
+from repro.experiments.report import render_fig2, render_table2
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2_fig2(benchmark, stage1):
+    rows = benchmark.pedantic(
+        lambda: run_table2(
+            seed=BENCH_SEED, n_instructions=BENCH_INSTRUCTIONS, stage1=stage1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Table II: application characteristics (measured / target) ===")
+    print(render_table2(rows))
+    print("\n=== Figure 2: WPKI + MPKI per application ===")
+    print(render_fig2(rows))
+
+    assert len(rows) == 22
+    # Shape checks: intensity ordering must match the paper's classes.
+    by_app = {r.app: r for r in rows}
+    assert by_app["mcf"].write_intensity > 50
+    assert by_app["namd"].write_intensity < 2
+    # Measured MPKI correlates strongly with the Table II targets.
+    measured = np.array([r.mpki for r in rows])
+    target = np.array([r.target_mpki for r in rows])
+    corr = np.corrcoef(measured, target)[0, 1]
+    assert corr > 0.95

@@ -1,0 +1,45 @@
+"""Simulator-throughput benchmarks (true timing benches).
+
+These measure the two hot loops of the library itself — useful for
+tracking performance regressions of the simulator, independent of the
+paper figures.
+"""
+
+from repro.config import baseline_config
+from repro.cpu.core import AppSimulator
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.trace.workloads import make_workloads
+
+_INSTRUCTIONS = 40_000
+
+
+def test_bench_stage1_throughput(benchmark):
+    """Core+L1/L2 simulation speed (instructions simulated per call)."""
+
+    def run():
+        return AppSimulator("milc", baseline_config(), seed=9).run(_INSTRUCTIONS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nstage-1: {result.instructions} instructions, "
+          f"{len(result.stream)} L3 records per run")
+    assert result.instructions > 0
+
+
+def test_bench_stage2_throughput(benchmark):
+    """NUCA LLC replay speed for one workload under S-NUCA."""
+    config = baseline_config()
+    stage1 = Stage1Cache()
+    workload = make_workloads(num_cores=16, seed=9)[0]
+    # Warm the stage-1 cache outside the timed region.
+    for app in workload.apps:
+        stage1.get(app, config, seed=9, n_instructions=_INSTRUCTIONS)
+
+    def run():
+        return run_workload(
+            workload, "S-NUCA", config, seed=9,
+            n_instructions=_INSTRUCTIONS, stage1=stage1,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nstage-2: {int(result.bank_writes.sum())} bank writes replayed")
+    assert result.ipc > 0

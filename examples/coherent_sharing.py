@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""MESI coherence substrate demo (Table I's protocol).
+
+The paper's multiprogrammed mixes never share data, so coherence only
+has to be *correct* there — but the substrate is a full directory MESI
+implementation.  This example runs a synthetic multithreaded pattern
+(a shared read-mostly table plus a migratory lock-protected counter)
+through the directory and reports the protocol traffic.
+
+Run:
+    python examples/coherent_sharing.py
+"""
+
+import numpy as np
+
+from repro.cache.coherence import MesiDirectory, MesiState
+
+
+def main() -> None:
+    cores = 4
+    directory = MesiDirectory(cores)
+    rng = np.random.default_rng(7)
+
+    shared_table = list(range(0x1000, 0x1040))  # read-mostly, all cores
+    counter_line = 0x2000                        # migratory read-modify-write
+    private_base = 0x10_0000                     # per-core private heaps
+
+    for step in range(20_000):
+        core = int(rng.integers(0, cores))
+        p = rng.random()
+        if p < 0.55:
+            directory.read(core, shared_table[int(rng.integers(0, 64))])
+        elif p < 0.65:
+            # Migratory pattern: read then write the shared counter.
+            directory.read(core, counter_line)
+            directory.write(core, counter_line)
+        elif p < 0.95:
+            line = private_base + (core << 16) + int(rng.integers(0, 256))
+            if rng.random() < 0.4:
+                directory.write(core, line)
+            else:
+                directory.read(core, line)
+        else:
+            line = private_base + (core << 16) + int(rng.integers(0, 256))
+            directory.evict(core, line)
+        if step % 4096 == 0:
+            directory.check_invariants()
+
+    directory.check_invariants()
+    stats = directory.stats
+    print("Directory MESI protocol statistics after 20k operations:")
+    print(f"  read requests        {stats.read_requests}")
+    print(f"  write requests       {stats.write_requests}")
+    print(f"  invalidations sent   {stats.invalidations_sent}")
+    print(f"  downgrades sent      {stats.downgrades_sent}")
+    print(f"  dirty forwards       {stats.dirty_forwards}")
+    print(f"  silent E->M upgrades {stats.silent_upgrades}")
+    print(f"  writebacks received  {stats.writebacks_received}")
+
+    shared_copies = sum(
+        directory.private_state(c, shared_table[0]) is not MesiState.INVALID
+        for c in range(cores)
+    )
+    print(f"\nShared-table line 0 currently cached by {shared_copies} cores "
+          f"(read-mostly data stays replicated).")
+    owner = [
+        c for c in range(cores)
+        if directory.private_state(c, counter_line) is MesiState.MODIFIED
+    ]
+    print(f"Migratory counter owned (M) by core(s): {owner or 'none'} "
+          f"(ownership migrates write by write).")
+    print("All protocol invariants held throughout the run.")
+
+
+if __name__ == "__main__":
+    main()

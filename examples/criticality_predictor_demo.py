@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Criticality predictor walk-through (Sections IV-A/IV-B).
+
+Runs one pointer-chasing application (mcf) through the stage-1 core
+model and shows what the Criticality Predictor Table learned: the
+per-PC ROB-block ratios, the accuracy/coverage trade-off across the
+paper's thresholds (Figures 7/8/9), and a peek at the CPT contents.
+
+Run:
+    python examples/criticality_predictor_demo.py [app]
+"""
+
+import sys
+
+from repro.config import baseline_config
+from repro.cpu.core import AppSimulator
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    config = baseline_config()
+    sim = AppSimulator(app, config, seed=3)
+    result = sim.run(120_000)
+
+    print(f"Application: {app}")
+    print(f"Simulated {result.instructions} instructions, IPC {result.ipc:.2f}")
+    print(f"Loads committed: {result.meters.loads}; "
+          f"{result.meters.noncritical_load_percent:.1f}% never blocked "
+          f"the ROB head (Figure 5's metric)\n")
+
+    meters = result.meters
+    thresholds = meters.thresholds
+    print("Threshold sweep (Figures 7/8/9):")
+    print(format_table(
+        ["threshold"] + [f"{t:g}%" for t in thresholds],
+        [
+            ["accuracy %"] + [meters.accuracy_percent()[t] for t in thresholds],
+            ["non-critical blocks %"]
+            + [meters.noncritical_block_percent()[t] for t in thresholds],
+            ["non-critical writes %"]
+            + [meters.noncritical_write_percent()[t] for t in thresholds],
+        ],
+    ))
+
+    print("\nBusiest Criticality Predictor Table entries "
+          "(PC -> numLoads, robBlocks, ratio):")
+    snapshot = sim.cpt.snapshot()
+    busiest = sorted(snapshot.items(), key=lambda kv: -kv[1][0])[:12]
+    rows = [
+        (f"{pc:#06x}", loads, blocks, blocks / loads if loads else 0.0)
+        for pc, (loads, blocks) in busiest
+    ]
+    print(format_table(["PC", "numLoads", "robBlocks", "ratio"], rows))
+    print(
+        "\nPCs with ratio >= 0.03 are predicted critical at the paper's 3%"
+        " threshold:\npointer-chase PCs sit near 1.0, prefetched streaming"
+        " PCs near 0.0."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""ReRAM technology substrate demo (Section II-A / Figure 1).
+
+Exercises the cell-level model — SET/RESET switching, redundant-write
+filtering, endurance exhaustion — and then scales the arithmetic up to
+the paper's lifetime numbers: how long does a 2 MB bank survive under a
+given write rate at 1e11 writes/cell?
+
+Run:
+    python examples/reram_technology.py
+"""
+
+import numpy as np
+
+from repro.config import baseline_config
+from repro.reram.cell import ReRamCell
+from repro.reram.endurance import bank_lifetime_years
+
+
+def main() -> None:
+    print("=== One metal-oxide ReRAM cell ===")
+    cell = ReRamCell(endurance=10)
+    latency = cell.write(1)
+    print(f"SET    -> state {cell.read()}, {latency:.0f} ns, "
+          f"switches {cell.switch_count}")
+    latency = cell.write(1)
+    print(f"SET again (redundant) -> {latency:.0f} ns, "
+          f"switches {cell.switch_count} (no filament event, no wear)")
+    latency = cell.write(0)
+    print(f"RESET  -> state {cell.read()}, {latency:.0f} ns, "
+          f"switches {cell.switch_count}")
+    while not cell.failed:
+        cell.write(1 - cell.read())
+    print(f"Cell failed after {cell.switch_count} switches "
+          f"(endurance budget {cell.endurance:.0f}).\n")
+
+    print("=== Scaling up: bank lifetime under write pressure ===")
+    config = baseline_config()
+    lines = config.l3_bank.num_lines
+    clock = config.core.clock_hz
+    print(f"Bank: {lines} lines, {config.reram.cell_endurance:.0e} writes/"
+          f"cell, intra-bank spread {config.reram.intra_bank_wear_spread}")
+    print(f"{'writes/s':>12s} {'lifetime':>10s}   example workload")
+    examples = [
+        (2e5, "one quiet core (hmmer-class, WPKI+MPKI ~ 2)"),
+        (5e6, "S-NUCA share of a mixed 16-core workload"),
+        (2.5e7, "R-NUCA cluster bank next to a heavy streamer"),
+        (8e7, "private bank owned by mcf (WPKI+MPKI ~ 124)"),
+    ]
+    for rate, label in examples:
+        cycles = clock  # one second
+        years = bank_lifetime_years(
+            int(rate), cycles, clock,
+            lines_per_bank=lines,
+            cell_endurance=config.reram.cell_endurance,
+            wear_spread=config.reram.intra_bank_wear_spread,
+        )
+        print(f"{rate:12.0f} {years:9.2f}y   {label}")
+
+    print(
+        "\nThe two-orders-of-magnitude spread between a quiet bank and a"
+        "\nwrite-hammered one is exactly the inter-bank imbalance Re-NUCA"
+        "\nlevels (Figures 3 and 12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

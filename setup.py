@@ -1,0 +1,11 @@
+"""Setuptools shim so legacy editable installs work offline.
+
+The environment has setuptools 65 without the ``wheel`` package, so the
+PEP 517 editable path (which builds a wheel) is unavailable; keeping a
+``setup.py`` lets ``pip install -e .`` fall back to ``setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

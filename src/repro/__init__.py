@@ -1,0 +1,57 @@
+"""repro — a full Python reproduction of *Re-NUCA: A Practical NUCA
+Architecture for ReRAM based Last-Level Caches* (IPDPS 2016).
+
+Quick start::
+
+    from repro import baseline_config, make_workloads, run_workload
+
+    config = baseline_config()
+    wl = make_workloads(num_cores=config.num_cores)[0]
+    for scheme in ("S-NUCA", "R-NUCA", "Re-NUCA"):
+        res = run_workload(wl, scheme, config, n_instructions=100_000)
+        print(scheme, f"IPC={res.ipc:.2f}", f"min life={res.min_lifetime:.2f}y")
+
+Package layout: substrates (``trace``, ``cpu``, ``cache``, ``noc``,
+``mem``, ``reram``, ``nuca``), the paper's contribution (``core``), the
+two-stage runner (``sim``) and per-figure drivers (``experiments``).
+"""
+
+from repro.config import (
+    SystemConfig,
+    baseline_config,
+    scaled_config,
+    sensitivity_l2_128k,
+    sensitivity_l3_1m,
+    sensitivity_rob_168,
+)
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+from repro.sim.runner import (
+    DEFAULT_INSTRUCTIONS,
+    Stage1Cache,
+    run_matrix,
+    run_workload,
+)
+from repro.sim.system import System
+from repro.trace.workloads import Workload, make_workloads, single_app_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "baseline_config",
+    "scaled_config",
+    "sensitivity_l2_128k",
+    "sensitivity_l3_1m",
+    "sensitivity_rob_168",
+    "MatrixResult",
+    "WorkloadSchemeResult",
+    "DEFAULT_INSTRUCTIONS",
+    "Stage1Cache",
+    "run_matrix",
+    "run_workload",
+    "System",
+    "Workload",
+    "make_workloads",
+    "single_app_workload",
+    "__version__",
+]

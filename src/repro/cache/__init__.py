@@ -1,0 +1,20 @@
+"""SRAM/ReRAM cache substrate.
+
+Building blocks:
+
+* :mod:`repro.cache.lru` — a raw set-associative tag array with true-LRU
+  replacement (the inner loop of every cache level).
+* :mod:`repro.cache.cache` — a write-back, write-allocate cache with full
+  hit/miss/eviction accounting, used for L1s, L2s and L3 banks.
+* :mod:`repro.cache.mshr` — miss-status holding registers limiting
+  memory-level parallelism.
+* :mod:`repro.cache.coherence` — a directory-based MESI protocol.
+* :mod:`repro.cache.hierarchy` — the per-core L1/L2 filtering pipeline
+  that turns a CPU reference stream into an L3 reference stream.
+"""
+
+from repro.cache.cache import AccessResult, Cache, CacheStats
+from repro.cache.lru import SetAssocArray
+from repro.cache.mshr import MshrFile
+
+__all__ = ["AccessResult", "Cache", "CacheStats", "SetAssocArray", "MshrFile"]

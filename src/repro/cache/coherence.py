@@ -1,0 +1,294 @@
+"""Directory-based MESI coherence protocol.
+
+Table I specifies MESI over the mesh.  The multiprogrammed SPEC mixes of
+the evaluation never actually share lines, so coherence influences the
+paper's numbers only by being *correct*; this module provides that
+correctness (and is exercised directly by the shared-workload example and
+its tests).
+
+The directory is home to every line (physically, distributed across L3
+banks; the distribution does not change protocol behaviour, so one logical
+directory object serves the system).  Per line it records the classic
+three stable states:
+
+* ``UNCACHED`` — no private copy exists,
+* ``SHARED`` — one or more read-only copies (private state S, or E for a
+  lone reader),
+* ``MODIFIED`` — exactly one read-write copy (private state M).
+
+Private caches see the full MESI state machine: a lone reader receives E
+(and can silently upgrade to M on a write); additional readers demote the
+line to S everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+
+class MesiState(enum.Enum):
+    """Private-cache MESI state of one line in one core's cache."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+
+class DirState(enum.Enum):
+    """Directory-side summary state of one line."""
+
+    UNCACHED = "U"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class CoherenceStats:
+    """Protocol event counters."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    invalidations_sent: int = 0
+    downgrades_sent: int = 0
+    dirty_forwards: int = 0
+    writebacks_received: int = 0
+    silent_upgrades: int = 0
+
+
+@dataclass(frozen=True)
+class CoherenceReply:
+    """Directory response to one request.
+
+    Attributes:
+        granted: MESI state granted to the requester.
+        invalidated: cores whose copies were invalidated.
+        downgraded: cores whose M/E copies were demoted to S.
+        dirty_forward: True when the data came from another core's M copy
+            (which also writes the line back toward the LLC).
+    """
+
+    granted: MesiState
+    invalidated: tuple[int, ...] = ()
+    downgraded: tuple[int, ...] = ()
+    dirty_forward: bool = False
+
+
+@dataclass
+class _DirEntry:
+    state: DirState = DirState.UNCACHED
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+
+class MesiDirectory:
+    """The home directory plus the implied private-cache state machines.
+
+    The directory is authoritative: private state is derived bookkeeping
+    kept so invariants can be checked and queried
+    (:meth:`private_state`).  Callers drive it with :meth:`read`,
+    :meth:`write` and :meth:`evict` in program order per core.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise SimulationError("directory needs at least one core")
+        self.num_cores = num_cores
+        self.stats = CoherenceStats()
+        self._lines: dict[int, _DirEntry] = {}
+        # Derived per-core private states, line -> state (absent == I).
+        self._private: list[dict[int, MesiState]] = [
+            {} for _ in range(num_cores)
+        ]
+
+    # -- requests ------------------------------------------------------------
+
+    def read(self, core: int, line: int) -> CoherenceReply:
+        """Core ``core`` issues a read (GetS) for ``line``."""
+        self._check_core(core)
+        self.stats.read_requests += 1
+        entry = self._lines.setdefault(line, _DirEntry())
+        mine = self._private[core].get(line, MesiState.INVALID)
+        if mine is not MesiState.INVALID:
+            # Read hit on an existing copy: no directory transition.
+            return CoherenceReply(granted=mine)
+
+        if entry.state is DirState.UNCACHED:
+            entry.state = DirState.SHARED
+            entry.sharers = {core}
+            self._private[core][line] = MesiState.EXCLUSIVE
+            return CoherenceReply(granted=MesiState.EXCLUSIVE)
+
+        if entry.state is DirState.SHARED:
+            # Demote any E holder to S (it may have been a lone reader).
+            downgraded = []
+            for holder in entry.sharers:
+                if self._private[holder].get(line) is MesiState.EXCLUSIVE:
+                    self._private[holder][line] = MesiState.SHARED
+                    downgraded.append(holder)
+                    self.stats.downgrades_sent += 1
+            entry.sharers.add(core)
+            self._private[core][line] = MesiState.SHARED
+            return CoherenceReply(granted=MesiState.SHARED, downgraded=tuple(downgraded))
+
+        # MODIFIED: fetch from owner, demote owner to S, data is dirty.
+        owner = entry.owner
+        if owner is None:
+            raise SimulationError(f"directory M state with no owner for {line:#x}")
+        self._private[owner][line] = MesiState.SHARED
+        self.stats.downgrades_sent += 1
+        self.stats.dirty_forwards += 1
+        entry.state = DirState.SHARED
+        entry.sharers = {owner, core}
+        entry.owner = None
+        self._private[core][line] = MesiState.SHARED
+        return CoherenceReply(
+            granted=MesiState.SHARED, downgraded=(owner,), dirty_forward=True
+        )
+
+    def write(self, core: int, line: int) -> CoherenceReply:
+        """Core ``core`` issues a write (GetX / upgrade) for ``line``."""
+        self._check_core(core)
+        self.stats.write_requests += 1
+        entry = self._lines.setdefault(line, _DirEntry())
+        mine = self._private[core].get(line, MesiState.INVALID)
+
+        if mine is MesiState.MODIFIED:
+            return CoherenceReply(granted=MesiState.MODIFIED)
+        if mine is MesiState.EXCLUSIVE:
+            # Silent E->M upgrade: no traffic, directory flips to M.
+            self.stats.silent_upgrades += 1
+            self._private[core][line] = MesiState.MODIFIED
+            entry.state = DirState.MODIFIED
+            entry.sharers = set()
+            entry.owner = core
+            return CoherenceReply(granted=MesiState.MODIFIED)
+
+        invalidated: list[int] = []
+        dirty_forward = False
+        if entry.state is DirState.SHARED:
+            for holder in entry.sharers:
+                if holder != core:
+                    self._private[holder].pop(line, None)
+                    invalidated.append(holder)
+                    self.stats.invalidations_sent += 1
+        elif entry.state is DirState.MODIFIED:
+            owner = entry.owner
+            if owner is None:
+                raise SimulationError(f"directory M state with no owner for {line:#x}")
+            if owner != core:
+                self._private[owner].pop(line, None)
+                invalidated.append(owner)
+                self.stats.invalidations_sent += 1
+                self.stats.dirty_forwards += 1
+                dirty_forward = True
+
+        entry.state = DirState.MODIFIED
+        entry.sharers = set()
+        entry.owner = core
+        self._private[core][line] = MesiState.MODIFIED
+        return CoherenceReply(
+            granted=MesiState.MODIFIED,
+            invalidated=tuple(invalidated),
+            dirty_forward=dirty_forward,
+        )
+
+    def evict(self, core: int, line: int) -> bool:
+        """Core ``core`` evicts its copy of ``line``.
+
+        Returns True when the eviction carried dirty data back to the LLC
+        (the copy was M).  Silent eviction of S/E copies is modelled as a
+        notifying eviction so the directory stays precise.
+        """
+        self._check_core(core)
+        state = self._private[core].pop(line, MesiState.INVALID)
+        if state is MesiState.INVALID:
+            return False
+        entry = self._lines.get(line)
+        if entry is None:
+            raise SimulationError(f"evict of directory-unknown line {line:#x}")
+        dirty = state is MesiState.MODIFIED
+        if dirty:
+            self.stats.writebacks_received += 1
+            entry.state = DirState.UNCACHED
+            entry.owner = None
+            entry.sharers = set()
+        else:
+            entry.sharers.discard(core)
+            if not entry.sharers:
+                entry.state = DirState.UNCACHED
+        return dirty
+
+    # -- queries -------------------------------------------------------------
+
+    def private_state(self, core: int, line: int) -> MesiState:
+        """MESI state of ``line`` in ``core``'s private hierarchy."""
+        self._check_core(core)
+        return self._private[core].get(line, MesiState.INVALID)
+
+    def directory_state(self, line: int) -> DirState:
+        """Directory summary state of ``line``."""
+        entry = self._lines.get(line)
+        return DirState.UNCACHED if entry is None else entry.state
+
+    def sharers(self, line: int) -> frozenset[int]:
+        """Cores currently holding a readable copy."""
+        entry = self._lines.get(line)
+        if entry is None:
+            return frozenset()
+        if entry.state is DirState.MODIFIED and entry.owner is not None:
+            return frozenset({entry.owner})
+        return frozenset(entry.sharers)
+
+    def check_invariants(self) -> None:
+        """Assert protocol invariants over every tracked line.
+
+        Raises:
+            SimulationError: on any violation (single-writer,
+                writer-excludes-readers, directory/private agreement).
+        """
+        holders: dict[int, list[tuple[int, MesiState]]] = {}
+        for core, lines in enumerate(self._private):
+            for line, state in lines.items():
+                holders.setdefault(line, []).append((core, state))
+        for line, entry in self._lines.items():
+            holding = holders.get(line, [])
+            modified = [c for c, s in holding if s is MesiState.MODIFIED]
+            exclusive = [c for c, s in holding if s is MesiState.EXCLUSIVE]
+            shared = [c for c, s in holding if s is MesiState.SHARED]
+            if len(modified) > 1:
+                raise SimulationError(f"line {line:#x}: multiple M holders {modified}")
+            if modified and (shared or exclusive):
+                raise SimulationError(
+                    f"line {line:#x}: M holder coexists with other copies"
+                )
+            if len(exclusive) > 1:
+                raise SimulationError(f"line {line:#x}: multiple E holders")
+            if exclusive and shared:
+                raise SimulationError(f"line {line:#x}: E holder coexists with S")
+            if entry.state is DirState.MODIFIED:
+                if not modified or entry.owner != modified[0]:
+                    raise SimulationError(
+                        f"line {line:#x}: directory M disagrees with private state"
+                    )
+            elif entry.state is DirState.SHARED:
+                if modified:
+                    raise SimulationError(
+                        f"line {line:#x}: directory S but private M exists"
+                    )
+                if set(entry.sharers) != set(c for c, _ in holding):
+                    raise SimulationError(
+                        f"line {line:#x}: sharer list out of sync"
+                    )
+            else:
+                if holding:
+                    raise SimulationError(
+                        f"line {line:#x}: directory U but copies exist"
+                    )
+
+    def _check_core(self, core: int) -> None:
+        if not (0 <= core < self.num_cores):
+            raise SimulationError(f"core id {core} out of range")

@@ -1,0 +1,110 @@
+"""Miss-status holding registers (MSHRs).
+
+MSHRs bound a core's memory-level parallelism: a new primary miss needs a
+free register, a miss to an already-outstanding line merges into the
+existing register (a *secondary* miss), and a full file stalls the core.
+The interval core model uses the file to decide how many long-latency
+loads can overlap, which in turn shapes ROB-head stalls — the signal the
+criticality predictor learns from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, SimulationError
+
+
+@dataclass
+class MshrStats:
+    """Allocation accounting for one MSHR file."""
+
+    primary_misses: int = 0
+    secondary_misses: int = 0
+    stalls: int = 0
+
+
+@dataclass
+class MshrFile:
+    """A fixed-capacity file of outstanding miss registers.
+
+    Args:
+        capacity: number of primary misses that can be in flight.
+    """
+
+    capacity: int
+    stats: MshrStats = field(default_factory=MshrStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError(f"MSHR capacity must be positive, got {self.capacity}")
+        # line -> completion time (opaque to the file; the core model
+        # stores its own bookkeeping value here).
+        self._pending: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        """True when a new primary miss would have to stall."""
+        return len(self._pending) >= self.capacity
+
+    def is_pending(self, line: int) -> bool:
+        """True when ``line`` already has an in-flight miss."""
+        return line in self._pending
+
+    def allocate(self, line: int, completion: float) -> bool:
+        """Try to register a miss for ``line``.
+
+        Returns True if the miss was accepted (either a fresh register or
+        a merge with an outstanding one); False when the file is full and
+        the line is not already pending — the caller must stall.
+        """
+        if line in self._pending:
+            self.stats.secondary_misses += 1
+            return True
+        if self.full:
+            self.stats.stalls += 1
+            return False
+        self._pending[line] = completion
+        self.stats.primary_misses += 1
+        return True
+
+    def completion_of(self, line: int) -> float:
+        """Completion bookkeeping value of a pending line."""
+        try:
+            return self._pending[line]
+        except KeyError:
+            raise SimulationError(f"MSHR query for non-pending line {line:#x}") from None
+
+    def release(self, line: int) -> None:
+        """Retire the register for ``line`` (its data returned)."""
+        if self._pending.pop(line, None) is None:
+            raise SimulationError(f"MSHR release of non-pending line {line:#x}")
+
+    def release_completed(self, now: float) -> int:
+        """Retire every register whose completion time has passed.
+
+        Returns the number retired; used by the core model to lazily
+        drain the file instead of tracking per-miss events.
+        """
+        done = [line for line, t in self._pending.items() if t <= now]
+        for line in done:
+            del self._pending[line]
+        return len(done)
+
+    def earliest_completion(self) -> float:
+        """Smallest completion time among pending misses.
+
+        Raises:
+            SimulationError: when the file is empty (a stall with nothing
+                in flight would never wake up).
+        """
+        if not self._pending:
+            raise SimulationError("MSHR earliest_completion on an empty file")
+        return min(self._pending.values())
+
+    def clear(self) -> None:
+        """Drop all registers (simulation reset)."""
+        self._pending.clear()

@@ -1,0 +1,136 @@
+"""Pluggable replacement policies for :class:`~repro.cache.cache.Cache`.
+
+True LRU (the default, and what the paper's gem5 configuration uses) is
+implemented natively by the OrderedDict recency order; this module adds
+alternatives used by the ablation studies:
+
+* ``random``   — deterministic pseudo-random victims (the classic cheap
+  hardware baseline; an LCG keeps runs reproducible);
+* ``srrip``    — 2-bit Static Re-Reference Interval Prediction (Jaleel et
+  al., ISCA'10): scan-resistant, ages lines instead of strictly ordering
+  them;
+* ``clean-first`` — write-aware LRU: prefer evicting clean lines so dirty
+  lines stay on chip longer and coalesce more writes before the (ReRAM-
+  and memory-expensive) write-back happens.
+
+A policy sees insertion/hit/invalidation events and is asked for a
+victim tag when a set is full.  State lives in the policy (keyed by
+``(set, tag)``), not in the cache payloads, so policies compose with any
+payload layout.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Any
+
+from repro.common.errors import ConfigError, SimulationError
+
+_DIRTY = 0  # payload slot layout shared with repro.cache.cache
+
+
+class ReplacementPolicy(abc.ABC):
+    """Victim-selection strategy for one cache instance."""
+
+    name: str = "?"
+
+    def on_insert(self, set_idx: int, tag: int) -> None:
+        """A line was filled."""
+
+    def on_hit(self, set_idx: int, tag: int) -> None:
+        """A resident line was touched."""
+
+    def on_invalidate(self, set_idx: int, tag: int) -> None:
+        """A line left the cache (eviction or invalidation)."""
+
+    @abc.abstractmethod
+    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+        """Pick the victim tag from a full set (LRU->MRU iteration order)."""
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Deterministic pseudo-random victim selection (LCG-driven)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x9E3779B9) -> None:
+        self._state = seed & 0xFFFFFFFF
+
+    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+        self._state = (self._state * 1664525 + 1013904223) & 0xFFFFFFFF
+        index = self._state % len(ways)
+        for i, tag in enumerate(ways):
+            if i == index:
+                return tag
+        raise SimulationError("empty set has no victim")  # pragma: no cover
+
+
+class SrripReplacement(ReplacementPolicy):
+    """2-bit SRRIP: insert distant, promote on hit, age to find victims."""
+
+    name = "srrip"
+
+    #: Maximum re-reference prediction value (2 bits).
+    MAX_RRPV = 3
+    #: Insertion RRPV ("long re-reference interval").
+    INSERT_RRPV = 2
+
+    def __init__(self) -> None:
+        self._rrpv: dict[tuple[int, int], int] = {}
+
+    def on_insert(self, set_idx: int, tag: int) -> None:
+        self._rrpv[(set_idx, tag)] = self.INSERT_RRPV
+
+    def on_hit(self, set_idx: int, tag: int) -> None:
+        self._rrpv[(set_idx, tag)] = 0
+
+    def on_invalidate(self, set_idx: int, tag: int) -> None:
+        self._rrpv.pop((set_idx, tag), None)
+
+    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+        while True:
+            for tag in ways:  # LRU-first tie-break
+                if self._rrpv.get((set_idx, tag), self.MAX_RRPV) >= self.MAX_RRPV:
+                    return tag
+            for tag in ways:  # age everyone and retry
+                key = (set_idx, tag)
+                self._rrpv[key] = min(self.MAX_RRPV, self._rrpv.get(key, 0) + 1)
+
+
+class CleanFirstReplacement(ReplacementPolicy):
+    """Write-aware LRU: evict the LRU *clean* line when one exists.
+
+    Dirty victims cost a ReRAM/memory write-back; preferring clean
+    victims lets dirty lines absorb more write hits before leaving.
+    Falls back to plain LRU when the whole set is dirty.
+    """
+
+    name = "clean-first"
+
+    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+        for tag, payload in ways.items():  # LRU -> MRU
+            if not payload[_DIRTY]:
+                return tag
+        return next(iter(ways))
+
+
+#: Registry used by :class:`~repro.cache.cache.Cache`.
+_POLICIES = {
+    "random": RandomReplacement,
+    "srrip": SrripReplacement,
+    "clean-first": CleanFirstReplacement,
+}
+
+
+def make_replacement(name: str) -> ReplacementPolicy | None:
+    """Instantiate a policy by name; None selects the native LRU path."""
+    if name == "lru":
+        return None
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown replacement policy {name!r}; "
+            f"known: ('lru', {', '.join(map(repr, _POLICIES))})"
+        ) from None

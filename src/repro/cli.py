@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``config``   — print the Table I machine description.
+* ``table2``   — characterise applications (Table II columns).
+* ``compare``  — run one workload under several NUCA schemes.
+* ``workloads``— show the generated WL1..WL10 mixes.
+* ``trace``    — generate a synthetic application trace to a .npz file.
+
+Every command takes ``--instructions`` and ``--seed``; results are
+printed as the same text tables the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import baseline_config
+from repro.experiments.report import format_table, render_table2
+from repro.experiments.table2 import run_table2
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.trace.profiles import ALL_APPS, get_profile, intensity_class
+from repro.trace.workloads import make_workloads
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int, default=60_000,
+                        help="instruction budget per core (default 60000)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="experiment seed (default 1)")
+
+
+def _cmd_config(_args) -> int:
+    print(baseline_config().describe())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    apps = tuple(args.apps) if args.apps else None
+    rows = run_table2(apps=apps, seed=args.seed,
+                      n_instructions=args.instructions)
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config = baseline_config()
+    workloads = make_workloads(num_cores=config.num_cores, seed=args.seed)
+    index = args.workload - 1
+    if not (0 <= index < len(workloads)):
+        print(f"error: workload must be 1..{len(workloads)}", file=sys.stderr)
+        return 2
+    workload = workloads[index]
+    print(f"{workload.name}: {', '.join(workload.apps)}\n")
+    stage1 = Stage1Cache()
+    rows = []
+    for scheme in args.schemes:
+        result = run_workload(
+            workload, scheme, config, seed=args.seed,
+            n_instructions=args.instructions, stage1=stage1,
+        )
+        writes = result.bank_writes
+        rows.append((
+            scheme, result.ipc, result.min_lifetime,
+            float(writes.std() / writes.mean()) if writes.mean() else 0.0,
+            result.llc_fetch_hit_rate,
+        ))
+    print(format_table(
+        ["scheme", "IPC", "min life [y]", "wear CV", "LLC hit"], rows
+    ))
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    for workload in make_workloads(num_cores=16, seed=args.seed):
+        classes = [intensity_class(get_profile(a))[0].upper() for a in workload.apps]
+        print(f"{workload.name}: {', '.join(workload.apps)}")
+        print(f"      intensity: {''.join(classes)} "
+              f"({classes.count('H')} high / {classes.count('M')} medium / "
+              f"{classes.count('L')} low)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.common.rng import derive_rng
+    from repro.trace.fileio import save_trace
+    from repro.trace.generator import bundles_for_instructions, generate_trace
+    from repro.trace.synthetic import derive_params
+
+    profile = get_profile(args.app)
+    params = derive_params(profile, baseline_config())
+    rng = derive_rng(args.seed, "trace", args.app)
+    bundles = bundles_for_instructions(params, args.instructions)
+    trace = generate_trace(params, bundles, rng)
+    save_trace(args.output, trace, params=params,
+               extra={"app": args.app, "seed": args.seed})
+    print(f"wrote {len(trace)} records (~{args.instructions} instructions) "
+          f"for {args.app} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Re-NUCA (IPDPS 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("config", help="print the Table I configuration")
+
+    p_table2 = sub.add_parser("table2", help="characterise applications")
+    p_table2.add_argument("apps", nargs="*",
+                          help="apps to run (default: all 22)")
+    _add_common(p_table2)
+
+    p_compare = sub.add_parser("compare", help="run one workload under schemes")
+    p_compare.add_argument("--workload", type=int, default=1,
+                           help="workload number 1..10 (default 1)")
+    p_compare.add_argument("--schemes", nargs="+",
+                           default=["S-NUCA", "R-NUCA", "Re-NUCA"],
+                           help="NUCA schemes to compare")
+    _add_common(p_compare)
+
+    p_wl = sub.add_parser("workloads", help="show the WL1..WL10 mixes")
+    _add_common(p_wl)
+
+    p_trace = sub.add_parser("trace", help="generate a trace file")
+    p_trace.add_argument("app", help="Table II application name")
+    p_trace.add_argument("output", help="output .npz path")
+    _add_common(p_trace)
+
+    return parser
+
+
+_COMMANDS = {
+    "config": _cmd_config,
+    "table2": _cmd_table2,
+    "compare": _cmd_compare,
+    "workloads": _cmd_workloads,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

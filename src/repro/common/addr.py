@@ -1,0 +1,110 @@
+"""Address arithmetic.
+
+The simulator works on 48-bit physical addresses (matching the paper's
+Figure 10).  Cache lines are 64 bytes and pages are 4 KB throughout, but
+every helper is parameterised so non-default geometries remain testable.
+
+Bit layout of an address for the default geometry::
+
+    47                    12 11        6 5       0
+    +-----------------------+-----------+---------+
+    |      page number      | line-in-pg| offset  |
+    +-----------------------+-----------+---------+
+
+The *line address* is the address shifted right by the offset width; it is
+the unit the cache hierarchy operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import is_power_of_two, log2_exact
+
+#: Default cache-line size in bytes (Table I).
+LINE_BYTES: int = 64
+#: Default page size in bytes (Figure 10).
+PAGE_BYTES: int = 4096
+#: Physical address width in bits (Figure 10).
+ADDR_BITS: int = 48
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Precomputed shifts/masks for one line/page geometry.
+
+    Instances are cheap and immutable; the default geometry is available
+    as :data:`DEFAULT_ADDRESS_MAP`.
+    """
+
+    line_bytes: int = LINE_BYTES
+    page_bytes: int = PAGE_BYTES
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigError(f"line size must be a power of two: {self.line_bytes}")
+        if not is_power_of_two(self.page_bytes):
+            raise ConfigError(f"page size must be a power of two: {self.page_bytes}")
+        if self.page_bytes % self.line_bytes:
+            raise ConfigError("page size must be a multiple of the line size")
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of byte-offset bits within a line."""
+        return log2_exact(self.line_bytes)
+
+    @property
+    def page_offset_bits(self) -> int:
+        """Number of byte-offset bits within a page."""
+        return log2_exact(self.page_bytes)
+
+    @property
+    def lines_per_page(self) -> int:
+        """Cache lines per page (64 for the default geometry)."""
+        return self.page_bytes // self.line_bytes
+
+    def line_addr(self, addr: int) -> int:
+        """Byte address -> line address (address / line size)."""
+        return addr >> self.offset_bits
+
+    def line_to_byte(self, line: int) -> int:
+        """Line address -> byte address of the line's first byte."""
+        return line << self.offset_bits
+
+    def page_number(self, addr: int) -> int:
+        """Byte address -> page number."""
+        return addr >> self.page_offset_bits
+
+    def page_of_line(self, line: int) -> int:
+        """Line address -> page number containing the line."""
+        return line >> (self.page_offset_bits - self.offset_bits)
+
+    def line_in_page(self, addr: int) -> int:
+        """Byte address -> index of its line within the page (0..63)."""
+        return (addr >> self.offset_bits) & (self.lines_per_page - 1)
+
+    def line_index_in_page(self, line: int) -> int:
+        """Line address -> index of the line within its page (0..63)."""
+        return line & (self.lines_per_page - 1)
+
+
+#: Shared default geometry (64-B lines, 4-KB pages).
+DEFAULT_ADDRESS_MAP = AddressMap()
+
+
+def set_index(line: int, num_sets: int) -> int:
+    """Set index of ``line`` in a cache with ``num_sets`` sets.
+
+    ``num_sets`` must be a power of two (standard bit-select indexing).
+    """
+    if not is_power_of_two(num_sets):
+        raise ConfigError(f"number of sets must be a power of two: {num_sets}")
+    return line & (num_sets - 1)
+
+
+def tag_bits(line: int, num_sets: int) -> int:
+    """Tag of ``line`` for a cache with ``num_sets`` sets."""
+    if not is_power_of_two(num_sets):
+        raise ConfigError(f"number of sets must be a power of two: {num_sets}")
+    return line >> log2_exact(num_sets)

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent system configuration was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace generator parameter is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the library (or memory corruption in a
+    hand-built component wired into the system), never a user mistake, so
+    it is raised with enough context to debug the offending access.
+    """

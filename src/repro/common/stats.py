@@ -1,0 +1,105 @@
+"""Statistics helpers used by the metrics and reporting layers.
+
+The paper reports *harmonic means* of per-workload lifetimes ("average
+lifetime is significantly affected by the extremes") and min/variation
+summaries over banks; the helpers here implement those reductions plus a
+small streaming-moments accumulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values.
+
+    Raises:
+        ReproError: if the input is empty or contains a non-positive value
+            (the harmonic mean is undefined there, and a zero lifetime
+            would silently poison a mean otherwise).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("harmonic mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ReproError("harmonic mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Population coefficient of variation (stddev / mean); 0 for constants."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("coefficient of variation of an empty sequence")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ReproError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass
+class RunningStats:
+    """Streaming count/mean/min/max/M2 accumulator (Welford's algorithm).
+
+    Used where the simulator wants summary statistics over a stream too
+    long to retain (e.g. per-access L3 latencies).
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both streams."""
+        if other.count == 0:
+            return RunningStats(self.count, self.mean, self._m2, self.min, self.max)
+        if self.count == 0:
+            return RunningStats(other.count, other.mean, other._m2, other.min, other.max)
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / total
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        return RunningStats(
+            total, mean, m2, min(self.min, other.min), max(self.max, other.max)
+        )

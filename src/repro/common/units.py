@@ -1,0 +1,86 @@
+"""Size and time unit helpers.
+
+All capacities inside the library are plain integers in bytes and all times
+are integers in core clock cycles; these helpers exist so configuration
+code can speak in "256KB" / "years" without ad-hoc arithmetic scattered
+around.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ConfigError
+
+#: One kibibyte (2**10 bytes).
+KIB: int = 1024
+#: One mebibyte (2**20 bytes).
+MIB: int = 1024 * 1024
+#: One gibibyte (2**30 bytes).
+GIB: int = 1024 * 1024 * 1024
+#: Cycles per second at 1 GHz.
+GHZ: float = 1e9
+#: Julian year, matching the paper's "lifetime in years" unit.
+SECONDS_PER_YEAR: float = 365.25 * 24 * 3600
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([KMG]i?B|B)?\s*$", re.IGNORECASE)
+
+_UNIT_FACTOR = {
+    None: 1,
+    "B": 1,
+    "KB": KIB,
+    "KIB": KIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "GB": GIB,
+    "GIB": GIB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable capacity such as ``"256KB"`` into bytes.
+
+    Integers pass through unchanged.  Following architecture-paper
+    convention (and the paper's Table I), ``KB``/``MB``/``GB`` are binary
+    units (1 KB = 1024 B).
+
+    Raises:
+        ConfigError: if ``text`` is not a recognisable size.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"unparsable size: {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2).upper() if match.group(2) else None
+    size = value * _UNIT_FACTOR[unit]
+    if size != int(size):
+        raise ConfigError(f"size {text!r} is not a whole number of bytes")
+    return int(size)
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count into wall-clock seconds at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ConfigError(f"clock frequency must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def cycles_to_years(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count into years at ``clock_hz`` (Julian years)."""
+    return cycles_to_seconds(cycles, clock_hz) / SECONDS_PER_YEAR
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two, raising :class:`ConfigError` otherwise."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: Re-NUCA.
+
+Three cooperating mechanisms (Section IV):
+
+* :mod:`repro.core.criticality` — the Criticality Predictor Table (CPT),
+  a PC-indexed table of ``robBlockCount`` / ``numLoadsCount`` counters
+  that classifies a load as critical when its historical ROB-head-block
+  ratio reaches the criticality threshold (3% by default).
+* :mod:`repro.core.tlb` — the enhanced TLB whose 64-bit Mapping Bit
+  Vector remembers, per cache line of each page, which mapping function
+  (S-NUCA or R-NUCA) the line was allocated with.
+* :mod:`repro.core.renuca` — the hybrid mapping policy itself: critical
+  lines are placed in the R-NUCA cluster near the requesting core,
+  non-critical lines are spread over all banks with S-NUCA.
+"""
+
+from repro.core.criticality import (
+    CriticalityPredictor,
+    CriticalityMeters,
+    STANDARD_THRESHOLDS,
+)
+from repro.core.tlb import EnhancedTlb, TlbStats
+from repro.core.renuca import ReNucaPolicy
+
+__all__ = [
+    "CriticalityPredictor",
+    "CriticalityMeters",
+    "STANDARD_THRESHOLDS",
+    "EnhancedTlb",
+    "TlbStats",
+    "ReNucaPolicy",
+]

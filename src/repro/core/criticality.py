@@ -1,0 +1,225 @@
+"""The Criticality Predictor Table (CPT) — Section IV-B.
+
+Each entry pairs a load PC with two counters:
+
+* ``num_loads`` — loads issued by this PC so far (incremented at issue,
+  Figure 6 step 2),
+* ``rob_blocks`` — how many of them went on to block the ROB head
+  (incremented at commit when the stall is observed, Figure 6 step 3).
+
+A load is *predicted critical* when ``rob_blocks >= (x/100) * num_loads``
+with ``x`` the criticality threshold (3% default — Figure 7 shows lower
+thresholds predict better under the paper's accuracy definition).  A PC
+with no entry predicts non-critical ("when a cache line is brought to the
+cache for the first time, we assume it is not critical"); its entry is
+inserted when the load commits.
+
+Unlike the ranking predictor of Ghose et al. [3], no stall-time fields
+are kept — the single threshold comparison is the paper's stated
+simplification.
+
+:class:`CriticalityMeters` additionally evaluates *all* standard
+thresholds side-by-side in one run (for Figures 7/8/9) by snapshotting
+the counter ratio at issue time and scoring each threshold against the
+commit-time ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.config import CriticalityConfig
+
+#: The thresholds swept in Figures 7, 8 and 9 (percent).
+STANDARD_THRESHOLDS: tuple[float, ...] = (3, 5, 10, 20, 25, 33, 50, 75, 100)
+
+
+@dataclass
+class CptStats:
+    """Predictor bookkeeping counters."""
+
+    lookups: int = 0
+    lookup_hits: int = 0
+    predictions_critical: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+
+class CriticalityPredictor:
+    """PC-indexed criticality predictor with a bounded table.
+
+    The table evicts its least-recently-touched entry when full (the
+    paper does not give a CPT capacity; 4096 entries comfortably covers
+    the synthetic apps' PC working sets and the capacity is
+    configurable).
+    """
+
+    def __init__(self, config: CriticalityConfig | None = None) -> None:
+        self.config = config or CriticalityConfig()
+        if self.config.table_entries <= 0:
+            raise ConfigError("CPT capacity must be positive")
+        self.threshold = self.config.threshold_percent / 100.0
+        self.stats = CptStats()
+        # pc -> [num_loads, rob_blocks]
+        self._table: OrderedDict[int, list[int]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def ratio(self, pc: int) -> float | None:
+        """Current block ratio of a PC, or None when untracked.
+
+        Also counts the issue-side ``num_loads`` increment (Figure 6
+        step 2), so call exactly once per issued load.
+        """
+        self.stats.lookups += 1
+        entry = self._table.get(pc)
+        if entry is None:
+            return None
+        self.stats.lookup_hits += 1
+        self._table.move_to_end(pc)
+        ratio = entry[1] / entry[0] if entry[0] else 0.0
+        entry[0] += 1
+        return ratio
+
+    def predict(self, pc: int) -> bool:
+        """Predict at issue whether this load is critical."""
+        ratio = self.ratio(pc)
+        critical = ratio is not None and ratio >= self.threshold
+        if critical:
+            self.stats.predictions_critical += 1
+        return critical
+
+    def observe_commit(self, pc: int, blocked: bool) -> None:
+        """Commit-time update (Figure 6 step 3 / new-entry insertion)."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.config.table_entries:
+                self._table.popitem(last=False)
+                self.stats.evictions += 1
+            self._table[pc] = [1, 1 if blocked else 0]
+            self.stats.inserts += 1
+            return
+        if blocked:
+            entry[1] += 1
+
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """Copy of the table contents (num_loads, rob_blocks) per PC."""
+        return {pc: (e[0], e[1]) for pc, e in self._table.items()}
+
+
+@dataclass
+class CriticalityMeters:
+    """Multi-threshold accounting for Figures 5, 7, 8 and 9.
+
+    The core feeds it three event kinds:
+
+    * :meth:`load_committed` — every committed load, with the CPT ratio
+      that was current at its issue and the ground-truth blocked flag
+      (Figure 5 = blocked fraction; Figure 7 = per-threshold accuracy).
+    * :meth:`block_fetched` — every cache block fetched from memory, with
+      its issue-time ratio (Figure 8 = per-threshold non-critical share).
+    * :meth:`block_written` — every write into the LLC (fill or
+      write-back), with the ratio the written block was fetched under
+      (Figure 9 = per-threshold non-critical-write share).
+
+    "Accuracy" follows the paper's framing: among loads that truly block
+    the ROB head, the fraction the predictor flags as critical — which is
+    why a 100% threshold scores ~14.5% and 3% scores ~83% in Figure 7.
+    """
+
+    thresholds: tuple[float, ...] = STANDARD_THRESHOLDS
+    loads: int = 0
+    blocked_loads: int = 0
+    #: Per-threshold count of truly-blocked loads predicted critical.
+    true_positive: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Per-threshold count of loads predicted critical.
+    predicted_critical: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Per-threshold count of correct predictions (either direction).
+    agree: np.ndarray = field(default=None)  # type: ignore[assignment]
+    fetches: int = 0
+    noncritical_fetches: np.ndarray = field(default=None)  # type: ignore[assignment]
+    writes: int = 0
+    noncritical_writes: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = len(self.thresholds)
+        self._cuts = np.asarray(self.thresholds, dtype=np.float64) / 100.0
+        for name in (
+            "true_positive",
+            "predicted_critical",
+            "agree",
+            "noncritical_fetches",
+            "noncritical_writes",
+        ):
+            if getattr(self, name) is None:
+                setattr(self, name, np.zeros(n, dtype=np.int64))
+
+    def _critical_mask(self, ratio: float | None) -> np.ndarray:
+        if ratio is None:
+            return np.zeros(len(self._cuts), dtype=bool)
+        return ratio >= self._cuts
+
+    def load_committed(self, issue_ratio: float | None, blocked: bool) -> None:
+        """Record one committed load (all loads, hits included)."""
+        self.loads += 1
+        mask = self._critical_mask(issue_ratio)
+        self.predicted_critical += mask
+        if blocked:
+            self.blocked_loads += 1
+            self.true_positive += mask
+            self.agree += mask
+        else:
+            self.agree += ~mask
+
+    def block_fetched(self, issue_ratio: float | None) -> None:
+        """Record one block fetched from memory into the LLC."""
+        self.fetches += 1
+        self.noncritical_fetches += ~self._critical_mask(issue_ratio)
+
+    def block_written(self, fetch_ratio: float | None) -> None:
+        """Record one LLC write (fill or write-back) and its block's ratio."""
+        self.writes += 1
+        self.noncritical_writes += ~self._critical_mask(fetch_ratio)
+
+    # -- figure extraction -----------------------------------------------------
+
+    @property
+    def noncritical_load_percent(self) -> float:
+        """Figure 5: percent of loads that do not block the ROB head."""
+        if not self.loads:
+            return 0.0
+        return 100.0 * (1.0 - self.blocked_loads / self.loads)
+
+    def accuracy_percent(self) -> dict[float, float]:
+        """Figure 7: per-threshold accuracy (recall of blocking loads)."""
+        out = {}
+        for i, t in enumerate(self.thresholds):
+            denom = self.blocked_loads
+            out[t] = 100.0 * self.true_positive[i] / denom if denom else 0.0
+        return out
+
+    def agreement_percent(self) -> dict[float, float]:
+        """Per-threshold overall agreement with ground truth (both classes)."""
+        return {
+            t: (100.0 * self.agree[i] / self.loads if self.loads else 0.0)
+            for i, t in enumerate(self.thresholds)
+        }
+
+    def noncritical_block_percent(self) -> dict[float, float]:
+        """Figure 8: per-threshold percent of fetched blocks non-critical."""
+        return {
+            t: (100.0 * self.noncritical_fetches[i] / self.fetches if self.fetches else 0.0)
+            for i, t in enumerate(self.thresholds)
+        }
+
+    def noncritical_write_percent(self) -> dict[float, float]:
+        """Figure 9: per-threshold percent of LLC writes to non-critical blocks."""
+        return {
+            t: (100.0 * self.noncritical_writes[i] / self.writes if self.writes else 0.0)
+            for i, t in enumerate(self.thresholds)
+        }

@@ -1,0 +1,14 @@
+"""Out-of-order core substrate.
+
+The paper's criticality signal is micro-architectural: a load is critical
+iff it blocks the head of the ReOrder Buffer (Section IV-A).
+:mod:`repro.cpu.rob` models exactly that — in-order commit over an
+out-of-order backend — and :mod:`repro.cpu.core` wraps it into a
+trace-driven interval core that produces per-load stall ground truth,
+IPC, and the L3 reference stream consumed by the NUCA stage.
+"""
+
+from repro.cpu.rob import CommittedLoad, ReorderBuffer
+from repro.cpu.core import AppSimulator, Stage1Result
+
+__all__ = ["CommittedLoad", "ReorderBuffer", "AppSimulator", "Stage1Result"]

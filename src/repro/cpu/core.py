@@ -1,0 +1,485 @@
+"""Stage-1 per-application simulation: core + private L1/L2 + nominal L3.
+
+One :class:`AppSimulator` runs one synthetic application through
+
+* the interval OoO core (:class:`~repro.cpu.rob.ReorderBuffer`) with an
+  MSHR file bounding memory-level parallelism,
+* its private L1D and L2 (write-back, write-allocate),
+* a *nominal* L3 — a single private 2 MB bank, the paper's Table II
+  characterisation configuration — and a private memory channel,
+* the online Criticality Predictor Table, queried at issue and updated
+  at commit, exactly as in Figure 6.
+
+It produces:
+
+* Table II statistics (IPC, WPKI, MPKI, L3 hit rate),
+* criticality meters for Figures 5/7/8/9,
+* the **L3 reference stream**: every L2 demand miss (fetch) and dirty L2
+  eviction (write-back), timestamped in core cycles, annotated with the
+  criticality prediction and with the latency-exposure data
+  (``stall/slack/mlp``) that lets stage 2 translate a different L3
+  latency into a commit-time delta without re-running the core — see
+  :meth:`L3Stream.exposure_delta`.  ``mlp`` is the number of outstanding
+  misses when the load issued (overlapped misses share latency changes)
+  and ``slack`` is the ROB drain headroom an unblocked load still had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.cache import Cache
+from repro.cache.mshr import MshrFile
+from repro.common.errors import SimulationError
+from repro.common.rng import derive_rng
+from repro.config import SystemConfig, baseline_config
+from repro.core.criticality import CriticalityMeters, CriticalityPredictor
+from repro.cpu.prefetch import StreamPrefetcher
+from repro.cpu.rob import ReorderBuffer
+from repro.mem.model import MainMemory
+from repro.trace.generator import generate_trace, bundles_for_instructions
+from repro.trace.profiles import AppProfile, get_profile
+from repro.trace.synthetic import GeneratorParams, derive_params
+
+#: Default MSHR file size per core (bounds MLP; typical for OoO cores).
+MSHR_ENTRIES = 16
+
+#: ``slack`` value for references that can never expose latency (stores).
+_NEVER_EXPOSED = 1e18
+
+#: Trace generation chunk, in bundles.
+_CHUNK_BUNDLES = 100_000
+
+
+@dataclass
+class L3Stream:
+    """The per-app L3 reference stream (structure of arrays).
+
+    Fetches and write-backs are interleaved in timestamp order; for
+    write-backs only ``ts``/``line``/``is_wb`` are meaningful.
+    """
+
+    ts: np.ndarray          # float64, core cycle of the reference
+    line: np.ndarray        # int64
+    pc: np.ndarray          # uint32
+    is_wb: np.ndarray       # bool  (True = L2 write-back)
+    is_load: np.ndarray     # bool  (fetch triggered by a load)
+    predicted: np.ndarray   # bool  (CPT prediction at configured threshold)
+    true_critical: np.ndarray  # bool (commit-time ground truth)
+    nominal_lat: np.ndarray  # float32, L3-portion latency on the nominal run
+    stall: np.ndarray       # float32, observed head stall (nominal run)
+    slack: np.ndarray       # float32, ROB drain headroom at issue (unblocked)
+    mlp: np.ndarray         # int16, outstanding misses at issue (>= 1)
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def exposure_delta(self, scheme_lat: np.ndarray) -> np.ndarray:
+        """Per-record commit-time delta if the L3 portion took ``scheme_lat``.
+
+        A load that blocked the ROB head on the nominal run moves commit
+        time by ``(L - nominal) / mlp`` (overlapped misses share the
+        change); an unblocked load only starts exposing latency once the
+        change exceeds the drain headroom it had.  The delta is floored
+        at ``-stall`` — a faster L3 can at most remove the stall that was
+        observed.  Stores and write-backs (``mlp``-slot carriers with
+        infinite slack) contribute nothing.
+        """
+        diff = scheme_lat - self.nominal_lat
+        blocked = self.stall > 0
+        delta = np.where(
+            blocked,
+            diff / self.mlp,
+            np.maximum(0.0, diff - self.slack) / self.mlp,
+        )
+        return np.maximum(delta, -self.stall)
+
+
+@dataclass
+class Stage1Result:
+    """Everything stage 2 and the experiment drivers need about one app."""
+
+    app: str
+    instructions: int
+    cycles: float
+    base_cpi: float
+    stream: L3Stream
+    meters: CriticalityMeters
+    l1_stats: object
+    l2_stats: object
+    l3_stats: object
+    mshr_stats: object
+    cpt_stats: object
+    mem_queue_cycles: float
+
+    @property
+    def ipc(self) -> float:
+        """Single-core IPC on the nominal (Table II) configuration."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def wpki(self) -> float:
+        """L2 write-backs per kilo-instruction (Table II WPKI)."""
+        return 1000.0 * self.l2_stats.writebacks / self.instructions
+
+    @property
+    def mpki(self) -> float:
+        """Nominal-L3 misses per kilo-instruction (Table II MPKI)."""
+        return 1000.0 * self.l3_stats.misses / self.instructions
+
+    @property
+    def l3_hitrate(self) -> float:
+        """Nominal-L3 demand hit rate (Table II Hitrate)."""
+        return self.l3_stats.hit_rate
+
+    @property
+    def l3_apki(self) -> float:
+        """L3 accesses (fetch stream, excl. write-backs) per kilo-instruction."""
+        return 1000.0 * self.l3_stats.accesses / self.instructions
+
+
+class AppSimulator:
+    """Trace-driven stage-1 simulation of one application on one core."""
+
+    def __init__(
+        self,
+        app: str | AppProfile,
+        config: SystemConfig | None = None,
+        *,
+        seed: int | None = None,
+        base_cpi: float | None = None,
+        params: GeneratorParams | None = None,
+        criticality_threshold: float | None = None,
+    ) -> None:
+        self.config = config or baseline_config()
+        self.profile = get_profile(app) if isinstance(app, str) else app
+        self.params = params or derive_params(self.profile, self.config)
+        self.seed = seed
+        # Until calibrated, approximate the non-memory CPI from the IPC
+        # target (memory stalls will push measured CPI above this).
+        self.base_cpi = (
+            base_cpi
+            if base_cpi is not None
+            else max(0.25, min(20.0, 0.7 / self.profile.ipc))
+        )
+        threshold = (
+            criticality_threshold
+            if criticality_threshold is not None
+            else self.config.criticality.threshold_percent
+        )
+        self._threshold = threshold / 100.0
+        self._block_cycles = self.config.criticality.block_cycles
+
+        core = self.config.core
+        self.rob = ReorderBuffer(core.rob_entries, self.base_cpi)
+        self.mshr = MshrFile(MSHR_ENTRIES)
+        self.prefetcher = StreamPrefetcher()
+        self.l1d = Cache(self.config.l1, name="L1D")
+        self.l2 = Cache(self.config.l2, name="L2")
+        # Nominal L3: one private bank (the Table II configuration).
+        self.l3 = Cache(self.config.l3_bank, name="L3-nominal")
+        self.memory = MainMemory(self.config.memory)
+        self.cpt = CriticalityPredictor(
+            type(self.config.criticality)(
+                threshold_percent=threshold,
+                table_entries=self.config.criticality.table_entries,
+            )
+        )
+        self.meters = CriticalityMeters()
+        # Nominal L3-portion latency of an L3 hit: one-hop round trip
+        # plus the bank read (stage 2 recomputes per scheme).
+        self._l3_hit_lat = float(
+            2 * self.config.noc.hop_cycles + self.config.l3_bank.latency
+        )
+        self._upper_lat = float(self.config.l1.latency + self.config.l2.latency)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, n_instructions: int, *, base_line: int = 0) -> Stage1Result:
+        """Simulate approximately ``n_instructions`` committed instructions."""
+        if n_instructions <= 0:
+            raise SimulationError("instruction budget must be positive")
+        self._warm_caches(base_line)
+        rng = derive_rng(self.seed, "trace", self.profile.name)
+
+        # Stream record columns (python lists; converted to numpy at the end).
+        ts_col: list[float] = []
+        line_col: list[int] = []
+        pc_col: list[int] = []
+        wb_col: list[bool] = []
+        load_col: list[bool] = []
+        pred_col: list[bool] = []
+        nominal_col: list[float] = []
+        mlp_col: list[int] = []
+        slack_col: list[float] = []
+        # Commit-time fills (indexed by stream record).
+        stall_col: list[float] = []
+
+        # Per-load bookkeeping, indexed by ROB token.
+        load_pc: list[int] = []
+        load_ratio: list[float | None] = []
+        load_rec: list[int] = []  # stream record index, -1 if no fetch
+
+        # line -> CPT ratio at fetch (for Figure 9 write attribution).
+        line_ratio: dict[int, float | None] = {}
+
+        chase_ready = 0.0
+        total_bundles = bundles_for_instructions(self.params, n_instructions)
+        done_bundles = 0
+        # Random initial scan positions: every region base is bank 0 under
+        # S-NUCA, so starting all apps' scans at offset 0 would pile the
+        # short-run write traffic onto the low-numbered banks.
+        cursor_rng = derive_rng(self.seed, "cursors", self.profile.name)
+        stream_cursor = int(cursor_rng.integers(0, self.params.stream_lines))
+        mid_cursor = int(cursor_rng.integers(0, self.params.mid_lines))
+
+        l1d, l2, l3 = self.l1d, self.l2, self.l3
+        rob, mshr, cpt, meters = self.rob, self.mshr, self.cpt, self.meters
+        prefetcher = self.prefetcher
+        threshold = self._threshold
+        block_cycles = self._block_cycles
+        l1_lat = float(self.config.l1.latency)
+        upper_lat = self._upper_lat
+        l3_hit_lat = self._l3_hit_lat
+
+        def handle_commits(committed) -> None:
+            for ev in committed:
+                token = ev.token
+                blocked = ev.stall_cycles >= block_cycles
+                pc = load_pc[token]
+                cpt.observe_commit(pc, blocked)
+                meters.load_committed(load_ratio[token], blocked)
+                rec = load_rec[token]
+                if rec >= 0:
+                    stall_col[rec] = ev.stall_cycles
+
+        while done_bundles < total_bundles:
+            chunk = min(_CHUNK_BUNDLES, total_bundles - done_bundles)
+            trace = generate_trace(
+                self.params,
+                chunk,
+                rng,
+                base_line=base_line,
+                stream_cursor=stream_cursor,
+                mid_cursor=mid_cursor,
+            )
+            # Advance the sequential-population cursors by the number of
+            # primary loads drawn (RMW store copies share their lines).
+            primary = ~trace["is_write"]
+            stream_cursor += int(np.count_nonzero((trace["kind"] == 2) & primary))
+            mid_cursor += int(np.count_nonzero((trace["kind"] == 1) & primary))
+            done_bundles += chunk
+
+            gaps = trace["gap"].tolist()
+            pcs = trace["pc"].tolist()
+            lines = trace["line"].tolist()
+            writes = trace["is_write"].tolist()
+            deps = trace["dep"].tolist()
+
+            for gap, pc, line, is_write, dep in zip(gaps, pcs, lines, writes, deps):
+                handle_commits(rob.dispatch(gap + 1))
+                now = rob.dispatch_clock
+
+                # Issue-side CPT query (Figure 6 step 2) for loads.
+                if is_write:
+                    ratio = None
+                    predicted = False
+                else:
+                    ratio = cpt.ratio(pc)
+                    predicted = ratio is not None and ratio >= threshold
+
+                # --- cache walk -------------------------------------------------
+                rec_idx = -1
+                r1 = l1d.access(line, is_write)
+                if r1.hit:
+                    latency = l1_lat
+                else:
+                    if r1.victim_dirty:
+                        self._l2_absorb(r1.victim_line, now, ts_col, line_col,
+                                        pc_col, wb_col, load_col, pred_col,
+                                        nominal_col, mlp_col, slack_col,
+                                        stall_col, line_ratio)
+                    r2 = l2.access(line, is_write)
+                    if r2.victim_dirty:
+                        self._emit_writeback(r2.victim_line, now, ts_col,
+                                             line_col, pc_col, wb_col, load_col,
+                                             pred_col, nominal_col, mlp_col,
+                                             slack_col, stall_col, line_ratio)
+                    if r2.hit:
+                        latency = upper_lat
+                    else:
+                        # --- L3 reference (fetch) -------------------------------
+                        covered = prefetcher.covers(line)
+                        hit3, l3_lat = self._nominal_l3_fetch(line, now)
+                        if covered:
+                            # The stream prefetcher already issued this
+                            # fetch: the demand access completes like an
+                            # L2 hit, the L3/memory traffic is the
+                            # prefetch itself (non-critical by nature).
+                            latency = upper_lat
+                            ratio = None
+                            predicted = False
+                        else:
+                            latency = upper_lat + l3_lat
+                        rec_idx = len(ts_col)
+                        ts_col.append(now)
+                        line_col.append(line)
+                        pc_col.append(pc)
+                        wb_col.append(False)
+                        load_col.append(not is_write and not covered)
+                        pred_col.append(predicted)
+                        nominal_col.append(l3_lat)
+                        slack_col.append(rob.free_entries * self.base_cpi)
+                        stall_col.append(0.0)
+                        line_ratio[line] = ratio
+                        if not hit3:
+                            meters.block_fetched(ratio)
+                            meters.block_written(ratio)  # the fill itself
+
+                # --- issue timing ------------------------------------------------
+                issue = now
+                if dep and not is_write:
+                    issue = max(issue, chase_ready)
+                if rec_idx >= 0:
+                    if latency > upper_lat:
+                        # Demand miss: occupies an MSHR for its lifetime.
+                        mshr.release_completed(issue)
+                        if mshr.full and not mshr.is_pending(line):
+                            issue = mshr.earliest_completion()
+                            mshr.release_completed(issue)
+                        complete = issue + latency
+                        mshr.allocate(line, complete)
+                        mlp_col.append(max(1, len(mshr)))
+                    else:
+                        complete = issue + latency
+                        mlp_col.append(1)
+                else:
+                    complete = issue + latency
+
+                if dep and not is_write:
+                    chase_ready = complete
+
+                if not is_write:
+                    token = len(load_pc)
+                    load_pc.append(pc)
+                    load_ratio.append(ratio)
+                    load_rec.append(rec_idx)
+                    rob.push_load(complete, token)
+
+        handle_commits(rob.drain())
+
+        stream = self._finalize_stream(
+            ts_col, line_col, pc_col, wb_col, load_col, pred_col,
+            nominal_col, mlp_col, slack_col, stall_col,
+        )
+        return Stage1Result(
+            app=self.profile.name,
+            instructions=self.rob.commit_index,
+            cycles=self.rob.cycles,
+            base_cpi=self.base_cpi,
+            stream=stream,
+            meters=self.meters,
+            l1_stats=self.l1d.stats,
+            l2_stats=self.l2.stats,
+            l3_stats=self.l3.stats,
+            mshr_stats=self.mshr.stats,
+            cpt_stats=self.cpt.stats,
+            mem_queue_cycles=self.memory.stats.mean_queue_cycles,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _warm_caches(self, base_line: int) -> None:
+        """Install steady-state residency before measurement starts.
+
+        Equivalent to the paper's 100 M-instruction warm-up: the hot set
+        lives in L1/L2 and the mid (L3-resident) working set in the L3.
+        Statistics are reset afterwards so cold compulsory misses of
+        long-lived regions do not pollute the measured MPKI/WPKI.
+        """
+        from repro.cache.cache import CacheStats
+        from repro.trace.synthetic import warm_sets
+
+        sets = warm_sets(self.params, l2_lines=self.config.l2.num_lines)
+        for line in sets["l1"]:
+            self.l1d.allocate(line + base_line)
+        for block in sets["l2_clean"]:
+            for line in block:
+                self.l2.allocate(line + base_line)
+        stride = sets["l2_dirty_stride"]
+        for i, line in enumerate(sets["l2_dirty_window"]):
+            self.l2.allocate(line + base_line, dirty=bool(stride and i % stride == 0))
+        for block in sets["l3"]:
+            for line in block:
+                self.l3.allocate(line + base_line)
+        self.l1d.stats = CacheStats()
+        self.l2.stats = CacheStats()
+        self.l3.stats = CacheStats()
+
+    def _nominal_l3_fetch(self, line: int, now: float) -> tuple[bool, float]:
+        """Demand-fetch ``line`` in the nominal L3; returns (hit, latency)."""
+        res = self.l3.access(line, False)
+        if res.hit:
+            return True, self._l3_hit_lat
+        ready = self.memory.request(now + self._l3_hit_lat, line)
+        return False, self._l3_hit_lat + (ready - (now + self._l3_hit_lat))
+
+    def _l2_absorb(self, line, now, *cols) -> None:
+        """Absorb a dirty L1 victim into the L2 (cascading if needed)."""
+        if self.l2.contains(line):
+            self.l2.mark_dirty(line)
+            return
+        res = self.l2.allocate(line, dirty=True)
+        if res.victim_dirty:
+            self._emit_writeback(res.victim_line, now, *cols)
+
+    def _emit_writeback(
+        self, line, now, ts_col, line_col, pc_col, wb_col, load_col,
+        pred_col, nominal_col, mlp_col, slack_col, stall_col, line_ratio,
+    ) -> None:
+        """Record an L2 write-back in the stream + nominal L3 absorption."""
+        ts_col.append(now)
+        line_col.append(line)
+        pc_col.append(0)
+        wb_col.append(True)
+        load_col.append(False)
+        pred_col.append(False)
+        nominal_col.append(0.0)
+        mlp_col.append(1)
+        slack_col.append(0.0)
+        stall_col.append(0.0)
+        # Nominal L3 absorbs the write-back (content fidelity + Fig. 9).
+        if self.l3.contains(line):
+            self.l3.mark_dirty(line)
+        else:
+            self.l3.allocate(line, dirty=True)
+        self.meters.block_written(line_ratio.get(line))
+
+    def _finalize_stream(
+        self, ts_col, line_col, pc_col, wb_col, load_col, pred_col,
+        nominal_col, mlp_col, slack_col, stall_col,
+    ) -> L3Stream:
+        ts = np.asarray(ts_col, dtype=np.float64)
+        is_wb = np.asarray(wb_col, dtype=np.bool_)
+        is_load = np.asarray(load_col, dtype=np.bool_)
+        nominal = np.asarray(nominal_col, dtype=np.float32)
+        stall = np.asarray(stall_col, dtype=np.float32)
+        mlp = np.asarray(mlp_col, dtype=np.int16)
+        slack = np.asarray(slack_col, dtype=np.float32)
+        # Stores and write-backs never expose latency to commit.
+        slack[~is_load] = _NEVER_EXPOSED
+        return L3Stream(
+            ts=ts,
+            line=np.asarray(line_col, dtype=np.int64),
+            pc=np.asarray(pc_col, dtype=np.uint32),
+            is_wb=is_wb,
+            is_load=is_load,
+            predicted=np.asarray(pred_col, dtype=np.bool_),
+            true_critical=stall >= self._block_cycles,
+            nominal_lat=nominal,
+            stall=stall,
+            slack=slack,
+            mlp=mlp,
+        )

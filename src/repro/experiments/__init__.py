@@ -1,0 +1,37 @@
+"""Per-figure/table experiment drivers.
+
+Each module reproduces one artefact of the paper's evaluation and
+returns plain data (dicts/arrays); :mod:`repro.experiments.report`
+renders them as the text tables the benchmarks print.
+
+==================  =====================================================
+module              paper artefact
+==================  =====================================================
+``table2``          Table II + Figure 2 (per-app WPKI/MPKI/hit/IPC)
+``fig5``            Figure 5 (percent of loads that never block the ROB)
+``criticality``     Figures 7/8/9 (threshold sweeps on the 8 study apps)
+``main_result``     Figures 3, 4b, 11, 12 + Table III baseline row
+``sensitivity``     Figures 13-18 + Table III variant rows
+==================  =====================================================
+"""
+
+from repro.experiments.criticality import run_criticality_sweep
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.main_result import (
+    ALL_SCHEMES,
+    MOTIVATION_SCHEMES,
+    run_main_matrix,
+)
+from repro.experiments.sensitivity import SENSITIVITY_CONFIGS, run_sensitivity
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "run_criticality_sweep",
+    "run_fig5",
+    "ALL_SCHEMES",
+    "MOTIVATION_SCHEMES",
+    "run_main_matrix",
+    "SENSITIVITY_CONFIGS",
+    "run_sensitivity",
+    "run_table2",
+]

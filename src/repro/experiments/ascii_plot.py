@@ -1,0 +1,139 @@
+"""Terminal plotting: bar charts, grouped bars and scatter in plain text.
+
+The offline environment has no plotting stack, so the figures the paper
+draws are rendered as unicode/ASCII charts — good enough to *see* the
+shapes (wear imbalance bars, the lifetime-vs-IPC trade-off scatter)
+directly in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.common.errors import ReproError
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    """A fractional-width horizontal bar."""
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    bar = "█" * full
+    if frac:
+        bar += _BLOCKS[frac]
+    return bar
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    Raises:
+        ReproError: for empty input or negative values.
+    """
+    if not data:
+        raise ReproError("bar chart of nothing")
+    values = list(data.values())
+    if min(values) < 0:
+        raise ReproError("bar chart needs non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(str(k)) for k in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        lines.append(
+            f"{str(label):>{label_w}} {value:10.2f}{unit} |{_bar(value, peak, width)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 30,
+    title: str | None = None,
+) -> str:
+    """One bar block per group (e.g. per NUCA scheme, bars per bank)."""
+    if not groups:
+        raise ReproError("grouped bars of nothing")
+    peak = max(
+        (value for bars in groups.values() for value in bars.values()), default=1.0
+    )
+    out = [title] if title else []
+    for group, bars in groups.items():
+        out.append(f"--- {group} ---")
+        label_w = max(len(str(k)) for k in bars)
+        for label, value in bars.items():
+            out.append(
+                f"{str(label):>{label_w}} {value:8.2f} |{_bar(value, max(peak, 1e-12), width)}"
+            )
+        out.append("")
+    return "\n".join(out).rstrip()
+
+def scatter(
+    points: Mapping[str, tuple[float, float]],
+    *,
+    cols: int = 56,
+    rows: int = 16,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+) -> str:
+    """Labelled 2-D scatter (the Figure 4b trade-off view).
+
+    Each point is drawn as the first letter of its label, with a legend
+    mapping letters back to labels.
+    """
+    if not points:
+        raise ReproError("scatter of nothing")
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+    legend = []
+    for index, (label, (x, y)) in enumerate(points.items()):
+        marker = chr(ord("A") + index % 26)
+        legend.append(f"{marker}={label}")
+        col = int((x - x_lo) / x_span * (cols - 1))
+        row = rows - 1 - int((y - y_lo) / y_span * (rows - 1))
+        grid[row][col] = marker
+    lines = [title] if title else []
+    lines.append(f"{ylabel} {y_hi:.2f}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * cols)
+    lines.append(f"  {y_lo:.2f}{'':>{max(0, cols - 18)}}{xlabel}: "
+                 f"{x_lo:.2f}..{x_hi:.2f}")
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def wear_heatmap(
+    bank_values: Sequence[float], *, cols: int = 4, title: str | None = None
+) -> str:
+    """Mesh-shaped heat map of per-bank values (shade = relative wear)."""
+    values = list(bank_values)
+    if not values or len(values) % cols:
+        raise ReproError("bank count must be a positive multiple of cols")
+    peak = max(values) or 1.0
+    shades = " ░▒▓█"
+    lines = [title] if title else []
+    for row_start in range(0, len(values), cols):
+        row = values[row_start:row_start + cols]
+        cells = []
+        for value in row:
+            shade = shades[min(4, int(value / peak * 4.999))]
+            cells.append(f"[{shade * 3} {value / peak:4.0%}]")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Figures 7, 8 and 9: criticality-predictor threshold sweeps.
+
+The paper evaluates its CPT on eight applications across criticality
+thresholds {3, 5, 10, 20, 25, 33, 50, 75, 100}%:
+
+* Figure 7 — prediction accuracy: among loads that truly block the ROB
+  head, how many the predictor flags critical (83% at 3%, 14.5% at 100%);
+* Figure 8 — percent of memory-fetched cache blocks predicted
+  non-critical (50.3% average at 3%);
+* Figure 9 — percent of LLC writes (fills + write-backs) that go to
+  non-critical blocks (~50% at 3%) — the traffic Re-NUCA can spread.
+
+All three come out of one stage-1 run per app: the
+:class:`~repro.core.criticality.CriticalityMeters` score every standard
+threshold side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig, baseline_config
+from repro.core.criticality import STANDARD_THRESHOLDS
+from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache
+from repro.trace.profiles import CRITICALITY_STUDY_APPS
+
+
+@dataclass(frozen=True)
+class CriticalitySweep:
+    """Per-app, per-threshold criticality metrics."""
+
+    thresholds: tuple[float, ...]
+    #: app -> {threshold -> percent} (Figure 7).
+    accuracy: dict[str, dict[float, float]]
+    #: app -> {threshold -> percent} (Figure 8).
+    noncritical_blocks: dict[str, dict[float, float]]
+    #: app -> {threshold -> percent} (Figure 9).
+    noncritical_writes: dict[str, dict[float, float]]
+
+    def average(self, table: dict[str, dict[float, float]]) -> dict[float, float]:
+        """The paper's 'Avg' bar for one of the three figures."""
+        return {
+            t: float(np.mean([per_app[t] for per_app in table.values()]))
+            for t in self.thresholds
+        }
+
+
+def run_criticality_sweep(
+    config: SystemConfig | None = None,
+    *,
+    apps: tuple[str, ...] = CRITICALITY_STUDY_APPS,
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+) -> CriticalitySweep:
+    """Run the study apps once and extract all three figures."""
+    config = config or baseline_config()
+    stage1 = stage1 or Stage1Cache()
+    accuracy: dict[str, dict[float, float]] = {}
+    blocks: dict[str, dict[float, float]] = {}
+    writes: dict[str, dict[float, float]] = {}
+    for app in apps:
+        meters = stage1.get(
+            app, config, seed=seed, n_instructions=n_instructions
+        ).meters
+        accuracy[app] = meters.accuracy_percent()
+        blocks[app] = meters.noncritical_block_percent()
+        writes[app] = meters.noncritical_write_percent()
+    return CriticalitySweep(
+        thresholds=STANDARD_THRESHOLDS,
+        accuracy=accuracy,
+        noncritical_blocks=blocks,
+        noncritical_writes=writes,
+    )

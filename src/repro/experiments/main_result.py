@@ -1,0 +1,51 @@
+"""The headline workloads x schemes grid.
+
+One :class:`~repro.sim.metrics.MatrixResult` feeds several artefacts:
+
+* Figure 3 (motivation, 4 schemes) — per-bank harmonic-mean lifetimes;
+* Figure 4b — the lifetime-vs-IPC trade-off scatter;
+* Figure 11 — per-workload IPC improvement over S-NUCA;
+* Figure 12 — per-bank harmonic-mean lifetimes with Re-NUCA included;
+* Table III "Actual Results" row — raw minimum lifetimes.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, baseline_config
+from repro.sim.metrics import MatrixResult
+from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache, run_matrix
+from repro.trace.workloads import make_workloads
+
+#: Scheme order used by the paper's Table III.
+ALL_SCHEMES: tuple[str, ...] = ("Naive", "S-NUCA", "Re-NUCA", "R-NUCA", "Private")
+
+#: The motivation section (Figure 3) predates Re-NUCA.
+MOTIVATION_SCHEMES: tuple[str, ...] = ("S-NUCA", "R-NUCA", "Private", "Naive")
+
+
+def run_main_matrix(
+    config: SystemConfig | None = None,
+    *,
+    schemes: tuple[str, ...] = ALL_SCHEMES,
+    label: str = "baseline",
+    num_workloads: int = 10,
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+    progress=None,
+) -> MatrixResult:
+    """Run the evaluation grid on one configuration."""
+    config = config or baseline_config()
+    workloads = make_workloads(
+        num_cores=config.num_cores, count=num_workloads, seed=seed
+    )
+    return run_matrix(
+        workloads,
+        schemes,
+        config,
+        label=label,
+        seed=seed,
+        n_instructions=n_instructions,
+        stage1=stage1,
+        progress=progress,
+    )

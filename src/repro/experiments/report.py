@@ -1,0 +1,113 @@
+"""Plain-text rendering of experiment results (the rows the paper plots)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.experiments.table2 import Table2Row
+from repro.sim.metrics import MatrixResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Simple fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Table II: measured vs target per application."""
+    return format_table(
+        ["App", "WPKI", "(tgt)", "MPKI", "(tgt)", "Hit", "(tgt)", "IPC", "(tgt)"],
+        [
+            (
+                r.app, r.wpki, r.target_wpki, r.mpki, r.target_mpki,
+                r.hitrate, r.target_hitrate, r.ipc, r.target_ipc,
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig2(rows: list[Table2Row]) -> str:
+    """Figure 2: WPKI + MPKI per application (descending)."""
+    ordered = sorted(rows, key=lambda r: -r.write_intensity)
+    return format_table(
+        ["App", "WPKI+MPKI", "WPKI", "MPKI"],
+        [(r.app, r.write_intensity, r.wpki, r.mpki) for r in ordered],
+    )
+
+
+def render_percent_map(title: str, data: dict[str, float]) -> str:
+    """One bar-chart worth of app -> percent values."""
+    body = format_table(["App", "%"], list(data.items()))
+    avg = float(np.mean(list(data.values())))
+    return f"{title}\n{body}\nAverage  {avg:.1f}%"
+
+
+def render_threshold_sweep(
+    title: str, table: dict[str, dict[float, float]], thresholds
+) -> str:
+    """Figures 7/8/9: apps x thresholds grid plus the Avg row."""
+    headers = ["App"] + [f"{t:g}%" for t in thresholds]
+    rows = [[app] + [per[t] for t in thresholds] for app, per in table.items()]
+    avg = ["Avg"] + [
+        float(np.mean([per[t] for per in table.values()])) for t in thresholds
+    ]
+    return f"{title}\n" + format_table(headers, rows + [avg])
+
+
+def render_lifetime_bars(matrix: MatrixResult, schemes) -> str:
+    """Figures 3/12/13/15/17: per-bank harmonic-mean lifetimes."""
+    headers = ["Bank"] + list(schemes)
+    per_scheme = {s: matrix.hmean_bank_lifetimes(s) for s in schemes}
+    n_banks = len(next(iter(per_scheme.values())))
+    rows = [
+        [f"CB-{b}"] + [float(per_scheme[s][b]) for s in schemes]
+        for b in range(n_banks)
+    ]
+    return format_table(headers, rows)
+
+
+def render_ipc_improvements(matrix: MatrixResult, schemes, baseline="S-NUCA") -> str:
+    """Figures 11/14/16/18: per-workload IPC improvement over S-NUCA."""
+    others = [s for s in schemes if s != baseline]
+    headers = ["WL"] + [f"{s} [%]" for s in others]
+    rows = []
+    for wl in matrix.workloads:
+        row = [wl]
+        for s in others:
+            row.append(matrix.ipc_improvement_over(s, baseline)[wl])
+        rows.append(row)
+    avg = ["Avg"] + [matrix.mean_ipc_improvement(s, baseline) for s in others]
+    return format_table(headers, rows + [avg])
+
+
+def render_tradeoff(matrix: MatrixResult) -> str:
+    """Figure 4b: (IPC, lifetime) point per scheme."""
+    points = matrix.tradeoff_points()
+    return format_table(
+        ["Scheme", "IPC", "H-mean life [y]"],
+        [(s, ipc, life) for s, (ipc, life) in points.items()],
+    )
+
+
+def render_table3(table: dict[str, dict[str, float]]) -> str:
+    """Table III: raw minimum lifetimes, configs x schemes."""
+    schemes = list(next(iter(table.values())).keys())
+    headers = ["Config"] + schemes
+    rows = [[label] + [vals[s] for s in schemes] for label, vals in table.items()]
+    return format_table(headers, rows)

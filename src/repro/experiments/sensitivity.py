@@ -1,0 +1,74 @@
+"""Section V-C sensitivity studies (Figures 13-18, Table III rows).
+
+Three variants of the Table I machine are re-evaluated on the full grid:
+
+* ``L2-128KB`` — halved private L2 (more write-backs; Figures 13/14),
+* ``L3-1MB``   — halved L3 banks (more misses/fills; Figures 15/16),
+* ``ROB-168``  — larger ROB (fewer head stalls; Figures 17/18).
+
+Table III collects the raw minimum lifetime of every scheme under the
+baseline plus each variant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.config import (
+    SystemConfig,
+    baseline_config,
+    sensitivity_l2_128k,
+    sensitivity_l3_1m,
+    sensitivity_rob_168,
+)
+from repro.experiments.main_result import ALL_SCHEMES, run_main_matrix
+from repro.sim.metrics import MatrixResult
+from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache
+
+#: Table III row label -> configuration factory.
+SENSITIVITY_CONFIGS: dict[str, Callable[[], SystemConfig]] = {
+    "Actual Results": baseline_config,
+    "L2-128KB": sensitivity_l2_128k,
+    "L3-1MB": sensitivity_l3_1m,
+    "ROB-168": sensitivity_rob_168,
+}
+
+
+def run_sensitivity(
+    variant: str,
+    *,
+    schemes: tuple[str, ...] = ALL_SCHEMES,
+    num_workloads: int = 10,
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+    progress=None,
+) -> MatrixResult:
+    """Run the full grid on one Table III configuration row."""
+    try:
+        factory = SENSITIVITY_CONFIGS[variant]
+    except KeyError:
+        from repro.common.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown sensitivity variant {variant!r}; "
+            f"known: {tuple(SENSITIVITY_CONFIGS)}"
+        ) from None
+    return run_main_matrix(
+        factory(),
+        schemes=schemes,
+        label=variant,
+        num_workloads=num_workloads,
+        seed=seed,
+        n_instructions=n_instructions,
+        stage1=stage1,
+        progress=progress,
+    )
+
+
+def table3(matrices: dict[str, MatrixResult], schemes=ALL_SCHEMES) -> dict:
+    """Assemble Table III: raw minimum lifetimes per config x scheme."""
+    return {
+        label: {scheme: matrix.raw_min_lifetime(scheme) for scheme in schemes}
+        for label, matrix in matrices.items()
+    }

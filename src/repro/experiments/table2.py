@@ -1,0 +1,67 @@
+"""Table II / Figure 2: single-core application characterisation.
+
+The paper characterises each benchmark alone on one core with a 256 KB
+L2 and a 2 MB L3 — exactly the stage-1 nominal configuration — and
+reports WPKI, MPKI, L3 hit rate and IPC.  Figure 2 plots WPKI + MPKI per
+application (its write-intensity metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, baseline_config
+from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache
+from repro.trace.profiles import ALL_APPS, get_profile
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Measured vs target characterisation of one application."""
+
+    app: str
+    wpki: float
+    mpki: float
+    hitrate: float
+    ipc: float
+    target_wpki: float
+    target_mpki: float
+    target_hitrate: float
+    target_ipc: float
+
+    @property
+    def write_intensity(self) -> float:
+        """Figure 2's bar: WPKI + MPKI."""
+        return self.wpki + self.mpki
+
+
+def run_table2(
+    config: SystemConfig | None = None,
+    *,
+    apps: tuple[str, ...] | None = None,
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+) -> list[Table2Row]:
+    """Characterise each application on the stage-1 nominal machine."""
+    config = config or baseline_config()
+    stage1 = stage1 or Stage1Cache()
+    names = apps or tuple(p.name for p in ALL_APPS)
+    rows = []
+    for app in names:
+        result = stage1.get(app, config, seed=seed, n_instructions=n_instructions)
+        target = get_profile(app)
+        rows.append(
+            Table2Row(
+                app=app,
+                wpki=result.wpki,
+                mpki=result.mpki,
+                hitrate=result.l3_hitrate,
+                ipc=result.ipc,
+                target_wpki=target.wpki,
+                target_mpki=target.mpki,
+                target_hitrate=target.hitrate,
+                target_ipc=target.ipc,
+            )
+        )
+    return rows

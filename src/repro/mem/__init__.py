@@ -1,0 +1,5 @@
+"""Main-memory substrate (DDR3-like fixed latency + bandwidth queue)."""
+
+from repro.mem.model import MainMemory, MemoryStats
+
+__all__ = ["MainMemory", "MemoryStats"]

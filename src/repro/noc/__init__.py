@@ -1,0 +1,10 @@
+"""Network-on-chip substrate: a 2-D mesh with XY dimension-order routing.
+
+The paper's machine connects 16 cores and 16 L3 banks over a 4x4 mesh
+(Table I); NUCA access latency is the bank latency plus the round-trip
+hop latency between the requesting core's node and the bank's node.
+"""
+
+from repro.noc.mesh import Mesh, RouteStats
+
+__all__ = ["Mesh", "RouteStats"]

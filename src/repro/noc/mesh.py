@@ -1,0 +1,205 @@
+"""2-D mesh topology with XY (dimension-order) routing.
+
+Nodes are numbered row-major: node ``n`` sits at column ``n % cols`` and
+row ``n // cols``.  Core *i* and L3 bank *i* share node *i* (Table I pairs
+one bank with each core).
+
+The latency model is hop-based: a message from node ``a`` to node ``b``
+traverses ``manhattan(a, b)`` router/link stages, each costing
+``hop_cycles``.  An LLC access pays the round trip (request + response).
+Per-link traffic counters are kept so experiments can report on-chip
+traffic differences between NUCA schemes (S-NUCA's extra traffic is part
+of the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.config import NocConfig
+
+
+@dataclass
+class RouteStats:
+    """Aggregate routing statistics for one simulation."""
+
+    messages: int = 0
+    total_hops: int = 0
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count per message (0 when no traffic was routed)."""
+        return self.total_hops / self.messages if self.messages else 0.0
+
+
+class Mesh:
+    """A ``cols x rows`` mesh with XY routing and traffic accounting.
+
+    Args:
+        config: mesh geometry and per-hop cost.
+
+    The mesh is deliberately contention-free (the paper models NUCA
+    latency by distance, not by queueing); per-link utilisation counters
+    are still maintained so that traffic pressure is observable.
+    """
+
+    def __init__(self, config: NocConfig, *, track_links: bool = False) -> None:
+        self.config = config
+        self.cols = config.mesh_cols
+        self.rows = config.mesh_rows
+        self.num_nodes = config.num_nodes
+        #: When True, per-link utilisation is recorded on every send
+        #: (costs a route walk per message; off by default in the hot path).
+        self.track_links = track_links
+        self.stats = RouteStats()
+        # Directed link utilisation: [node, direction] with directions
+        # 0=east, 1=west, 2=north(+row), 3=south(-row).
+        self.link_traffic = np.zeros((self.num_nodes, 4), dtype=np.int64)
+        # Precomputed Manhattan distance matrix — the hot query.
+        xs = np.arange(self.num_nodes) % self.cols
+        ys = np.arange(self.num_nodes) // self.cols
+        self._dist = (
+            np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+        ).astype(np.int32)
+        # Memory controllers sit at the mesh corners (Table I's 4 DDR3
+        # channels); an LLC miss routes bank -> nearest controller and the
+        # refill returns controller -> core.
+        corners = {
+            self.node_at(0, 0),
+            self.node_at(self.cols - 1, 0),
+            self.node_at(0, self.rows - 1),
+            self.node_at(self.cols - 1, self.rows - 1),
+        }
+        self.memory_controllers: tuple[int, ...] = tuple(sorted(corners))
+        mc = np.asarray(self.memory_controllers)
+        self._nearest_mc = mc[np.argmin(self._dist[:, mc], axis=1)]
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Node id -> (col, row)."""
+        self._check_node(node)
+        return node % self.cols, node // self.cols
+
+    def node_at(self, col: int, row: int) -> int:
+        """(col, row) -> node id."""
+        if not (0 <= col < self.cols and 0 <= row < self.rows):
+            raise ConfigError(f"coordinates ({col},{row}) outside mesh")
+        return row * self.cols + col
+
+    def distance(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes."""
+        self._check_node(src)
+        self._check_node(dst)
+        return int(self._dist[src, dst])
+
+    def distance_matrix(self) -> np.ndarray:
+        """Read-only view of the full node-to-node hop matrix."""
+        view = self._dist.view()
+        view.flags.writeable = False
+        return view
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """XY route from ``src`` to ``dst`` (inclusive of both endpoints).
+
+        X (column) is corrected first, then Y — deterministic and
+        deadlock-free, matching dimension-order routing hardware.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        path = [src]
+        col, row = self.coords(src)
+        dcol, drow = self.coords(dst)
+        while col != dcol:
+            col += 1 if dcol > col else -1
+            path.append(self.node_at(col, row))
+        while row != drow:
+            row += 1 if drow > row else -1
+            path.append(self.node_at(col, row))
+        return path
+
+    def send(self, src: int, dst: int) -> int:
+        """Account one message and return its one-way latency in cycles."""
+        hops = int(self._dist[src, dst])
+        self.stats.messages += 1
+        self.stats.total_hops += hops
+        if hops and self.track_links:
+            self._count_links(src, dst)
+        return hops * self.config.hop_cycles
+
+    def round_trip_latency(self, src: int, dst: int) -> int:
+        """Request+response latency between two nodes, with accounting."""
+        return self.send(src, dst) + self.send(dst, src)
+
+    def latency(self, src: int, dst: int) -> int:
+        """Pure one-way latency (no traffic accounting)."""
+        return self.distance(src, dst) * self.config.hop_cycles
+
+    def nearest_memory_controller(self, node: int) -> int:
+        """The corner memory-controller node closest to ``node``."""
+        self._check_node(node)
+        return int(self._nearest_mc[node])
+
+    def memory_controller_of(self, line: int) -> int:
+        """The controller node owning ``line``'s DRAM channel.
+
+        Channel selection is by address interleaving (as in real memory
+        systems), not by proximity — bits above the LLC bank-select bits
+        pick one of the corner controllers, so every bank and every core
+        talk to all controllers uniformly.
+        """
+        return self.memory_controllers[(line >> 4) % len(self.memory_controllers)]
+
+    def miss_path_latency(self, core: int, bank: int) -> int:
+        """NoC latency of an LLC miss: core -> bank -> controller -> core.
+
+        The request travels to the home bank, is forwarded to that bank's
+        nearest memory controller, and the refill returns directly to the
+        requesting core — the standard NUCA miss dataflow; unlike a naive
+        2x(core,bank) round trip it does not double-charge distant banks
+        for latency the DRAM access dominates anyway.
+        """
+        mc = int(self._nearest_mc[bank])
+        hops = (
+            self.send(core, bank) + self.send(bank, mc) + self.send(mc, core)
+        )
+        return hops
+
+    def neighbors(self, node: int) -> list[int]:
+        """Nodes one hop away (2-4 of them depending on position)."""
+        col, row = self.coords(node)
+        out = []
+        if col + 1 < self.cols:
+            out.append(self.node_at(col + 1, row))
+        if col - 1 >= 0:
+            out.append(self.node_at(col - 1, row))
+        if row + 1 < self.rows:
+            out.append(self.node_at(col, row + 1))
+        if row - 1 >= 0:
+            out.append(self.node_at(col, row - 1))
+        return out
+
+    def reset_stats(self) -> None:
+        """Clear traffic accounting (topology is untouched)."""
+        self.stats = RouteStats()
+        self.link_traffic[:] = 0
+
+    def _count_links(self, src: int, dst: int) -> None:
+        path = self.route(src, dst)
+        for a, b in zip(path, path[1:]):
+            ca, ra = self.coords(a)
+            cb, rb = self.coords(b)
+            if cb == ca + 1:
+                direction = 0
+            elif cb == ca - 1:
+                direction = 1
+            elif rb == ra + 1:
+                direction = 2
+            else:
+                direction = 3
+            self.link_traffic[a, direction] += 1
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ConfigError(f"node {node} outside mesh of {self.num_nodes} nodes")

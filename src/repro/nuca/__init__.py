@@ -1,0 +1,70 @@
+"""NUCA last-level cache: banks, mapping policies and the controller.
+
+Baseline policies (Sections II-B and III):
+
+* :class:`~repro.nuca.snuca.SNucaPolicy` — static address interleaving
+  over all banks (uniform wear, long average hop distance).
+* :class:`~repro.nuca.rnuca.RNucaPolicy` — Reactive NUCA: a fixed 4-bank
+  cluster at most one hop from each core, indexed with the rotational-ID
+  function ``(addr + RID + 1) & (n - 1)`` (fast, but concentrates wear).
+* :class:`~repro.nuca.private.PrivatePolicy` — per-core private banks
+  (fastest hits, worst wear imbalance and no capacity sharing).
+* :class:`~repro.nuca.naive.NaivePolicy` — the perfect wear-levelling
+  oracle: every fill goes to the least-written bank, located through a
+  full directory (infeasible in hardware; the paper's upper bound).
+
+The paper's hybrid policy lives in :mod:`repro.core.renuca`.
+"""
+
+from repro.nuca.bank import NucaBank
+from repro.nuca.dnuca import DNucaPolicy
+from repro.nuca.llc import LlcStats, NucaLLC
+from repro.nuca.naive import NaivePolicy
+from repro.nuca.policies import MappingPolicy
+from repro.nuca.private import PrivatePolicy
+from repro.nuca.rnuca import RNucaPolicy, build_clusters, rotational_ids
+from repro.nuca.snuca import SNucaPolicy
+
+__all__ = [
+    "NucaBank",
+    "DNucaPolicy",
+    "LlcStats",
+    "NucaLLC",
+    "NaivePolicy",
+    "MappingPolicy",
+    "PrivatePolicy",
+    "RNucaPolicy",
+    "build_clusters",
+    "rotational_ids",
+    "SNucaPolicy",
+]
+
+#: Registry used by experiment drivers and the CLI-style examples.
+POLICY_NAMES = ("Naive", "S-NUCA", "Re-NUCA", "R-NUCA", "Private")
+
+
+def make_policy(name: str, config, mesh, wear_tracker):
+    """Instantiate a mapping policy by its paper name.
+
+    ``Re-NUCA`` is resolved lazily to avoid a circular import with
+    :mod:`repro.core`.
+    """
+    from repro.common.errors import ConfigError
+
+    if name == "S-NUCA":
+        return SNucaPolicy(config.num_banks)
+    if name == "R-NUCA":
+        return RNucaPolicy(mesh, config.rnuca_cluster_size)
+    if name == "Private":
+        return PrivatePolicy(config.num_banks)
+    if name == "Naive":
+        return NaivePolicy(config.num_banks, wear_tracker, config.naive_directory_penalty)
+    if name == "D-NUCA":
+        from repro.nuca.dnuca import DNucaPolicy
+
+        return DNucaPolicy(mesh)
+    if name == "Re-NUCA":
+        from repro.core.renuca import ReNucaPolicy
+
+        return ReNucaPolicy(config, mesh)
+    raise ConfigError(f"unknown NUCA policy {name!r}; known: {POLICY_NAMES}")

@@ -1,0 +1,71 @@
+"""One ReRAM NUCA bank: a set-associative array plus wear accounting.
+
+A bank is a 2 MB, 16-way cache slice attached to one mesh node.  All
+writes into the bank (demand fills and absorbed write-backs) are counted
+against the shared :class:`~repro.reram.wear.WearTracker`, and ReRAM's
+asymmetric write latency is exposed through :meth:`write_latency`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import AccessResult, Cache
+from repro.common.errors import ConfigError
+from repro.config import CacheConfig, ReRamConfig
+from repro.reram.wear import WearTracker
+
+
+class NucaBank:
+    """A single L3 bank at mesh node ``node_id``."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: CacheConfig,
+        reram: ReRamConfig,
+        wear: WearTracker,
+        *,
+        index_shift: int = 0,
+    ) -> None:
+        if node_id < 0 or node_id >= wear.num_banks:
+            raise ConfigError(f"bank node {node_id} outside wear tracker range")
+        self.node_id = node_id
+        self.reram = reram
+        self._wear = wear
+        self.cache = Cache(config, name=f"L3-bank{node_id}", index_shift=index_shift)
+
+    @property
+    def read_latency(self) -> int:
+        """Bank access latency for reads (Table I's 100 cycles)."""
+        return self.cache.config.latency
+
+    @property
+    def write_latency(self) -> int:
+        """Bank access latency for writes (read latency + ReRAM penalty)."""
+        return self.cache.config.latency + self.reram.write_penalty_cycles
+
+    @property
+    def tag_latency(self) -> int:
+        """Latency to determine hit/miss (tag array only, no data read).
+
+        The tag array is small SRAM-like storage; a miss is declared long
+        before a full 100-cycle ReRAM data access would complete.
+        """
+        return max(4, self.cache.config.latency // 4)
+
+    def probe(self, line: int, *, is_write: bool = False) -> bool:
+        """Demand lookup; a write hit is counted as bank wear."""
+        hit = self.cache.probe(line, is_write=is_write)
+        if hit and is_write:
+            self._wear.record_write(self.node_id, line)
+        return hit
+
+    def fill(self, line: int, *, dirty: bool, aux: object) -> AccessResult:
+        """Allocate a line (always a ReRAM write: the fill data is stored)."""
+        result = self.cache.allocate(line, dirty=dirty, aux=aux)
+        self._wear.record_write(self.node_id, line)
+        return result
+
+    @property
+    def writes(self) -> int:
+        """Total writes absorbed by this bank."""
+        return self._wear.writes_of(self.node_id)

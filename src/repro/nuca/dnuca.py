@@ -1,0 +1,112 @@
+"""Classic D-NUCA with gradual migration (Section II-B's baseline).
+
+The paper motivates R-NUCA by contrasting it with full D-NUCA: any line
+may live in any bank of its *bank set*, and frequently-used lines
+migrate bank-by-bank toward the requesting core.  Migration needs a
+lookup structure (here: an exact line -> bank table standing in for the
+distributed partial-tag search of real D-NUCA designs) and — the point
+the paper makes for ReRAM — every migration hop **rewrites the line into
+a new bank**, adding wear on top of demand fills.
+
+This policy is provided as the motivational baseline the paper describes
+but does not plot; the ablation bench compares its wear against R-NUCA's
+to show why migration is a poor fit for ReRAM.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.noc.mesh import Mesh
+from repro.nuca.policies import MappingPolicy
+
+
+class DNucaPolicy(MappingPolicy):
+    """Any-bank placement with hop-by-hop migration toward the requester.
+
+    Args:
+        mesh: the NoC (used to find the next bank on the migration path).
+        promotion_hits: demand hits on a line before it migrates one hop
+            closer to its most recent requester.
+        directory_penalty: per-access lookup cost of the location table.
+    """
+
+    name = "D-NUCA"
+
+    def __init__(
+        self, mesh: Mesh, *, promotion_hits: int = 2, directory_penalty: int = 40
+    ) -> None:
+        if promotion_hits < 1:
+            raise ConfigError("promotion threshold must be at least one hit")
+        self.mesh = mesh
+        self.num_banks = mesh.num_nodes
+        self.promotion_hits = promotion_hits
+        self.lookup_penalty = directory_penalty
+        self._mask = self.num_banks - 1
+        # line -> [bank, hits_since_migration]
+        self._table: dict[int, list[int]] = {}
+        self.migrations = 0
+
+    # -- MappingPolicy interface ----------------------------------------------
+
+    def locate(self, core: int, line: int) -> int | None:
+        """Location-table lookup (None = not cached anywhere)."""
+        entry = self._table.get(line)
+        return None if entry is None else entry[0]
+
+    def lookup_node(self, core: int, line: int) -> int:
+        """The location table is distributed by static interleaving."""
+        return line & self._mask
+
+    def place(self, core: int, line: int, critical: bool) -> int:
+        """Initial placement at the line's static home (tail of the chain)."""
+        return line & self._mask
+
+    def on_allocate(self, core: int, line: int, bank: int, critical: bool) -> None:
+        """Track the placement."""
+        self._table[line] = [bank, 0]
+
+    def on_evict(self, line: int, bank: int, aux: object) -> None:
+        """Drop the table entry."""
+        entry = self._table.pop(line, None)
+        if entry is None:
+            raise SimulationError(f"D-NUCA table lost line {line:#x}")
+        if entry[0] != bank:
+            raise SimulationError(
+                f"D-NUCA table says line {line:#x} in bank {entry[0]}, "
+                f"evicted from {bank}"
+            )
+
+    def reset(self) -> None:
+        """Forget all locations."""
+        self._table.clear()
+        self.migrations = 0
+
+    # -- migration hook (driven by the LLC on demand hits) -----------------------
+
+    def migration_target(self, core: int, line: int) -> int | None:
+        """Called by the controller after a demand hit.
+
+        Returns the bank the line should migrate to (one hop along the XY
+        path toward the requester), or None when it should stay put.
+        Counts hits internally; a migration resets the hit counter.
+        """
+        entry = self._table.get(line)
+        if entry is None:
+            raise SimulationError(f"migration query for untracked line {line:#x}")
+        bank, hits = entry
+        if bank == core:
+            return None
+        entry[1] = hits + 1
+        if entry[1] < self.promotion_hits:
+            return None
+        path = self.mesh.route(bank, core)
+        target = path[1]
+        entry[0] = target
+        entry[1] = 0
+        self.migrations += 1
+        return target
+
+    @property
+    def tracked_lines(self) -> int:
+        """Current location-table size (overhead reporting)."""
+        return len(self._table)

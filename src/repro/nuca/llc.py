@@ -1,0 +1,245 @@
+"""The NUCA LLC controller.
+
+Drives a set of :class:`~repro.nuca.bank.NucaBank` slices under one
+:class:`~repro.nuca.policies.MappingPolicy`.  The controller implements
+the reference semantics shared by every scheme:
+
+* **fetch** (an L2 demand miss): locate the line via the policy, probe
+  that bank; on an LLC miss, fetch the line from memory and fill it into
+  the policy's placement bank (a ReRAM write), evicting (and, if dirty,
+  writing back to memory) a victim.
+* **write-back** (a dirty L2 eviction): if the line is LLC-resident the
+  write is absorbed by its bank (a ReRAM write); otherwise the line is
+  re-allocated dirty in the policy's write-back bank.
+
+Latency returned for a fetch is what the core sees:
+``lookup_penalty + NoC round trip + bank read latency [+ memory]``.
+Write-backs are off the critical path; their latency is not fed back, but
+their NoC traffic and bank wear are fully accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.config import SystemConfig
+from repro.common.units import log2_exact
+from repro.mem.model import MainMemory
+from repro.noc.mesh import Mesh
+from repro.nuca.bank import NucaBank
+from repro.nuca.policies import MappingPolicy
+from repro.reram.wear import WearTracker
+
+
+@dataclass
+class LlcStats:
+    """LLC-level event counters (summed over banks)."""
+
+    fetches: int = 0
+    fetch_hits: int = 0
+    writebacks: int = 0
+    writeback_hits: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    total_fetch_latency: float = 0.0
+
+    @property
+    def fetch_hit_rate(self) -> float:
+        """LLC hit rate over demand fetches."""
+        return self.fetch_hits / self.fetches if self.fetches else 0.0
+
+    @property
+    def mean_fetch_latency(self) -> float:
+        """Mean demand-fetch latency in cycles."""
+        return self.total_fetch_latency / self.fetches if self.fetches else 0.0
+
+
+class NucaLLC:
+    """A multiprogram-safe NUCA L3 under one mapping policy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: MappingPolicy,
+        mesh: Mesh,
+        memory: MainMemory,
+        wear: WearTracker,
+    ) -> None:
+        if wear.num_banks != config.num_banks:
+            raise ConfigError("wear tracker / bank count mismatch")
+        if mesh.num_nodes != config.num_banks:
+            raise ConfigError("mesh node / bank count mismatch")
+        self.config = config
+        self.policy = policy
+        self.mesh = mesh
+        self.memory = memory
+        self.wear = wear
+        self.stats = LlcStats()
+        shift = log2_exact(config.num_banks)
+        self.banks = [
+            NucaBank(node, config.l3_bank, config.reram, wear, index_shift=shift)
+            for node in range(config.num_banks)
+        ]
+
+    # -- demand path --------------------------------------------------------
+
+    def fetch(self, core: int, line: int, now: float, critical: bool) -> tuple[float, bool]:
+        """Service an L2 demand miss.
+
+        Args:
+            core: requesting core / mesh node.
+            line: line address.
+            now: request cycle (for memory queueing).
+            critical: the criticality prediction accompanying the fetch
+                (only Re-NUCA placement consults it).
+
+        Returns:
+            ``(latency_cycles, llc_hit)``.
+        """
+        self.stats.fetches += 1
+        mesh = self.mesh
+        penalty = float(self.policy.lookup_penalty)
+        bank_id = self.policy.locate(core, line)
+        if bank_id is not None:
+            hit = self.banks[bank_id].probe(line)
+            if hit:
+                latency = (
+                    penalty
+                    + mesh.round_trip_latency(core, bank_id)
+                    + self.banks[bank_id].read_latency
+                )
+                self.stats.fetch_hits += 1
+                self.stats.total_fetch_latency += latency
+                mover = getattr(self.policy, "migration_target", None)
+                if mover is not None:
+                    target = mover(core, line)
+                    if target is not None and target != bank_id:
+                        self._migrate(line, bank_id, target)
+                return latency, True
+            # Miss detected at the home bank (tag check only): forward to
+            # the line's memory controller; the refill returns straight
+            # to the requesting core.
+            mc = mesh.memory_controller_of(line)
+            to_mc = (
+                mesh.send(core, bank_id)
+                + self.banks[bank_id].tag_latency
+                + mesh.send(bank_id, mc)
+            )
+        else:
+            # Directory-style policies learn of the miss at the node
+            # holding the line's directory slice, which forwards to its
+            # memory controller.
+            dir_node = self.policy.lookup_node(core, line)
+            if dir_node is None:
+                dir_node = core
+            mc = mesh.memory_controller_of(line)
+            to_mc = mesh.send(core, dir_node) + mesh.send(dir_node, mc)
+        ready = self.memory.request(now + penalty + to_mc, line)
+        self.stats.memory_reads += 1
+        latency = (ready - now) + mesh.send(mc, core)
+        place = self.policy.place(core, line, critical)
+        self._fill(place, line, now, dirty=False, core=core, critical=critical)
+        self.stats.total_fetch_latency += latency
+        return latency, False
+
+    def writeback(self, core: int, line: int, now: float) -> None:
+        """Absorb a dirty L2 eviction (off the core's critical path)."""
+        self.stats.writebacks += 1
+        bank_id = self.policy.locate(core, line)
+        if bank_id is not None:
+            self.mesh.round_trip_latency(core, bank_id)
+            if self.banks[bank_id].probe(line, is_write=True):
+                self.stats.writeback_hits += 1
+                return
+            place_bank = bank_id if self._is_static(bank_id, core, line) else None
+        else:
+            place_bank = None
+        if place_bank is None:
+            place_bank = self.policy.writeback_bank(core, line)
+        self._fill(place_bank, line, now, dirty=True, core=core, critical=False)
+
+    # -- internals ------------------------------------------------------------
+
+    def _is_static(self, bank_id: int, core: int, line: int) -> bool:
+        """True when locate() is a pure function (bank cannot change)."""
+        return self.policy.writeback_bank(core, line) == bank_id
+
+    def _migrate(self, line: int, src: int, dst: int) -> None:
+        """Move a line one bank closer to its requester (D-NUCA).
+
+        The move rewrites the line's data in the destination bank — a
+        full ReRAM write, counted as wear — and is off the critical path
+        (the demand hit was already serviced from the source bank).
+        """
+        from repro.common.errors import SimulationError
+
+        src_cache = self.banks[src].cache
+        aux = src_cache.aux_of(line)
+        present, dirty = src_cache.invalidate(line)
+        if not present:
+            raise SimulationError(f"migration of non-resident line {line:#x}")
+        self.mesh.send(src, dst)
+        result = self.banks[dst].fill(line, dirty=dirty, aux=aux)
+        if result.victim_line is not None:
+            self.policy.on_evict(result.victim_line, dst, result.victim_aux)
+            if result.victim_dirty:
+                self.memory.request(0.0, result.victim_line)
+                self.stats.memory_writes += 1
+
+    def _fill(
+        self, bank_id: int, line: int, now: float, *, dirty: bool, core: int, critical: bool
+    ) -> None:
+        result = self.banks[bank_id].fill(line, dirty=dirty, aux=(core, critical))
+        self.policy.on_allocate(core, line, bank_id, critical)
+        if result.victim_line is not None:
+            self.policy.on_evict(result.victim_line, bank_id, result.victim_aux)
+            if result.victim_dirty:
+                self.memory.request(now, result.victim_line)
+                self.stats.memory_writes += 1
+
+    # -- warm-up --------------------------------------------------------------------
+
+    def prefill(self, core: int, line: int, *, critical: bool = False) -> None:
+        """Install ``line`` as if core had fetched it long ago (warm-up).
+
+        Uses the normal placement path so policy metadata (directories,
+        mapping bits) stays consistent; ``critical`` reproduces the
+        criticality the line's last long-run fetch would have carried.
+        Callers reset wear and statistics after prefilling (see
+        :meth:`reset_measurement`).
+        """
+        bank_id = self.policy.locate(core, line)
+        if bank_id is not None and self.banks[bank_id].cache.contains(line):
+            return
+        place = self.policy.place(core, line, critical)
+        self._fill(place, line, 0.0, dirty=False, core=core, critical=critical)
+
+    def reset_measurement(self) -> None:
+        """Zero wear and statistics, keeping cache/policy content state."""
+        self.wear.reset()
+        self.stats = LlcStats()
+        self.mesh.reset_stats()
+        self.memory.reset()
+        self.policy.reset_counters()
+        from repro.cache.cache import CacheStats
+
+        for bank in self.banks:
+            bank.cache.stats = CacheStats()
+
+    # -- inspection ---------------------------------------------------------------
+
+    def bank_writes(self) -> list[int]:
+        """Per-bank write counts (the wear metric)."""
+        return [int(w) for w in self.wear.bank_writes]
+
+    def occupancy(self) -> int:
+        """Lines resident across all banks."""
+        return sum(bank.cache.occupancy() for bank in self.banks)
+
+    def resident_bank_of(self, line: int) -> int | None:
+        """Exhaustive search for a line (test helper only)."""
+        for bank in self.banks:
+            if bank.cache.contains(line):
+                return bank.node_id
+        return None

@@ -1,0 +1,79 @@
+"""Mapping-policy interface for the NUCA LLC controller.
+
+A policy answers three questions and observes two events:
+
+* :meth:`MappingPolicy.locate` — in which bank would this line be found
+  right now (None when the policy knows it is in no bank)?
+* :meth:`MappingPolicy.place` — which bank should a new fill go to, given
+  the requester and the fill's predicted criticality?
+* :meth:`MappingPolicy.writeback_bank` — which bank should absorb a
+  write-back that missed in the LLC?
+* :meth:`MappingPolicy.on_allocate` / :meth:`MappingPolicy.on_evict` —
+  bookkeeping hooks (directory entries, TLB mapping bits).
+
+``lookup_penalty`` is the extra latency a lookup pays before the bank
+access (zero for address-computed mappings; the Naive oracle pays a
+directory access on every reference, one source of its 21% IPC loss).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class MappingPolicy(abc.ABC):
+    """Common interface of all NUCA placement policies."""
+
+    #: Paper name of the policy ("S-NUCA", "R-NUCA", ...).
+    name: str = "?"
+    #: Extra cycles added to every LLC access by the lookup mechanism.
+    lookup_penalty: int = 0
+    #: True when :meth:`place` actually reads the ``critical`` argument —
+    #: the runner only pays for an online predictor when it does.
+    consumes_criticality: bool = False
+
+    @abc.abstractmethod
+    def locate(self, core: int, line: int) -> int | None:
+        """Bank that would currently hold ``line`` for requester ``core``."""
+
+    def lookup_node(self, core: int, line: int) -> int | None:
+        """Node consulted when :meth:`locate` returns None.
+
+        Directory-style policies still pay a trip to the node holding the
+        line's directory entry before a miss can be declared; address-
+        computed policies never return None from locate, so the default
+        is irrelevant for them.
+        """
+        return None
+
+    @abc.abstractmethod
+    def place(self, core: int, line: int, critical: bool) -> int:
+        """Bank a demand fill of ``line`` should be allocated into."""
+
+    def writeback_bank(self, core: int, line: int) -> int:
+        """Bank an LLC-missing write-back should be allocated into.
+
+        Defaults to non-critical placement (a line whose LLC copy is gone
+        has lost any critical residency it had).
+        """
+        return self.place(core, line, critical=False)
+
+    def on_allocate(self, core: int, line: int, bank: int, critical: bool) -> None:
+        """Observe a fill of ``line`` into ``bank`` (default: nothing)."""
+
+    def on_evict(self, line: int, bank: int, aux: object) -> None:
+        """Observe the eviction of ``line`` from ``bank``.
+
+        ``aux`` is the payload stored by the LLC at allocation time
+        (an ``(owner_core, critical)`` tuple).
+        """
+
+    def reset(self) -> None:
+        """Clear policy state between workloads (default: nothing)."""
+
+    def reset_counters(self) -> None:
+        """Zero reporting counters without touching mapping state.
+
+        Called after warm-up prefill so reported fractions reflect only
+        the measured phase (default: nothing to reset).
+        """

@@ -1,0 +1,85 @@
+"""Reactive NUCA (Hardavellas et al., ISCA'09) — Section II-B.
+
+Each core owns a fixed-size *cluster* of banks at most one hop from it
+(Figure 4a); a line requested by the core lives somewhere in that
+cluster, selected by the rotational-interleaving function
+
+    DestinationBank = (Addr + RID + 1) & (n - 1)
+
+where ``n`` is the cluster size (4 here) and ``RID`` is the core's
+rotational ID.  Redirection is thus as table-free as S-NUCA while keeping
+every access within one hop — and, as the paper's motivation shows, it
+concentrates a write-intensive core's wear on its own 4 banks.
+
+Cluster construction: the ``n`` banks nearest the core, preferring lower
+node ids on distance ties.  On a mesh (not a torus) a corner core has
+only three <=1-hop banks, so its fourth cluster member sits two hops
+away; interior cores match the paper's one-hop property exactly.
+Rotational IDs follow the ISCA'09 tiling — ``RID = (x mod w) + w * (y
+mod h)`` with ``w x h`` the cluster tile — which guarantees neighbouring
+cores' overlapping clusters assign consecutive RIDs.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.units import is_power_of_two, log2_exact
+from repro.noc.mesh import Mesh
+from repro.nuca.policies import MappingPolicy
+
+
+def rotational_ids(mesh: Mesh, cluster_size: int) -> list[int]:
+    """Rotational ID of every node for a given cluster size."""
+    if not is_power_of_two(cluster_size):
+        raise ConfigError(f"cluster size must be a power of two, got {cluster_size}")
+    bits = log2_exact(cluster_size)
+    w = 1 << ((bits + 1) // 2)
+    h = cluster_size // w
+    rids = []
+    for node in range(mesh.num_nodes):
+        x, y = mesh.coords(node)
+        rids.append((x % w) + w * (y % h))
+    return rids
+
+
+def build_clusters(mesh: Mesh, cluster_size: int) -> list[tuple[int, ...]]:
+    """Per-core bank clusters: the ``cluster_size`` nearest banks.
+
+    Deterministic: candidates are ordered by (hop distance, node id).
+    """
+    if cluster_size <= 0 or cluster_size > mesh.num_nodes:
+        raise ConfigError(
+            f"cluster size {cluster_size} invalid for a {mesh.num_nodes}-node mesh"
+        )
+    clusters = []
+    for core in range(mesh.num_nodes):
+        order = sorted(range(mesh.num_nodes), key=lambda n: (mesh.distance(core, n), n))
+        clusters.append(tuple(order[:cluster_size]))
+    return clusters
+
+
+class RNucaPolicy(MappingPolicy):
+    """Cluster-local placement with rotational interleaving."""
+
+    name = "R-NUCA"
+
+    def __init__(self, mesh: Mesh, cluster_size: int) -> None:
+        if not is_power_of_two(cluster_size):
+            raise ConfigError(f"cluster size must be a power of two, got {cluster_size}")
+        self.cluster_size = cluster_size
+        self.clusters = build_clusters(mesh, cluster_size)
+        self.rids = rotational_ids(mesh, cluster_size)
+        self._mask = cluster_size - 1
+
+    def bank_of(self, core: int, line: int) -> int:
+        """The rotational-interleaving mapping function."""
+        idx = (line + self.rids[core] + 1) & self._mask
+        return self.clusters[core][idx]
+
+    def locate(self, core: int, line: int) -> int:
+        """Deterministic: the line can only be in its cluster slot."""
+        return self.bank_of(core, line)
+
+    def place(self, core: int, line: int, critical: bool) -> int:
+        """Criticality is ignored; R-NUCA keeps everything close."""
+        return self.bank_of(core, line)

@@ -1,0 +1,28 @@
+"""ReRAM technology substrate.
+
+:mod:`repro.reram.cell` models a single metal-oxide ReRAM cell (Section
+II-A: SET/RESET switching, finite write endurance);
+:mod:`repro.reram.wear` tracks write counts per L3 bank (and a sampled
+per-line histogram); :mod:`repro.reram.endurance` turns write counts and
+simulated time into the paper's lifetime-in-years metrics.
+"""
+
+from repro.reram.cell import CellState, ReRamCell
+from repro.reram.endurance import (
+    LIFETIME_CAP_YEARS,
+    bank_lifetime_years,
+    lifetime_summary,
+)
+from repro.reram.intrabank import IntraBankLeveler, SetWearMeter
+from repro.reram.wear import WearTracker
+
+__all__ = [
+    "CellState",
+    "ReRamCell",
+    "LIFETIME_CAP_YEARS",
+    "bank_lifetime_years",
+    "lifetime_summary",
+    "IntraBankLeveler",
+    "SetWearMeter",
+    "WearTracker",
+]

@@ -1,0 +1,98 @@
+"""Metal-oxide ReRAM cell model (Section II-A / Figure 1).
+
+A cell is a metal-oxide layer between two electrodes.  A positive bias on
+the top electrode drives ion migration that forms a conductive filament:
+the cell enters the low-resistance state (**SET**, logical 1).  Biasing
+the bottom electrode ruptures the filament: high-resistance state
+(**RESET**, logical 0).  Filament formation/rupture physically degrades
+the oxide, which is the endurance limit this paper is about — prototypes
+sustain 1e9 [17] to 1e11 [6,7,1] switching events.
+
+This class is the technology-level substrate: the cache layers above
+count writes per bank (every line fill/write-back rewrites the line's
+cells), and :mod:`repro.reram.endurance` applies the per-cell limit.  The
+cell model itself is exercised directly by unit tests and the technology
+example, keeping the architectural write-count bookkeeping honest against
+a ground-truth cell.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, SimulationError
+
+
+class CellState(enum.Enum):
+    """Resistance state of one cell."""
+
+    RESET = 0  # high resistance, logical 0
+    SET = 1    # low resistance, logical 1
+
+
+@dataclass
+class ReRamCell:
+    """One ReRAM cell with endurance bookkeeping.
+
+    Args:
+        endurance: switching events the cell survives (default 1e11,
+            the paper's wear-out bound).
+        set_latency_ns / reset_latency_ns: switching times; reads are an
+            order of magnitude faster, which is why the architecture only
+            penalises writes.
+    """
+
+    endurance: float = 1e11
+    set_latency_ns: float = 10.0
+    reset_latency_ns: float = 10.0
+    read_latency_ns: float = 1.0
+    state: CellState = CellState.RESET
+    switch_count: int = 0
+    _failed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.endurance <= 0:
+            raise ConfigError("cell endurance must be positive")
+        if min(self.set_latency_ns, self.reset_latency_ns, self.read_latency_ns) <= 0:
+            raise ConfigError("cell latencies must be positive")
+
+    @property
+    def failed(self) -> bool:
+        """True once the cell has exceeded its endurance."""
+        return self._failed
+
+    def read(self) -> int:
+        """Non-destructive read of the stored bit."""
+        if self._failed:
+            raise SimulationError("read of a worn-out ReRAM cell")
+        return self.state.value
+
+    def write(self, bit: int) -> float:
+        """Program the cell to ``bit``; returns the operation latency (ns).
+
+        Writing the value already stored is free of wear (no filament
+        event happens) — the substrate-level analogue of differential
+        writes.  Switching increments the wear counter; exceeding the
+        endurance marks the cell failed.
+
+        Raises:
+            SimulationError: when writing a failed cell.
+        """
+        if bit not in (0, 1):
+            raise SimulationError(f"cell write of non-bit value {bit!r}")
+        if self._failed:
+            raise SimulationError("write to a worn-out ReRAM cell")
+        target = CellState.SET if bit else CellState.RESET
+        if target is self.state:
+            return self.read_latency_ns  # sense-before-write, no switch
+        self.state = target
+        self.switch_count += 1
+        if self.switch_count > self.endurance:
+            self._failed = True
+        return self.set_latency_ns if target is CellState.SET else self.reset_latency_ns
+
+    @property
+    def remaining_fraction(self) -> float:
+        """Fraction of endurance budget still available."""
+        return max(0.0, 1.0 - self.switch_count / self.endurance)

@@ -1,0 +1,138 @@
+"""LLC energy model — the paper's Section I motivation, quantified.
+
+"Large last-level caches are a major source of on-chip power consumption
+in CMPs ... standby power is up to 80% of their total power [5]" is why
+the paper replaces SRAM with ReRAM in the first place: ReRAM has
+near-zero leakage but expensive writes.  This module accounts both sides
+so the trade-off the paper presupposes can be measured on any simulated
+run:
+
+* **static** energy: leakage power x occupied time (the SRAM killer),
+* **dynamic** energy: per-event costs for bank reads, bank writes
+  (SET/RESET is the ReRAM tax), and NoC hop traversals.
+
+Default coefficients are order-of-magnitude values for a 32 nm-class
+node (pJ per event, mW per MB leakage); they are configuration, not
+physics — the interesting output is the *ratio* between technologies and
+between NUCA schemes, which is robust to the absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event energies (pJ) and leakage (mW/MB) for one technology."""
+
+    name: str
+    read_pj: float
+    write_pj: float
+    leakage_mw_per_mb: float
+
+    def __post_init__(self) -> None:
+        if min(self.read_pj, self.write_pj) < 0 or self.leakage_mw_per_mb < 0:
+            raise ConfigError(f"{self.name}: negative energy coefficient")
+
+
+#: SRAM LLC at a 32 nm-class node: cheap accesses, heavy leakage.
+SRAM_32NM = EnergyCoefficients("SRAM", read_pj=50.0, write_pj=55.0,
+                               leakage_mw_per_mb=25.0)
+
+#: Metal-oxide ReRAM: reads comparable to SRAM, writes ~10x, near-zero
+#: cell leakage (only the peripheral circuitry draws standby power).
+RERAM = EnergyCoefficients("ReRAM", read_pj=60.0, write_pj=600.0,
+                           leakage_mw_per_mb=0.02)
+
+#: Energy per flit-hop on the mesh (router + link), pJ.
+NOC_HOP_PJ = 12.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one simulated interval."""
+
+    technology: str
+    static_mj: float
+    read_mj: float
+    write_mj: float
+    noc_mj: float
+
+    @property
+    def dynamic_mj(self) -> float:
+        """All event-driven energy."""
+        return self.read_mj + self.write_mj + self.noc_mj
+
+    @property
+    def total_mj(self) -> float:
+        """Static + dynamic."""
+        return self.static_mj + self.dynamic_mj
+
+    @property
+    def static_fraction(self) -> float:
+        """Share of total energy that is leakage (the paper's 80% for SRAM)."""
+        return self.static_mj / self.total_mj if self.total_mj else 0.0
+
+
+class LlcEnergyModel:
+    """Accumulate LLC energy from event counts.
+
+    Args:
+        coefficients: technology energy table.
+        capacity_mb: total LLC capacity (leakage scales with it).
+    """
+
+    def __init__(self, coefficients: EnergyCoefficients, capacity_mb: float) -> None:
+        if capacity_mb <= 0:
+            raise ConfigError("capacity must be positive")
+        self.coefficients = coefficients
+        self.capacity_mb = capacity_mb
+        self.reads = 0
+        self.writes = 0
+        self.noc_hops = 0
+
+    def record(self, *, reads: int = 0, writes: int = 0, noc_hops: int = 0) -> None:
+        """Add event counts."""
+        if min(reads, writes, noc_hops) < 0:
+            raise ConfigError("event counts cannot be negative")
+        self.reads += reads
+        self.writes += writes
+        self.noc_hops += noc_hops
+
+    def report(self, elapsed_seconds: float) -> EnergyReport:
+        """Fold counts + time into an :class:`EnergyReport` (millijoules)."""
+        if elapsed_seconds < 0:
+            raise ConfigError("elapsed time cannot be negative")
+        c = self.coefficients
+        return EnergyReport(
+            technology=c.name,
+            static_mj=c.leakage_mw_per_mb * self.capacity_mb * elapsed_seconds,
+            read_mj=c.read_pj * self.reads * 1e-9,
+            write_mj=c.write_pj * self.writes * 1e-9,
+            noc_mj=NOC_HOP_PJ * self.noc_hops * 1e-9,
+        )
+
+
+def energy_of_result(
+    result,
+    config,
+    coefficients: EnergyCoefficients = RERAM,
+) -> EnergyReport:
+    """Energy report for one :class:`~repro.sim.metrics.WorkloadSchemeResult`.
+
+    Reads are approximated by LLC fetches (hits read a line; misses read
+    tags then fill — the fill is in the write count), writes by the wear
+    tracker's bank writes, and NoC hops by the mesh statistics embedded
+    in the result (mean hops x references).
+    """
+    model = LlcEnergyModel(coefficients, config.l3_total_bytes / (1 << 20))
+    model.record(
+        reads=int(result.llc_fetches),          # every fetch reads a bank
+        writes=int(result.bank_writes.sum()),   # fills + absorbed write-backs
+        noc_hops=int(result.noc_total_hops),
+    )
+    seconds = result.elapsed_cycles / config.core.clock_hz
+    return model.report(seconds)

@@ -1,0 +1,76 @@
+"""Per-bank (and sampled per-line) write-wear tracking.
+
+Every write into an L3 bank — a line fill on a miss or an absorbed L2
+write-back — rewrites one cache line's worth of cells, so bank wear is
+simply the bank's write count.  The tracker also keeps an exact per-line
+write histogram per bank (dict-of-dicts, populated lazily) so intra-bank
+non-uniformity can be inspected, although the paper's lifetime metric
+assumes intra-bank wear-levelling (its subject is *inter-bank* wear; see
+``ReRamConfig.intra_bank_wear_spread``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError, SimulationError
+
+
+class WearTracker:
+    """Write counters for ``num_banks`` ReRAM banks.
+
+    ``record_write(bank)`` is the single hot entry point; per-line
+    tracking (``record_write(bank, line=...)``) is optional and costs one
+    dict update.
+    """
+
+    def __init__(self, num_banks: int, *, track_lines: bool = False) -> None:
+        if num_banks <= 0:
+            raise ConfigError("need at least one bank")
+        self.num_banks = num_banks
+        self.track_lines = track_lines
+        self.bank_writes = np.zeros(num_banks, dtype=np.int64)
+        self._line_writes: list[dict[int, int]] = [dict() for _ in range(num_banks)]
+
+    def record_write(self, bank: int, line: int | None = None) -> None:
+        """Count one line-granularity write into ``bank``."""
+        if not (0 <= bank < self.num_banks):
+            raise SimulationError(f"write to bank {bank} of {self.num_banks}")
+        self.bank_writes[bank] += 1
+        if self.track_lines and line is not None:
+            per_line = self._line_writes[bank]
+            per_line[line] = per_line.get(line, 0) + 1
+
+    def total_writes(self) -> int:
+        """Writes across all banks."""
+        return int(self.bank_writes.sum())
+
+    def writes_of(self, bank: int) -> int:
+        """Writes into one bank."""
+        if not (0 <= bank < self.num_banks):
+            raise SimulationError(f"bank {bank} of {self.num_banks}")
+        return int(self.bank_writes[bank])
+
+    def min_write_bank(self) -> int:
+        """Bank with the fewest writes (ties -> lowest id).
+
+        This is the Naive scheme's oracle placement query.
+        """
+        return int(np.argmin(self.bank_writes))
+
+    def line_histogram(self, bank: int) -> dict[int, int]:
+        """Per-line write counts of a bank (empty unless track_lines)."""
+        if not (0 <= bank < self.num_banks):
+            raise SimulationError(f"bank {bank} of {self.num_banks}")
+        return dict(self._line_writes[bank])
+
+    def max_line_writes(self, bank: int) -> int:
+        """Most-written line's count in a bank (0 when untracked/idle)."""
+        hist = self._line_writes[bank]
+        return max(hist.values()) if hist else 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bank_writes[:] = 0
+        for per_line in self._line_writes:
+            per_line.clear()

@@ -1,0 +1,29 @@
+"""Simulation orchestration: calibration, the two-stage pipeline, metrics.
+
+Stage 1 (:class:`~repro.sim.runner.Stage1Cache`) simulates each
+application once per upper-hierarchy configuration — core + L1/L2 +
+nominal L3 — yielding its L3 reference stream.  Stage 2
+(:func:`~repro.sim.runner.run_workload`) merges 16 per-core streams and
+drives the NUCA LLC under one mapping policy, producing per-bank wear and
+per-core IPC.  Stage-1 results are cached and shared across the 5
+policies x 10 workloads of the evaluation, which is what makes the full
+matrix tractable in pure Python.
+"""
+
+from repro.sim.calibrate import calibrated_base_cpi
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+from repro.sim.runner import Stage1Cache, run_matrix, run_workload
+from repro.sim.store import load_matrix, save_matrix
+from repro.sim.system import System
+
+__all__ = [
+    "calibrated_base_cpi",
+    "MatrixResult",
+    "WorkloadSchemeResult",
+    "Stage1Cache",
+    "run_matrix",
+    "run_workload",
+    "load_matrix",
+    "save_matrix",
+    "System",
+]

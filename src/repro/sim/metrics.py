@@ -1,0 +1,127 @@
+"""Result containers and metric aggregation for the evaluation.
+
+The paper's reported quantities:
+
+* **IPC** — multiprogram throughput, the sum of per-core IPCs; Figure 11
+  plots each scheme's percentage improvement over S-NUCA per workload.
+* **Harmonic-mean lifetime per bank** — for each of the 16 banks, the
+  harmonic mean over the 10 workloads of that bank's lifetime
+  (Figures 3, 12, 13, 15, 17).
+* **Raw minimum lifetime** — the minimum over banks *and* workloads
+  (Table III): the first capacity loss the machine would suffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.reram.endurance import lifetime_summary
+
+
+@dataclass
+class WorkloadSchemeResult:
+    """Stage-2 outcome of one (workload, scheme) pair."""
+
+    workload: str
+    scheme: str
+    apps: tuple[str, ...]
+    per_core_ipc: np.ndarray
+    per_core_instructions: np.ndarray
+    per_core_cycles: np.ndarray
+    bank_writes: np.ndarray
+    bank_lifetimes: np.ndarray
+    elapsed_cycles: float
+    llc_fetch_hit_rate: float
+    llc_mean_fetch_latency: float
+    noc_mean_hops: float
+    critical_fill_fraction: float = 0.0
+    llc_fetches: int = 0
+    llc_writebacks: int = 0
+    noc_total_hops: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Throughput: sum of per-core IPCs."""
+        return float(self.per_core_ipc.sum())
+
+    @property
+    def min_lifetime(self) -> float:
+        """Worst bank lifetime in this workload."""
+        return float(self.bank_lifetimes.min())
+
+
+@dataclass
+class MatrixResult:
+    """All (workload x scheme) results of one evaluation configuration."""
+
+    label: str
+    schemes: tuple[str, ...]
+    workloads: tuple[str, ...]
+    results: dict[tuple[str, str], WorkloadSchemeResult] = field(default_factory=dict)
+
+    def add(self, result: WorkloadSchemeResult) -> None:
+        """Register one stage-2 result."""
+        self.results[(result.workload, result.scheme)] = result
+
+    def get(self, workload: str, scheme: str) -> WorkloadSchemeResult:
+        """Fetch one result, with a helpful error when missing."""
+        try:
+            return self.results[(workload, scheme)]
+        except KeyError:
+            raise ReproError(
+                f"no result for workload={workload!r} scheme={scheme!r} "
+                f"in matrix {self.label!r}"
+            ) from None
+
+    # -- paper metrics ---------------------------------------------------------
+
+    def ipc_of(self, scheme: str) -> dict[str, float]:
+        """Throughput IPC per workload for one scheme."""
+        return {wl: self.get(wl, scheme).ipc for wl in self.workloads}
+
+    def ipc_improvement_over(
+        self, scheme: str, baseline: str = "S-NUCA"
+    ) -> dict[str, float]:
+        """Figure 11: percent IPC improvement per workload vs a baseline."""
+        out = {}
+        for wl in self.workloads:
+            base = self.get(wl, baseline).ipc
+            if base <= 0:
+                raise ReproError(f"baseline IPC is zero for {wl}")
+            out[wl] = 100.0 * (self.get(wl, scheme).ipc / base - 1.0)
+        return out
+
+    def mean_ipc_improvement(self, scheme: str, baseline: str = "S-NUCA") -> float:
+        """Average of the per-workload improvements (the paper's 'Avg' bar)."""
+        vals = list(self.ipc_improvement_over(scheme, baseline).values())
+        return float(np.mean(vals))
+
+    def lifetime_matrix(self, scheme: str) -> np.ndarray:
+        """Workloads x banks lifetime matrix for one scheme."""
+        return np.stack(
+            [self.get(wl, scheme).bank_lifetimes for wl in self.workloads]
+        )
+
+    def lifetime_summary_of(self, scheme: str) -> dict:
+        """Figure 3/12 bars + Table III raw minimum for one scheme."""
+        return lifetime_summary(self.lifetime_matrix(scheme))
+
+    def raw_min_lifetime(self, scheme: str) -> float:
+        """Table III: minimum lifetime over banks and workloads."""
+        return self.lifetime_summary_of(scheme)["raw_min"]
+
+    def hmean_bank_lifetimes(self, scheme: str) -> np.ndarray:
+        """Per-bank harmonic-mean lifetimes (one bar group in Fig. 3/12)."""
+        return self.lifetime_summary_of(scheme)["hmean_per_bank"]
+
+    def tradeoff_points(self, baseline: str = "S-NUCA") -> dict[str, tuple[float, float]]:
+        """Figure 4b: (mean IPC, h-mean lifetime) point per scheme."""
+        points = {}
+        for scheme in self.schemes:
+            mean_ipc = float(np.mean([self.get(wl, scheme).ipc for wl in self.workloads]))
+            hmean_life = self.lifetime_summary_of(scheme)["hmean_overall"]
+            points[scheme] = (mean_ipc, hmean_life)
+        return points

@@ -1,0 +1,384 @@
+"""The two-stage experiment runner.
+
+Stage 1 — per application, per upper-hierarchy configuration — is
+cache-managed by :class:`Stage1Cache` (calibration probe + full run).
+Stage 2 — :func:`run_workload` — merges the per-core L3 reference
+streams of a 16-app mix by timestamp and drives one NUCA LLC instance,
+yielding a :class:`~repro.sim.metrics.WorkloadSchemeResult`.
+:func:`run_matrix` sweeps workloads x schemes, which is the shape of
+every headline experiment in the paper.
+
+Instruction budgets default to ``REPRO_INSTRUCTIONS`` (environment
+variable) per core; the paper used 100 M instructions per core after
+warm-up — lifetime and IPC are rate-based, so a few hundred thousand
+instructions per core reproduce the shapes at laptop scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.config import SystemConfig, baseline_config
+from repro.core.criticality import CriticalityPredictor
+from repro.cpu.core import AppSimulator, Stage1Result
+from repro.mem.model import MainMemory
+from repro.noc.mesh import Mesh
+from repro.nuca import NucaLLC, make_policy
+from repro.reram.endurance import lifetimes_for_banks
+from repro.reram.wear import WearTracker
+from repro.sim.calibrate import calibrated_base_cpi, config_signature
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+from repro.trace.workloads import Workload
+
+#: Per-core instruction budget when the caller does not specify one.
+DEFAULT_INSTRUCTIONS: int = int(os.environ.get("REPRO_INSTRUCTIONS", "300000"))
+
+#: Per-core address-space stride: each core's lines live in a disjoint
+#: 2**44-line region.
+CORE_ADDRESS_STRIDE_SHIFT = 44
+
+
+def _core_base(core: int) -> int:
+    """Base line address of one core's private address space.
+
+    Besides the disjoint high bits, each core gets a large odd low-bit
+    scramble: physical page allocation decorrelates different processes'
+    addresses, so two cores running the *same* binary must not have
+    congruent bank/set bits (they would otherwise collide in exactly the
+    same LLC sets, which no real multiprogrammed system does).
+    """
+    return ((core + 1) << CORE_ADDRESS_STRIDE_SHIFT) + core * 40_503_551
+
+
+class Stage1Cache:
+    """Memoised stage-1 runs keyed by (app, config, seed, budget)."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, Stage1Result] = {}
+
+    def get(
+        self,
+        app: str,
+        config: SystemConfig,
+        *,
+        seed: int | None = None,
+        n_instructions: int = DEFAULT_INSTRUCTIONS,
+    ) -> Stage1Result:
+        """Fetch (or compute) the stage-1 result for one app."""
+        key = (app, config_signature(config), seed, n_instructions)
+        result = self._cache.get(key)
+        if result is None:
+            base_cpi = calibrated_base_cpi(app, config, seed=seed)
+            sim = AppSimulator(app, config, seed=seed, base_cpi=base_cpi)
+            result = sim.run(n_instructions)
+            self._cache[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all memoised runs."""
+        self._cache.clear()
+
+
+@dataclass
+class _MergedStream:
+    """All cores' L3 references in global timestamp order."""
+
+    ts: np.ndarray
+    core: np.ndarray
+    line: np.ndarray
+    pc: np.ndarray
+    is_wb: np.ndarray
+    is_load: np.ndarray
+    stall: np.ndarray
+    slack: np.ndarray
+    mlp: np.ndarray
+    nominal: np.ndarray
+    order: np.ndarray       # permutation applied (for un-sorting latencies)
+    #: Per-core (lo, hi) slices in the *unsorted* concatenation covering
+    #: the measured (first-copy) records, aligned with each core's
+    #: original :class:`~repro.cpu.core.L3Stream` record order.
+    measured_slices: tuple[tuple[int, int], ...] = ()
+    total: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.total = len(self.ts)
+
+
+def _merge_streams(results: list[Stage1Result]) -> _MergedStream:
+    """Merge per-core streams into one global-time reference sequence.
+
+    Cores finish their instruction budgets at very different cycle
+    counts (IPC spans 0.07..2.6), but in the machine every core runs
+    continuously: a fast application keeps executing — and keeps
+    generating LLC traffic — while a slow one is still working through
+    its budget.  Each core's stream is therefore **replayed cyclically**
+    (same working set, timestamps shifted by whole run lengths) until
+    the slowest core's horizon.  Only the first copy carries exposure
+    accounting (it is the measured instruction window); replays exist to
+    produce realistic interference and wear rates.
+    """
+    horizon = max(float(r.cycles) for r in results)
+    cols: dict[str, list[np.ndarray]] = {
+        name: [] for name in
+        ("ts", "line", "pc", "is_wb", "is_load", "stall", "slack", "mlp", "nominal")
+    }
+    core_parts = []
+    measured_slices: list[tuple[int, int]] = []
+    cursor = 0
+    for core, result in enumerate(results):
+        s = result.stream
+        span = max(float(result.cycles), 1.0)
+        reps = max(1, int(np.ceil(horizon / span)))
+        line = s.line + _core_base(core)
+        measured_slices.append((cursor, cursor + len(s)))
+        for rep in range(reps):
+            ts_rep = s.ts + rep * span
+            if rep:
+                keep = ts_rep <= horizon
+                if not keep.any():
+                    break
+                ts_rep = ts_rep[keep]
+            else:
+                keep = slice(None)
+            cols["ts"].append(ts_rep)
+            cols["line"].append(line[keep])
+            cols["pc"].append(s.pc[keep])
+            cols["is_wb"].append(s.is_wb[keep])
+            cols["is_load"].append(s.is_load[keep])
+            cols["stall"].append(s.stall[keep])
+            cols["slack"].append(s.slack[keep])
+            cols["mlp"].append(s.mlp[keep])
+            cols["nominal"].append(s.nominal_lat[keep])
+            count = len(ts_rep)
+            core_parts.append(np.full(count, core, dtype=np.int16))
+            cursor += count
+    ts = np.concatenate(cols["ts"])
+    order = np.argsort(ts, kind="stable")
+    merged = {name: np.concatenate(parts)[order] for name, parts in cols.items()}
+    return _MergedStream(
+        core=np.concatenate(core_parts)[order],
+        order=order,
+        measured_slices=tuple(measured_slices),
+        **merged,
+    )
+
+
+def _warm_llc(
+    llc,
+    workload: Workload,
+    config: SystemConfig,
+    results1: list[Stage1Result],
+    *,
+    seed: int | None,
+) -> None:
+    """Install each core's L3-resident working set, then zero the meters.
+
+    Mirrors the paper's warm-up phase: without it, short runs would count
+    one compulsory miss per working-set line, drowning the steady-state
+    hit rates of cache-friendly applications.
+
+    For criticality-consuming policies (Re-NUCA), each resident line is
+    installed with the criticality its last long-run fetch would have
+    carried: in steady state a line's mapping reflects the predictor's
+    verdict at its most recent refetch, so lines are prefilled critical
+    with the app's measured predicted-critical fetch fraction.  (For the
+    other policies placement ignores criticality, so the flag is inert.)
+    """
+    from repro.common.rng import derive_rng
+    from repro.trace.profiles import get_profile
+    from repro.trace.synthetic import derive_params, warm_sets
+
+    uses_criticality = getattr(llc.policy, "consumes_criticality", False)
+    for core, app in enumerate(workload.apps):
+        params = derive_params(get_profile(app), config)
+        offset = _core_base(core)
+        p_critical = 0.0
+        if uses_criticality:
+            s = results1[core].stream
+            fetches = ~s.is_wb & s.is_load
+            if fetches.any():
+                p_critical = float(s.predicted[fetches].mean())
+        rng = derive_rng(seed, "prefill", workload.name, core)
+        for block in warm_sets(params, l2_lines=config.l2.num_lines)["l3"]:
+            if p_critical > 0.0:
+                crit_draws = rng.random(len(block)) < p_critical
+                for line, crit in zip(block, crit_draws):
+                    llc.prefill(core, line + offset, critical=bool(crit))
+            else:
+                for line in block:
+                    llc.prefill(core, line + offset)
+    llc.reset_measurement()
+
+
+def run_workload(
+    workload: Workload,
+    scheme: str,
+    config: SystemConfig | None = None,
+    *,
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+) -> WorkloadSchemeResult:
+    """Stage-2 simulation of one workload under one NUCA scheme."""
+    config = config or baseline_config()
+    if workload.num_cores != config.num_cores:
+        raise ReproError(
+            f"workload {workload.name} has {workload.num_cores} apps but the "
+            f"configuration has {config.num_cores} cores"
+        )
+    stage1 = stage1 or Stage1Cache()
+    results1 = [
+        stage1.get(app, config, seed=seed, n_instructions=n_instructions)
+        for app in workload.apps
+    ]
+
+    mesh = Mesh(config.noc)
+    memory = MainMemory(config.memory)
+    wear = WearTracker(config.num_banks)
+    policy = make_policy(scheme, config, mesh, wear)
+    llc = NucaLLC(config, policy, mesh, memory, wear)
+    _warm_llc(llc, workload, config, results1, seed=seed)
+
+    merged = _merge_streams(results1)
+
+    # Hot loop: drive the LLC in global timestamp order.  For criticality-
+    # consuming policies (Re-NUCA) the Criticality Predictor Table runs
+    # *online here*, trained with ground truth re-evaluated under this
+    # scheme's own latencies — criticality is content-dependent (a load
+    # that hits never blocks; the same load blocks once interference
+    # turns its hits into misses), and the paper's predictor adapts to
+    # that feedback at run time.
+    uses_criticality = getattr(policy, "consumes_criticality", False)
+    threshold = config.criticality.threshold_percent / 100.0
+    block_cycles = config.criticality.block_cycles
+    cpts = [CriticalityPredictor(config.criticality) for _ in results1] if uses_criticality else None
+
+    scheme_lat_sorted = np.zeros(merged.total, dtype=np.float32)
+    fetch = llc.fetch
+    writeback = llc.writeback
+    ts_l = merged.ts.tolist()
+    core_l = merged.core.tolist()
+    line_l = merged.line.tolist()
+    wb_l = merged.is_wb.tolist()
+    load_l = merged.is_load.tolist()
+    pc_l = merged.pc.tolist()
+    stall_l = merged.stall.tolist()
+    slack_l = merged.slack.tolist()
+    mlp_l = merged.mlp.tolist()
+    nominal_l = merged.nominal.tolist()
+    lat_out = scheme_lat_sorted  # direct ndarray indexing is fine for writes
+    for i in range(merged.total):
+        core = core_l[i]
+        if wb_l[i]:
+            writeback(core, line_l[i], ts_l[i])
+            continue
+        if cpts is not None and load_l[i]:
+            ratio = cpts[core].ratio(pc_l[i])
+            predicted = ratio is not None and ratio >= threshold
+        else:
+            predicted = False
+        lat, _hit = fetch(core, line_l[i], ts_l[i], predicted)
+        lat_out[i] = lat
+        if cpts is not None and load_l[i]:
+            # Ground truth under this scheme's latency (exposure model).
+            diff = lat - nominal_l[i]
+            stall = stall_l[i]
+            if stall > 0:
+                stall2 = stall + diff / mlp_l[i]
+            else:
+                stall2 = (diff - slack_l[i]) / mlp_l[i]
+            cpts[core].observe_commit(pc_l[i], stall2 >= block_cycles)
+
+    # Un-sort latencies back to per-core record order.
+    scheme_lat = np.empty(merged.total, dtype=np.float32)
+    scheme_lat[merged.order] = scheme_lat_sorted
+
+    # Per-core IPC via the exposure model.
+    n_cores = len(results1)
+    ipc = np.zeros(n_cores)
+    instructions = np.zeros(n_cores, dtype=np.int64)
+    cycles = np.zeros(n_cores)
+    for core, result in enumerate(results1):
+        lo, hi = merged.measured_slices[core]
+        delta = float(result.stream.exposure_delta(scheme_lat[lo:hi]).sum())
+        core_cycles = max(1.0, result.cycles + delta)
+        cycles[core] = core_cycles
+        instructions[core] = result.instructions
+        ipc[core] = result.instructions / core_cycles
+
+    elapsed = float(cycles.max())
+    lifetimes = lifetimes_for_banks(
+        llc.wear.bank_writes,
+        elapsed,
+        config.core.clock_hz,
+        lines_per_bank=config.l3_bank.num_lines,
+        cell_endurance=config.reram.cell_endurance,
+        wear_spread=config.reram.intra_bank_wear_spread,
+    )
+
+    critical_fraction = getattr(policy, "critical_fraction", 0.0)
+    return WorkloadSchemeResult(
+        workload=workload.name,
+        scheme=scheme,
+        apps=workload.apps,
+        per_core_ipc=ipc,
+        per_core_instructions=instructions,
+        per_core_cycles=cycles,
+        bank_writes=llc.wear.bank_writes.copy(),
+        bank_lifetimes=lifetimes,
+        elapsed_cycles=elapsed,
+        llc_fetch_hit_rate=llc.stats.fetch_hit_rate,
+        llc_mean_fetch_latency=llc.stats.mean_fetch_latency,
+        noc_mean_hops=mesh.stats.mean_hops,
+        critical_fill_fraction=critical_fraction,
+        llc_fetches=llc.stats.fetches,
+        llc_writebacks=llc.stats.writebacks,
+        noc_total_hops=mesh.stats.total_hops,
+    )
+
+
+def run_matrix(
+    workloads: list[Workload],
+    schemes: tuple[str, ...],
+    config: SystemConfig | None = None,
+    *,
+    label: str = "baseline",
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+    progress=None,
+) -> MatrixResult:
+    """Run every workload under every scheme (the paper's result grid).
+
+    ``progress`` is an optional callback ``(workload, scheme) -> None``
+    invoked before each stage-2 run (the benches use it for narration).
+    """
+    config = config or baseline_config()
+    stage1 = stage1 or Stage1Cache()
+    matrix = MatrixResult(
+        label=label,
+        schemes=tuple(schemes),
+        workloads=tuple(wl.name for wl in workloads),
+    )
+    for workload in workloads:
+        for scheme in schemes:
+            if progress is not None:
+                progress(workload.name, scheme)
+            matrix.add(
+                run_workload(
+                    workload,
+                    scheme,
+                    config,
+                    seed=seed,
+                    n_instructions=n_instructions,
+                    stage1=stage1,
+                )
+            )
+    return matrix

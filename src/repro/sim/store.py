@@ -1,0 +1,103 @@
+"""Persist evaluation results as JSON.
+
+``MatrixResult`` objects hold everything the paper's figures need; this
+module round-trips them to a documented JSON layout so that
+
+* EXPERIMENTS.md numbers can be regenerated without re-simulating,
+* long benchmark runs can be resumed/compared across machines,
+* external tooling (plotting notebooks) can consume the results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+
+#: Format version written into every result file.
+FORMAT_VERSION = 1
+
+
+def _result_to_dict(result: WorkloadSchemeResult) -> dict:
+    return {
+        "workload": result.workload,
+        "scheme": result.scheme,
+        "apps": list(result.apps),
+        "per_core_ipc": result.per_core_ipc.tolist(),
+        "per_core_instructions": result.per_core_instructions.tolist(),
+        "per_core_cycles": result.per_core_cycles.tolist(),
+        "bank_writes": result.bank_writes.tolist(),
+        "bank_lifetimes": result.bank_lifetimes.tolist(),
+        "elapsed_cycles": result.elapsed_cycles,
+        "llc_fetch_hit_rate": result.llc_fetch_hit_rate,
+        "llc_mean_fetch_latency": result.llc_mean_fetch_latency,
+        "noc_mean_hops": result.noc_mean_hops,
+        "critical_fill_fraction": result.critical_fill_fraction,
+        "llc_fetches": result.llc_fetches,
+        "llc_writebacks": result.llc_writebacks,
+        "noc_total_hops": result.noc_total_hops,
+    }
+
+
+def _result_from_dict(data: dict) -> WorkloadSchemeResult:
+    return WorkloadSchemeResult(
+        workload=data["workload"],
+        scheme=data["scheme"],
+        apps=tuple(data["apps"]),
+        per_core_ipc=np.asarray(data["per_core_ipc"]),
+        per_core_instructions=np.asarray(data["per_core_instructions"], dtype=np.int64),
+        per_core_cycles=np.asarray(data["per_core_cycles"]),
+        bank_writes=np.asarray(data["bank_writes"], dtype=np.int64),
+        bank_lifetimes=np.asarray(data["bank_lifetimes"]),
+        elapsed_cycles=data["elapsed_cycles"],
+        llc_fetch_hit_rate=data["llc_fetch_hit_rate"],
+        llc_mean_fetch_latency=data["llc_mean_fetch_latency"],
+        noc_mean_hops=data["noc_mean_hops"],
+        critical_fill_fraction=data.get("critical_fill_fraction", 0.0),
+        llc_fetches=data.get("llc_fetches", 0),
+        llc_writebacks=data.get("llc_writebacks", 0),
+        noc_total_hops=data.get("noc_total_hops", 0),
+    )
+
+
+def save_matrix(path: str | Path, matrix: MatrixResult) -> None:
+    """Write one matrix (all its workload x scheme cells) to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "label": matrix.label,
+        "schemes": list(matrix.schemes),
+        "workloads": list(matrix.workloads),
+        "results": [
+            _result_to_dict(result) for result in matrix.results.values()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_matrix(path: str | Path) -> MatrixResult:
+    """Read a matrix written by :func:`save_matrix`.
+
+    Raises:
+        ReproError: for a wrong format version or malformed payload.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read result file {path}: {exc}") from exc
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported result format "
+            f"{payload.get('format_version')!r} (expected {FORMAT_VERSION})"
+        )
+    matrix = MatrixResult(
+        label=payload["label"],
+        schemes=tuple(payload["schemes"]),
+        workloads=tuple(payload["workloads"]),
+    )
+    for raw in payload["results"]:
+        matrix.add(_result_from_dict(raw))
+    return matrix

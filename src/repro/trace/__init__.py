@@ -1,0 +1,33 @@
+"""Synthetic application models standing in for SPEC CPU2006 traces.
+
+The paper characterises each benchmark by four aggregate numbers
+(Table II: WPKI, MPKI, L3 hit rate, single-core IPC) plus a criticality
+mix (Figure 5).  :mod:`repro.trace.profiles` records those targets;
+:mod:`repro.trace.synthetic` analytically inverts them into generator
+parameters; :mod:`repro.trace.generator` produces the actual reference
+stream as a numpy structured array; and :mod:`repro.trace.workloads`
+builds the 10 sixteen-app mixes of the evaluation.
+"""
+
+from repro.trace.generator import TRACE_DTYPE, generate_trace
+from repro.trace.profiles import (
+    ALL_APPS,
+    AppProfile,
+    get_profile,
+    intensity_class,
+)
+from repro.trace.synthetic import GeneratorParams, derive_params
+from repro.trace.workloads import Workload, make_workloads
+
+__all__ = [
+    "TRACE_DTYPE",
+    "generate_trace",
+    "ALL_APPS",
+    "AppProfile",
+    "get_profile",
+    "intensity_class",
+    "GeneratorParams",
+    "derive_params",
+    "Workload",
+    "make_workloads",
+]

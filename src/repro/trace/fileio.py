@@ -1,0 +1,104 @@
+"""Trace serialization: save/load synthetic traces as ``.npz`` files.
+
+The simulator is trace-driven; persisting generated traces lets users
+
+* inspect/modify the reference stream with standard numpy tooling,
+* re-run experiments on *identical* inputs across library versions,
+* feed externally produced traces (any record array with the
+  :data:`~repro.trace.generator.TRACE_DTYPE` fields) into the pipeline.
+
+The format is a plain ``numpy.savez_compressed`` archive with one array
+per record field plus a small JSON-encoded metadata header (app name,
+generator parameters, library version) so a trace file is
+self-describing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.trace.generator import TRACE_DTYPE
+from repro.trace.synthetic import GeneratorParams
+
+#: Format version written into every trace file.
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: str | Path,
+    trace: np.ndarray,
+    *,
+    params: GeneratorParams | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Write a trace array (and its provenance) to ``path``.
+
+    Raises:
+        TraceError: when the array does not have the trace dtype fields.
+    """
+    _check_fields(trace)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "records": int(len(trace)),
+        "params": dataclasses.asdict(params) if params is not None else None,
+        "extra": extra or {},
+    }
+    columns = {name: np.ascontiguousarray(trace[name]) for name in TRACE_DTYPE.names}
+    np.savez_compressed(
+        Path(path),
+        _meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        **columns,
+    )
+
+
+def load_trace(path: str | Path) -> tuple[np.ndarray, dict]:
+    """Read a trace file; returns ``(trace_array, metadata)``.
+
+    Raises:
+        TraceError: for missing fields, length mismatches, or an
+            unsupported format version.
+    """
+    with np.load(Path(path)) as archive:
+        if "_meta" not in archive:
+            raise TraceError(f"{path}: not a repro trace file (no metadata)")
+        meta = json.loads(bytes(archive["_meta"]).decode("utf-8"))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format "
+                f"{meta.get('format_version')!r} (expected {FORMAT_VERSION})"
+            )
+        missing = [n for n in TRACE_DTYPE.names if n not in archive]
+        if missing:
+            raise TraceError(f"{path}: missing trace fields {missing}")
+        length = meta["records"]
+        trace = np.empty(length, dtype=TRACE_DTYPE)
+        for name in TRACE_DTYPE.names:
+            column = archive[name]
+            if len(column) != length:
+                raise TraceError(
+                    f"{path}: field {name!r} has {len(column)} records, "
+                    f"metadata says {length}"
+                )
+            trace[name] = column
+    return trace, meta
+
+
+def params_from_meta(meta: dict) -> GeneratorParams | None:
+    """Rebuild the generator parameters recorded in a trace file."""
+    raw = meta.get("params")
+    if raw is None:
+        return None
+    return GeneratorParams(**raw)
+
+
+def _check_fields(trace: np.ndarray) -> None:
+    if trace.dtype.names is None:
+        raise TraceError("trace must be a structured array")
+    missing = [n for n in TRACE_DTYPE.names if n not in trace.dtype.names]
+    if missing:
+        raise TraceError(f"trace is missing fields {missing}")

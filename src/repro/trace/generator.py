@@ -1,0 +1,271 @@
+"""Vectorised synthetic-trace generation.
+
+A trace is a numpy structured array (:data:`TRACE_DTYPE`) in program
+order.  Each record is one memory instruction:
+
+* ``gap``  — non-memory instructions committed since the previous record,
+* ``pc``   — program counter id of this instruction,
+* ``line`` — cache-line address touched,
+* ``is_write`` — store (True) or load (False),
+* ``dep``  — load depends on the previous ``dep`` load's data (pointer
+  chase), so the core cannot overlap their latencies,
+* ``kind`` — generating population (for tests/analysis only; the
+  simulated hardware never sees it).
+
+Generation is fully vectorised: population labels, addresses, PCs, gaps
+and read-modify-write expansion are all drawn as numpy arrays; no
+per-record Python work happens here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.trace.synthetic import (
+    CHASE_BASE,
+    CHASE_RES_BASE,
+    HOT1_BASE,
+    HOT2_BASE,
+    MID_BASE,
+    NOISE_PCS,
+    PC_POOL,
+    STORE_PCS,
+    STREAM_BASE,
+    GeneratorParams,
+)
+
+#: Program-order record layout (structure-of-arrays friendly).
+TRACE_DTYPE = np.dtype(
+    [
+        ("gap", np.uint16),
+        ("pc", np.uint32),
+        ("line", np.int64),
+        ("is_write", np.bool_),
+        ("dep", np.bool_),
+        ("kind", np.uint8),
+    ]
+)
+
+#: ``kind`` codes.
+KIND_HOT = 0
+KIND_MID = 1
+KIND_STREAM = 2
+KIND_CHASE_MISS = 3
+KIND_CHASE_HIT = 4
+
+_POPULATIONS = ("hot", "mid", "stream", "chase_miss", "chase_hit")
+_KIND_OF = {
+    "hot": KIND_HOT,
+    "mid": KIND_MID,
+    "stream": KIND_STREAM,
+    "chase_miss": KIND_CHASE_MISS,
+    "chase_hit": KIND_CHASE_HIT,
+}
+
+# PC-space layout within one application: each population pool gets a
+# disjoint range, then the shared "noise" pool, then store PCs.
+_PC_BASES: dict[str, int] = {}
+_next = 0
+for _pop in _POPULATIONS:
+    _PC_BASES[_pop] = _next
+    _next += PC_POOL[_pop]
+_PC_NOISE_BASE = _next
+_next += NOISE_PCS
+_PC_STORE_BASE = _next
+#: PCs used per application (callers offset per-core PC spaces by this).
+PCS_PER_APP = _PC_STORE_BASE + STORE_PCS
+
+
+def _draw_gaps(rng: np.random.Generator, n: int, mean_gap: float) -> np.ndarray:
+    """Geometric gaps with the requested mean, clipped to the dtype."""
+    if mean_gap <= 0:
+        return np.zeros(n, dtype=np.uint16)
+    p = 1.0 / (mean_gap + 1.0)
+    gaps = rng.geometric(p, size=n) - 1
+    return np.minimum(gaps, np.iinfo(np.uint16).max).astype(np.uint16)
+
+
+def generate_trace(
+    params: GeneratorParams,
+    n_bundles: int,
+    rng: np.random.Generator,
+    *,
+    base_line: int = 0,
+    stream_cursor: int = 0,
+    mid_cursor: int = 0,
+) -> np.ndarray:
+    """Generate ``n_bundles`` memory-op bundles as a trace array.
+
+    A bundle is one load, optionally followed by its read-modify-write
+    store (for L3-bound populations, with probability
+    ``params.write_fraction``), so the returned array can be up to twice
+    ``n_bundles`` long.
+
+    Args:
+        params: resolved generator parameters for one application.
+        n_bundles: number of primary memory operations to draw.
+        rng: the component RNG (use :func:`repro.common.rng.derive_rng`).
+        base_line: constant added to every line address — gives each core
+            a disjoint address space in multiprogrammed runs.
+        stream_cursor: starting offset of the sequential population, so a
+            trace can be generated in chunks that continue the stream.
+        mid_cursor: starting offset of the mid region's sequential scan.
+
+    Returns:
+        A :data:`TRACE_DTYPE` array in program order.
+    """
+    if n_bundles <= 0:
+        raise TraceError(f"n_bundles must be positive, got {n_bundles}")
+
+    rates = np.array(
+        [
+            params.hot_pki,
+            params.mid_pki,
+            params.stream_pki,
+            params.chase_miss_pki,
+            params.chase_hit_pki,
+        ],
+        dtype=np.float64,
+    )
+    probs = rates / rates.sum()
+    kinds = rng.choice(5, size=n_bundles, p=probs).astype(np.uint8)
+
+    lines = np.empty(n_bundles, dtype=np.int64)
+
+    # hot: two-tier Zipf-ish reuse (L1-resident tier + L2-resident tier).
+    hot_mask = kinds == KIND_HOT
+    n_hot = int(hot_mask.sum())
+    if n_hot:
+        tier1 = rng.random(n_hot) < params.hot1_fraction
+        hot_lines = np.where(
+            tier1,
+            HOT1_BASE + rng.integers(0, params.hot1_lines, size=n_hot),
+            HOT2_BASE + rng.integers(0, params.hot2_lines, size=n_hot),
+        )
+        lines[hot_mask] = hot_lines
+
+    # mid: sequential scan over the L3-resident region (L2-defeating
+    # reuse distance; every touch hits the L3 once the region is warm).
+    mid_mask = kinds == KIND_MID
+    n_mid = int(mid_mask.sum())
+    if n_mid:
+        offsets = (mid_cursor + np.arange(n_mid, dtype=np.int64)) % params.mid_lines
+        lines[mid_mask] = MID_BASE + offsets
+
+    # stream: strictly sequential with a rolling cursor.
+    stream_mask = kinds == KIND_STREAM
+    n_stream = int(stream_mask.sum())
+    if n_stream:
+        offsets = (stream_cursor + np.arange(n_stream, dtype=np.int64)) % params.stream_lines
+        lines[stream_mask] = STREAM_BASE + offsets
+
+    # chase-miss: dependent uniform walk over the huge chase region.
+    cmiss_mask = kinds == KIND_CHASE_MISS
+    n_cmiss = int(cmiss_mask.sum())
+    if n_cmiss:
+        lines[cmiss_mask] = CHASE_BASE + rng.integers(0, params.chase_lines, size=n_cmiss)
+
+    # chase-hit: dependent walk over the resident chase region with
+    # log-uniform (Zipf-like) popularity — pointer chases revisit hot
+    # nodes far more often than cold ones.  The skew is what lets a
+    # policy's placement of a refetched line pay off (popular lines are
+    # re-touched soon), and the region is disjoint from the scanned mid
+    # region so a line's criticality is a stable property of its data.
+    chit_mask = kinds == KIND_CHASE_HIT
+    n_chit = int(chit_mask.sum())
+    if n_chit:
+        u = rng.random(n_chit)
+        rank = np.floor(np.exp(u * np.log(params.chase_res_lines))).astype(np.int64) - 1
+        rank = np.clip(rank, 0, params.chase_res_lines - 1)
+        # Scatter popularity ranks over the region with an odd-multiplier
+        # bijection: hot nodes of a real linked structure sit at arbitrary
+        # addresses, not packed at the region base (which would pin their
+        # wear onto a couple of S-NUCA banks).
+        idx = (rank * 40503) % params.chase_res_lines
+        lines[chit_mask] = CHASE_RES_BASE + idx
+
+    # PCs: per-population pools, with a shared noisy pool mixed in.
+    pcs = np.empty(n_bundles, dtype=np.uint32)
+    for pop in _POPULATIONS:
+        kind = _KIND_OF[pop]
+        mask = kinds == kind
+        count = int(mask.sum())
+        if count:
+            pcs[mask] = _PC_BASES[pop] + rng.integers(0, PC_POOL[pop], size=count)
+    if params.pc_noise > 0:
+        # Mixed-behaviour PCs: a fraction of the *L3-bound* loads issue
+        # from a shared pool, so those PCs accumulate intermediate
+        # ROB-block ratios — the reason predictor accuracy degrades
+        # gradually with the threshold (Figure 7) instead of being
+        # bimodal.  Hot loads stay out: an L1-resident load never blocks,
+        # and folding them in would dilute every noisy PC below any
+        # useful threshold.
+        noisy = (rng.random(n_bundles) < params.pc_noise) & ~hot_mask
+        n_noisy = int(noisy.sum())
+        if n_noisy:
+            pcs[noisy] = _PC_NOISE_BASE + rng.integers(0, NOISE_PCS, size=n_noisy)
+
+    dep = (kinds == KIND_CHASE_MISS) | (kinds == KIND_CHASE_HIT)
+
+    # Stores: hot stores in place; L3-bound loads get an RMW store record.
+    is_write = np.zeros(n_bundles, dtype=np.bool_)
+    if n_hot:
+        hot_idx = np.flatnonzero(hot_mask)
+        store_hot = rng.random(n_hot) < params.hot_store_fraction
+        is_write[hot_idx[store_hot]] = True
+
+    gaps = _draw_gaps(rng, n_bundles, params.mean_gap)
+
+    l3_bound = ~hot_mask
+    rmw = l3_bound & (rng.random(n_bundles) < params.write_fraction)
+    n_rmw = int(rmw.sum())
+
+    if n_rmw == 0:
+        trace = np.empty(n_bundles, dtype=TRACE_DTYPE)
+        trace["gap"] = gaps
+        trace["pc"] = pcs
+        trace["line"] = lines + base_line
+        trace["is_write"] = is_write
+        trace["dep"] = dep
+        trace["kind"] = kinds
+        return trace
+
+    # Expand RMW bundles into load + store record pairs.
+    repeats = np.ones(n_bundles, dtype=np.int64)
+    repeats[rmw] = 2
+    idx = np.repeat(np.arange(n_bundles), repeats)
+    total = idx.size
+    # Position of the second copy of each duplicated bundle.
+    dup_second = np.zeros(total, dtype=np.bool_)
+    dup_second[1:] = idx[1:] == idx[:-1]
+
+    trace = np.empty(total, dtype=TRACE_DTYPE)
+    trace["gap"] = gaps[idx]
+    trace["gap"][dup_second] = 1  # the store trails its load closely
+    trace["pc"] = pcs[idx]
+    trace["pc"][dup_second] = _PC_STORE_BASE + (pcs[idx][dup_second] % STORE_PCS)
+    trace["line"] = lines[idx] + base_line
+    trace["is_write"] = is_write[idx]
+    trace["is_write"][dup_second] = True
+    trace["dep"] = dep[idx]
+    trace["dep"][dup_second] = False  # stores retire via the store buffer
+    trace["kind"] = kinds[idx]
+    return trace
+
+
+def bundles_for_instructions(params: GeneratorParams, n_instructions: int) -> int:
+    """Bundle count that yields approximately ``n_instructions``.
+
+    Instructions = memory records + gap instructions; with ``record_pki``
+    records per kilo-instruction and the RMW expansion factor folded in,
+    bundles ≈ instructions × bundle_pki / 1000.
+    """
+    if n_instructions <= 0:
+        raise TraceError("instruction count must be positive")
+    return max(1, int(round(n_instructions * params.bundle_pki / 1000.0)))
+
+
+def trace_instruction_count(trace: np.ndarray) -> int:
+    """Total instructions represented by a trace (records + gaps)."""
+    return int(trace["gap"].sum(dtype=np.int64)) + len(trace)

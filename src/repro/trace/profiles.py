@@ -1,0 +1,145 @@
+"""Per-application behavioural targets (the paper's Table II).
+
+Each :class:`AppProfile` carries the four measured aggregates from
+Table II — last-level WPKI (write-backs per kilo-instruction), MPKI
+(misses per kilo-instruction), L3 hit rate and single-core IPC — plus two
+qualitative knobs that Table II cannot express but Figures 5/7/8 depend
+on:
+
+* ``chase_share`` — the fraction of the app's L3-filtered traffic that is
+  *dependent* (pointer-chasing), i.e. loads whose latency cannot be hidden
+  by memory-level parallelism.  Pointer-chasers (mcf, omnetpp, xalancbmk,
+  astar) stall the ROB head on most misses; pure streamers (streamL, lbm,
+  libquantum, milc, bwaves) almost never do.
+* ``pc_noise`` — the fraction of memory operations issued from PCs that
+  mix behaviours, which bounds how well any PC-indexed predictor can do
+  (Figure 7's accuracy never reaches 100%).
+
+The numbers are calibration *targets*; `tests/test_trace_calibration.py`
+verifies the synthetic traces actually reproduce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import TraceError
+
+#: Write-intensity class boundaries from Section V-A: WPKI + MPKI > 10 is
+#: "high", between 1 and 10 "medium", below 1 "low".
+HIGH_INTENSITY_MIN = 10.0
+MEDIUM_INTENSITY_MIN = 1.0
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Behavioural targets for one SPEC CPU2006 application."""
+
+    name: str
+    wpki: float
+    mpki: float
+    hitrate: float
+    ipc: float
+    chase_share: float
+    pc_noise: float
+
+    def __post_init__(self) -> None:
+        if self.wpki < 0 or self.mpki < 0:
+            raise TraceError(f"{self.name}: negative WPKI/MPKI")
+        if not (0.0 <= self.hitrate <= 1.0):
+            raise TraceError(f"{self.name}: hit rate outside [0,1]")
+        if self.ipc <= 0:
+            raise TraceError(f"{self.name}: IPC must be positive")
+        if not (0.0 <= self.chase_share <= 1.0):
+            raise TraceError(f"{self.name}: chase share outside [0,1]")
+        if not (0.0 <= self.pc_noise <= 1.0):
+            raise TraceError(f"{self.name}: pc noise outside [0,1]")
+
+    @property
+    def write_intensity(self) -> float:
+        """WPKI + MPKI, the paper's classification metric."""
+        return self.wpki + self.mpki
+
+
+def _p(name, wpki, mpki, hitrate, ipc, chase, noise) -> AppProfile:
+    return AppProfile(name, wpki, mpki, hitrate, ipc, chase, noise)
+
+
+#: Table II, column-for-column, plus the qualitative criticality mix.
+#: Ordering follows Table II's three columns (high, medium, low intensity).
+ALL_APPS: tuple[AppProfile, ...] = (
+    # name         WPKI    MPKI   hit  IPC   chase  noise
+    _p("mcf",       68.67, 55.29, 0.20, 0.07, 0.55, 0.20),
+    _p("streamL",   36.25, 36.25, 0.00, 0.37, 0.05, 0.35),
+    _p("lbm",       31.66, 31.46, 0.01, 0.53, 0.05, 0.35),
+    _p("zeusmp",    18.57, 17.13, 0.08, 0.54, 0.15, 0.30),
+    _p("bwaves",    14.01, 12.91, 0.08, 0.59, 0.10, 0.35),
+    _p("libquantum",11.67, 11.64, 0.00, 0.34, 0.05, 0.35),
+    _p("milc",      11.31, 11.28, 0.00, 0.71, 0.08, 0.35),
+    _p("omnetpp",   16.22,  0.61, 0.96, 0.78, 0.60, 0.15),
+    _p("xalancbmk", 13.17,  0.76, 0.94, 0.89, 0.55, 0.15),
+    _p("leslie3d",   5.24,  4.86, 0.07, 1.33, 0.15, 0.35),
+    _p("bzip2",      2.89,  0.69, 0.76, 1.63, 0.40, 0.20),
+    _p("gromacs",    1.85,  0.61, 0.67, 1.61, 0.25, 0.20),
+    _p("hmmer",      2.20,  0.13, 0.94, 2.61, 0.20, 0.15),
+    _p("soplex",     1.27,  0.25, 0.80, 0.94, 0.45, 0.15),
+    _p("h264ref",    1.09,  0.08, 0.93, 2.00, 0.25, 0.15),
+    _p("sjeng",      0.52,  0.32, 0.41, 1.16, 0.50, 0.20),
+    _p("sphinx3",    0.30,  0.30, 0.06, 1.96, 0.20, 0.30),
+    _p("dealII",     0.33,  0.12, 0.65, 2.27, 0.45, 0.20),
+    _p("astar",      0.24,  0.12, 0.54, 2.08, 0.60, 0.20),
+    _p("povray",     0.18,  0.04, 0.79, 1.57, 0.30, 0.15),
+    _p("namd",       0.04,  0.05, 0.21, 2.34, 0.20, 0.15),
+    _p("GemsFDTD",   0.00,  0.01, 0.00, 1.81, 0.10, 0.10),
+)
+
+_BY_NAME = {profile.name: profile for profile in ALL_APPS}
+
+#: The eight applications the paper uses for the criticality-predictor
+#: studies (Figures 7, 8 and 9).
+CRITICALITY_STUDY_APPS: tuple[str, ...] = (
+    "mcf",
+    "GemsFDTD",
+    "lbm",
+    "milc",
+    "astar",
+    "bwaves",
+    "bzip2",
+    "leslie3d",
+)
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look up a Table II application by name.
+
+    Raises:
+        TraceError: for unknown application names (listing the known ones,
+            since a typo here usually means a workload file is stale).
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise TraceError(f"unknown application {name!r}; known: {known}") from None
+
+
+def intensity_class(profile: AppProfile) -> str:
+    """Classify an app as ``"high"``/``"medium"``/``"low"`` write intensity.
+
+    Section V-A: the sum of WPKI and MPKI > 10 is high, 1..10 medium,
+    < 1 low.
+    """
+    total = profile.write_intensity
+    if total > HIGH_INTENSITY_MIN:
+        return "high"
+    if total >= MEDIUM_INTENSITY_MIN:
+        return "medium"
+    return "low"
+
+
+def apps_by_intensity() -> dict[str, list[AppProfile]]:
+    """Group all Table II apps by intensity class."""
+    groups: dict[str, list[AppProfile]] = {"high": [], "medium": [], "low": []}
+    for profile in ALL_APPS:
+        groups[intensity_class(profile)].append(profile)
+    return groups

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    SystemConfig,
+    baseline_config,
+)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """The Table I baseline machine."""
+    return baseline_config()
+
+
+@pytest.fixture
+def tiny_cache_config() -> CacheConfig:
+    """A 4-set, 2-way, 64-B-line cache (512 B) for exhaustive tests."""
+    return CacheConfig(size_bytes=512, assoc=2, latency=2, name="tiny")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,72 @@
+"""Address arithmetic: line/page decomposition and set/tag extraction."""
+
+import pytest
+
+from repro.common.addr import (
+    DEFAULT_ADDRESS_MAP,
+    AddressMap,
+    set_index,
+    tag_bits,
+)
+from repro.common.errors import ConfigError
+
+
+class TestDefaultGeometry:
+    def test_offset_bits(self):
+        assert DEFAULT_ADDRESS_MAP.offset_bits == 6
+
+    def test_page_offset_bits(self):
+        assert DEFAULT_ADDRESS_MAP.page_offset_bits == 12
+
+    def test_lines_per_page_is_64(self):
+        assert DEFAULT_ADDRESS_MAP.lines_per_page == 64
+
+    def test_line_addr_round_trip(self):
+        addr = 0x1234_5678
+        line = DEFAULT_ADDRESS_MAP.line_addr(addr)
+        assert DEFAULT_ADDRESS_MAP.line_to_byte(line) == addr & ~0x3F
+
+    def test_line_in_page_matches_figure10(self):
+        # Figure 10: bits 6..11 index the line within a 4 KB page.
+        addr = (7 << 6) | 3  # line 7 of page 0, byte offset 3
+        assert DEFAULT_ADDRESS_MAP.line_in_page(addr) == 7
+
+    def test_page_of_line_consistent(self):
+        addr = 0xABCD_E000 + 5 * 64
+        line = DEFAULT_ADDRESS_MAP.line_addr(addr)
+        assert DEFAULT_ADDRESS_MAP.page_of_line(line) == DEFAULT_ADDRESS_MAP.page_number(addr)
+
+    def test_line_index_in_page_covers_all_slots(self):
+        page_base_line = 0x1000 * 64 // 64 * 64  # any aligned base
+        seen = {DEFAULT_ADDRESS_MAP.line_index_in_page(page_base_line + i) for i in range(64)}
+        assert seen == set(range(64))
+
+
+class TestValidation:
+    def test_non_power_line_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_bytes=48)
+
+    def test_page_smaller_than_line_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_bytes=4096, page_bytes=64)
+
+
+class TestSetTag:
+    def test_set_index_masks_low_bits(self):
+        assert set_index(0b101101, 8) == 0b101
+
+    def test_tag_shifts_out_set(self):
+        assert tag_bits(0b101101, 8) == 0b101
+
+    def test_set_tag_uniquely_identify_line(self):
+        num_sets = 64
+        seen = set()
+        for line in range(4096):
+            key = (set_index(line, num_sets), tag_bits(line, num_sets))
+            assert key not in seen
+            seen.add(key)
+
+    def test_non_power_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            set_index(10, 12)

@@ -1,0 +1,88 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.experiments.ascii_plot import (
+    bar_chart,
+    grouped_bars,
+    scatter,
+    wear_heatmap,
+)
+
+
+class TestBarChart:
+    def test_peak_gets_full_bar(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert 4 <= lines[1].count("█") <= 5
+
+    def test_title_and_unit(self):
+        out = bar_chart({"x": 1.0}, title="T", unit="y")
+        assert out.startswith("T\n")
+        assert "y |" in out
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({"a": -1.0})
+
+
+class TestGroupedBars:
+    def test_groups_share_scale(self):
+        out = grouped_bars(
+            {"g1": {"a": 10.0}, "g2": {"a": 5.0}}, width=10
+        )
+        blocks = out.split("--- ")
+        assert blocks[1].count("█") == 10
+        assert blocks[2].count("█") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            grouped_bars({})
+
+
+class TestScatter:
+    def test_markers_and_legend(self):
+        out = scatter({"S-NUCA": (1.0, 2.0), "Private": (2.0, 1.0)},
+                      xlabel="IPC", ylabel="life")
+        assert "A=S-NUCA" in out and "B=Private" in out
+        assert "A" in out.splitlines()[1] or any(
+            "A" in line for line in out.splitlines()
+        )
+
+    def test_extremes_at_corners(self):
+        out = scatter({"lo": (0.0, 0.0), "hi": (1.0, 1.0)}, cols=20, rows=5)
+        rows = [line for line in out.splitlines() if line.startswith("  |")]
+        assert "B" in rows[0]      # hi at the top
+        assert "A" in rows[-1]     # lo at the bottom
+
+    def test_single_point_ok(self):
+        assert "A=only" in scatter({"only": (3.0, 4.0)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            scatter({})
+
+
+class TestHeatmap:
+    def test_mesh_shape(self):
+        out = wear_heatmap([1, 2, 3, 4] * 4, cols=4)
+        assert len(out.splitlines()) == 4
+
+    def test_peak_is_full_shade(self):
+        out = wear_heatmap([0.0, 10.0, 0.0, 0.0], cols=4)
+        assert "███ 100%" in out
+        assert "100%" in out
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ReproError):
+            wear_heatmap([1, 2, 3], cols=4)

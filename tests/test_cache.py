@@ -1,0 +1,172 @@
+"""Write-back write-allocate cache behaviour."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.common.errors import SimulationError
+from repro.config import CacheConfig
+
+
+@pytest.fixture
+def cache(tiny_cache_config):
+    """4 sets x 2 ways."""
+    return Cache(tiny_cache_config)
+
+
+class TestHitMiss:
+    def test_cold_miss_allocates(self, cache):
+        res = cache.access(0x100, False)
+        assert not res.hit
+        assert cache.contains(0x100)
+
+    def test_second_access_hits(self, cache):
+        cache.access(0x100, False)
+        assert cache.access(0x100, False).hit
+
+    def test_stats_track_hits_misses(self, cache):
+        cache.access(1, False)
+        cache.access(1, False)
+        cache.access(2, True)
+        assert cache.stats.demand_reads == 2
+        assert cache.stats.demand_writes == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+
+    def test_hit_rate(self, cache):
+        cache.access(1, False)
+        cache.access(1, False)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestWriteBack:
+    def test_write_marks_dirty(self, cache):
+        cache.access(0x40, True)
+        assert cache.is_dirty(0x40)
+
+    def test_read_leaves_clean(self, cache):
+        cache.access(0x40, False)
+        assert not cache.is_dirty(0x40)
+
+    def test_dirty_victim_reported(self, cache):
+        # Same set (4 sets): lines 0, 4, 8 all map to set 0.
+        cache.access(0, True)
+        cache.access(4, False)
+        res = cache.access(8, False)  # evicts line 0 (dirty)
+        assert res.victim_line == 0
+        assert res.victim_dirty
+        assert cache.stats.writebacks == 1
+
+    def test_clean_victim_not_written_back(self, cache):
+        cache.access(0, False)
+        cache.access(4, False)
+        res = cache.access(8, False)
+        assert res.victim_line == 0
+        assert not res.victim_dirty
+        assert cache.stats.clean_evictions == 1
+
+    def test_write_hit_after_clean_fill_dirties(self, cache):
+        cache.access(0x80, False)
+        cache.access(0x80, True)
+        assert cache.is_dirty(0x80)
+
+
+class TestProbeAllocate:
+    def test_probe_does_not_allocate(self, cache):
+        assert not cache.probe(0x7)
+        assert not cache.contains(0x7)
+        assert cache.stats.misses == 1
+
+    def test_probe_write_hit_dirties(self, cache):
+        cache.allocate(0x7)
+        assert cache.probe(0x7, is_write=True)
+        assert cache.is_dirty(0x7)
+
+    def test_allocate_dirty(self, cache):
+        cache.allocate(0x9, dirty=True)
+        assert cache.is_dirty(0x9)
+
+    def test_allocate_carries_aux(self, cache):
+        cache.allocate(0x9, aux=("core", True))
+        assert cache.aux_of(0x9) == ("core", True)
+
+    def test_victim_aux_returned(self, cache):
+        cache.allocate(0, aux="first")
+        cache.allocate(4)
+        res = cache.allocate(8)
+        assert res.victim_aux == "first"
+
+
+class TestIndexShift:
+    def test_shifted_sets_balance(self):
+        """With index_shift=4, lines sharing low 4 bits spread over sets."""
+        cfg = CacheConfig(64 * 16 * 4, 4, 1)  # 16 sets, 4 ways
+        cache = Cache(cfg, index_shift=4)
+        # 64 lines that all have low nibble 0 (same S-NUCA bank).
+        for i in range(64):
+            cache.access(i << 4, False)
+        assert cache.occupancy() == 64  # no conflict evictions at all
+
+    def test_distinct_lines_never_alias(self):
+        cfg = CacheConfig(64 * 8 * 2, 2, 1)
+        cache = Cache(cfg, index_shift=4)
+        cache.access(0x10, False)
+        assert not cache.access(0x1010, False).hit  # same set, different line
+
+
+class TestMaintenance:
+    def test_invalidate(self, cache):
+        cache.access(5, True)
+        present, dirty = cache.invalidate(5)
+        assert present and dirty
+        assert not cache.contains(5)
+
+    def test_invalidate_absent(self, cache):
+        assert cache.invalidate(5) == (False, False)
+
+    def test_mark_dirty_requires_presence(self, cache):
+        with pytest.raises(SimulationError):
+            cache.mark_dirty(0x123)
+
+    def test_set_aux_requires_presence(self, cache):
+        with pytest.raises(SimulationError):
+            cache.set_aux(0x123, None)
+
+    def test_flush_reports_dirty_lines(self, cache):
+        cache.access(1, True)
+        cache.access(2, False)
+        drained = dict(cache.flush())
+        assert drained == {1: True, 2: False}
+        assert cache.occupancy() == 0
+
+    def test_resident_lines(self, cache):
+        cache.access(1, False)
+        cache.access(9, False)
+        assert sorted(cache.resident_lines()) == [1, 9]
+
+
+class TestCapacityBehaviour:
+    def test_working_set_fits(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)  # 8 lines total
+        for _round in range(3):
+            for line in range(8):
+                cache.access(line, False)
+        # After warm-up rounds every access hits.
+        assert cache.stats.misses == 8
+
+    def test_working_set_exceeds(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        for _round in range(3):
+            for line in range(16):  # 2x capacity, cyclic -> always miss
+                cache.access(line, False)
+        assert cache.stats.hits == 0
+
+
+def test_stats_merge():
+    from repro.cache.cache import CacheStats
+
+    a = CacheStats(demand_reads=2, hits=1, misses=1)
+    b = CacheStats(demand_reads=3, hits=3, writebacks=2)
+    a.merge(b)
+    assert a.demand_reads == 5
+    assert a.hits == 4
+    assert a.writebacks == 2

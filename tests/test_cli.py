@@ -1,0 +1,58 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.workload == 1
+        assert "Re-NUCA" in args.schemes
+
+
+class TestCommands:
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "16 cores" in out
+        assert "32MB total" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "WL1:" in out and "WL10:" in out
+        assert "high" in out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "namd", "--instructions", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "namd" in out and "WPKI" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--schemes", "S-NUCA", "Private",
+            "--instructions", "10000", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S-NUCA" in out and "Private" in out
+        assert "min life" in out
+
+    def test_compare_bad_workload(self, capsys):
+        assert main(["compare", "--workload", "99"]) == 2
+
+    def test_trace_generation(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        code = main(["trace", "milc", str(out_file), "--instructions", "5000"])
+        assert code == 0
+        from repro.trace.fileio import load_trace
+
+        trace, meta = load_trace(out_file)
+        assert len(trace) > 0
+        assert meta["extra"]["app"] == "milc"

@@ -1,0 +1,145 @@
+"""Directory MESI protocol: transitions, invariants, event accounting."""
+
+import pytest
+
+from repro.cache.coherence import (
+    CoherenceReply,
+    DirState,
+    MesiDirectory,
+    MesiState,
+)
+from repro.common.errors import SimulationError
+
+LINE = 0x1000
+
+
+@pytest.fixture
+def directory():
+    return MesiDirectory(num_cores=4)
+
+
+class TestReadPath:
+    def test_first_reader_gets_exclusive(self, directory):
+        reply = directory.read(0, LINE)
+        assert reply.granted is MesiState.EXCLUSIVE
+        assert directory.directory_state(LINE) is DirState.SHARED
+        assert directory.private_state(0, LINE) is MesiState.EXCLUSIVE
+
+    def test_second_reader_demotes_to_shared(self, directory):
+        directory.read(0, LINE)
+        reply = directory.read(1, LINE)
+        assert reply.granted is MesiState.SHARED
+        assert 0 in reply.downgraded
+        assert directory.private_state(0, LINE) is MesiState.SHARED
+
+    def test_read_hit_no_transition(self, directory):
+        directory.read(0, LINE)
+        reply = directory.read(0, LINE)
+        assert reply.granted is MesiState.EXCLUSIVE
+        assert reply.downgraded == ()
+
+    def test_read_from_modified_forwards_dirty(self, directory):
+        directory.write(0, LINE)
+        reply = directory.read(1, LINE)
+        assert reply.dirty_forward
+        assert reply.granted is MesiState.SHARED
+        assert directory.private_state(0, LINE) is MesiState.SHARED
+        assert directory.directory_state(LINE) is DirState.SHARED
+
+
+class TestWritePath:
+    def test_first_writer_gets_modified(self, directory):
+        reply = directory.write(0, LINE)
+        assert reply.granted is MesiState.MODIFIED
+        assert directory.directory_state(LINE) is DirState.MODIFIED
+
+    def test_silent_e_to_m_upgrade(self, directory):
+        directory.read(0, LINE)  # E
+        reply = directory.write(0, LINE)
+        assert reply.granted is MesiState.MODIFIED
+        assert reply.invalidated == ()
+        assert directory.stats.silent_upgrades == 1
+
+    def test_write_invalidates_sharers(self, directory):
+        directory.read(0, LINE)
+        directory.read(1, LINE)
+        directory.read(2, LINE)
+        reply = directory.write(3, LINE)
+        assert set(reply.invalidated) == {0, 1, 2}
+        for core in (0, 1, 2):
+            assert directory.private_state(core, LINE) is MesiState.INVALID
+
+    def test_write_steals_from_modified(self, directory):
+        directory.write(0, LINE)
+        reply = directory.write(1, LINE)
+        assert reply.invalidated == (0,)
+        assert reply.dirty_forward
+        assert directory.private_state(1, LINE) is MesiState.MODIFIED
+
+    def test_write_hit_on_own_modified(self, directory):
+        directory.write(0, LINE)
+        reply = directory.write(0, LINE)
+        assert reply.granted is MesiState.MODIFIED
+        assert directory.stats.write_requests == 2
+
+    def test_sharer_upgrade_invalidates_others(self, directory):
+        directory.read(0, LINE)
+        directory.read(1, LINE)
+        reply = directory.write(0, LINE)
+        assert reply.invalidated == (1,)
+
+
+class TestEviction:
+    def test_modified_eviction_is_dirty(self, directory):
+        directory.write(0, LINE)
+        assert directory.evict(0, LINE) is True
+        assert directory.directory_state(LINE) is DirState.UNCACHED
+        assert directory.stats.writebacks_received == 1
+
+    def test_shared_eviction_clean(self, directory):
+        directory.read(0, LINE)
+        directory.read(1, LINE)
+        assert directory.evict(0, LINE) is False
+        assert directory.directory_state(LINE) is DirState.SHARED
+        assert directory.sharers(LINE) == frozenset({1})
+
+    def test_last_sharer_eviction_uncaches(self, directory):
+        directory.read(0, LINE)
+        directory.evict(0, LINE)
+        assert directory.directory_state(LINE) is DirState.UNCACHED
+
+    def test_evict_invalid_is_noop(self, directory):
+        assert directory.evict(0, LINE) is False
+
+
+class TestInvariants:
+    def test_invariants_hold_during_random_traffic(self, rng, directory):
+        lines = [0x10, 0x20, 0x30]
+        for _ in range(2000):
+            core = int(rng.integers(0, 4))
+            line = lines[int(rng.integers(0, len(lines)))]
+            op = rng.random()
+            if op < 0.45:
+                directory.read(core, line)
+            elif op < 0.9:
+                directory.write(core, line)
+            else:
+                directory.evict(core, line)
+            directory.check_invariants()
+
+    def test_sharers_of_modified(self, directory):
+        directory.write(2, LINE)
+        assert directory.sharers(LINE) == frozenset({2})
+
+    def test_sharers_of_unknown_line(self, directory):
+        assert directory.sharers(0xDEAD) == frozenset()
+
+    def test_bad_core_rejected(self, directory):
+        with pytest.raises(SimulationError):
+            directory.read(99, LINE)
+
+
+def test_reply_is_immutable():
+    reply = CoherenceReply(granted=MesiState.SHARED)
+    with pytest.raises(AttributeError):
+        reply.granted = MesiState.MODIFIED

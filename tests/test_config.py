@@ -1,0 +1,170 @@
+"""System configuration validation (Table I)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.units import KIB, MIB
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    CriticalityConfig,
+    MemoryConfig,
+    NocConfig,
+    ReRamConfig,
+    SystemConfig,
+    TlbConfig,
+    baseline_config,
+    config_as_dict,
+    scaled_config,
+    sensitivity_l2_128k,
+    sensitivity_l3_1m,
+    sensitivity_rob_168,
+)
+from repro.common.errors import ConfigError
+
+
+class TestTableOne:
+    def test_core_count(self, config):
+        assert config.num_cores == 16
+
+    def test_rob_entries(self, config):
+        assert config.core.rob_entries == 128
+
+    def test_clock(self, config):
+        assert config.core.clock_hz == pytest.approx(2.4e9)
+
+    def test_l1_geometry(self, config):
+        assert config.l1.size_bytes == 32 * KIB
+        assert config.l1.assoc == 4
+        assert config.l1.latency == 2
+
+    def test_l2_geometry(self, config):
+        assert config.l2.size_bytes == 256 * KIB
+        assert config.l2.assoc == 8
+        assert config.l2.latency == 5
+
+    def test_l3_geometry(self, config):
+        assert config.l3_bank.size_bytes == 2 * MIB
+        assert config.l3_bank.assoc == 16
+        assert config.l3_bank.latency == 100
+        assert config.l3_total_bytes == 32 * MIB
+
+    def test_mesh_is_4x4(self, config):
+        assert config.noc.mesh_cols == 4
+        assert config.noc.mesh_rows == 4
+
+    def test_line_size_uniform(self, config):
+        assert config.l1.line_bytes == config.l2.line_bytes == 64
+
+    def test_describe_mentions_key_facts(self, config):
+        text = config.describe()
+        assert "16 cores" in text
+        assert "32MB total" in text
+        assert "MESI" in text
+
+
+class TestDerivedQuantities:
+    def test_num_sets(self):
+        cache = CacheConfig(256 * KIB, 8, 5)
+        assert cache.num_sets == 512
+
+    def test_num_lines(self):
+        cache = CacheConfig(2 * MIB, 16, 100)
+        assert cache.num_lines == 32768
+
+    def test_tlb_sets(self):
+        assert TlbConfig().num_sets == 8
+
+
+class TestSensitivityVariants:
+    def test_l2_variant(self):
+        assert sensitivity_l2_128k().l2.size_bytes == 128 * KIB
+
+    def test_l3_variant(self):
+        cfg = sensitivity_l3_1m()
+        assert cfg.l3_bank.size_bytes == 1 * MIB
+        assert cfg.l3_total_bytes == 16 * MIB
+
+    def test_rob_variant(self):
+        assert sensitivity_rob_168().core.rob_entries == 168
+
+    def test_variants_share_everything_else(self):
+        base = baseline_config()
+        for variant in (sensitivity_l2_128k(), sensitivity_l3_1m()):
+            assert variant.num_cores == base.num_cores
+            assert variant.noc == base.noc
+
+
+class TestValidation:
+    def test_cache_size_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 4, 2)
+
+    def test_cache_sets_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(3 * 64 * 4, 4, 2)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(4096, 4, 0)
+
+    def test_core_tiny_rob_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(rob_entries=4)
+
+    def test_mismatched_mesh_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_cores=8)
+
+    def test_memory_row_hit_bounded(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(latency_cycles=100, row_hit_latency_cycles=200)
+
+    def test_reram_spread_bounds(self):
+        with pytest.raises(ConfigError):
+            ReRamConfig(intra_bank_wear_spread=0.0)
+
+    def test_criticality_threshold_bounds(self):
+        with pytest.raises(ConfigError):
+            CriticalityConfig(threshold_percent=0)
+
+    def test_cluster_size_power_of_two(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(rnuca_cluster_size=3)
+
+    def test_tlb_assoc_divides(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(entries=60, assoc=8)
+
+    def test_noc_negative_hop_rejected(self):
+        with pytest.raises(ConfigError):
+            NocConfig(hop_cycles=-1)
+
+
+class TestScaledConfig:
+    def test_four_cores_2x2(self):
+        cfg = scaled_config(baseline_config(), cores=4)
+        assert cfg.num_cores == 4
+        assert cfg.noc.num_nodes == 4
+        assert cfg.rnuca_cluster_size == 4
+
+    def test_one_core(self):
+        cfg = scaled_config(baseline_config(), cores=1)
+        assert cfg.num_cores == 1
+        assert cfg.rnuca_cluster_size == 1
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_config(baseline_config(), cores=6)
+
+
+def test_config_as_dict_round_trips_fields(config):
+    d = config_as_dict(config)
+    assert d["num_cores"] == 16
+    assert d["l3_bank"]["size_bytes"] == 2 * MIB
+
+
+def test_configs_are_frozen(config):
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.num_cores = 8

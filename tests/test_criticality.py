@@ -1,0 +1,148 @@
+"""Criticality Predictor Table and the multi-threshold meters."""
+
+import pytest
+
+from repro.config import CriticalityConfig
+from repro.core.criticality import (
+    STANDARD_THRESHOLDS,
+    CriticalityMeters,
+    CriticalityPredictor,
+)
+
+
+@pytest.fixture
+def cpt():
+    return CriticalityPredictor(CriticalityConfig(threshold_percent=3.0))
+
+
+class TestCptProtocol:
+    def test_unknown_pc_predicts_noncritical(self, cpt):
+        assert cpt.ratio(0x400) is None
+        assert not cpt.predict(0x401)
+
+    def test_entry_inserted_at_commit(self, cpt):
+        cpt.observe_commit(0x400, blocked=True)
+        assert cpt.ratio(0x400) is not None
+        assert cpt.stats.inserts == 1
+
+    def test_always_blocking_pc_predicted_critical(self, cpt):
+        pc = 0x10
+        for _ in range(10):
+            cpt.ratio(pc)
+            cpt.observe_commit(pc, blocked=True)
+        assert cpt.predict(pc)
+
+    def test_never_blocking_pc_predicted_noncritical(self, cpt):
+        pc = 0x10
+        cpt.observe_commit(pc, blocked=False)
+        for _ in range(50):
+            cpt.ratio(pc)
+            cpt.observe_commit(pc, blocked=False)
+        assert not cpt.predict(pc)
+
+    def test_threshold_boundary(self):
+        """robBlockCount >= x% of numLoadsCount marks the load critical."""
+        cpt = CriticalityPredictor(CriticalityConfig(threshold_percent=50.0))
+        pc = 0x20
+        cpt.observe_commit(pc, blocked=True)   # 1 load, 1 block
+        for _ in range(2):
+            cpt.ratio(pc)
+            cpt.observe_commit(pc, blocked=False)
+        # counters now: loads 3, blocks 1 -> ratio 1/3 < 50%
+        assert not cpt.predict(pc)
+
+    def test_issue_increments_num_loads(self, cpt):
+        pc = 0x30
+        cpt.observe_commit(pc, blocked=True)  # loads=1 blocks=1
+        cpt.ratio(pc)                          # loads=2
+        snap = cpt.snapshot()
+        assert snap[pc] == (2, 1)
+
+    def test_low_threshold_flags_rare_blockers(self):
+        """A 3% threshold catches a PC that blocks once in 20 loads."""
+        cpt = CriticalityPredictor(CriticalityConfig(threshold_percent=3.0))
+        pc = 0x40
+        cpt.observe_commit(pc, blocked=True)
+        for _ in range(19):
+            cpt.ratio(pc)
+            cpt.observe_commit(pc, blocked=False)
+        assert cpt.predict(pc)  # 1/20 = 5% >= 3%
+
+    def test_high_threshold_ignores_rare_blockers(self):
+        cpt = CriticalityPredictor(CriticalityConfig(threshold_percent=100.0))
+        pc = 0x40
+        cpt.observe_commit(pc, blocked=True)
+        for _ in range(19):
+            cpt.ratio(pc)
+            cpt.observe_commit(pc, blocked=False)
+        assert not cpt.predict(pc)
+
+
+class TestCptCapacity:
+    def test_eviction_when_full(self):
+        cpt = CriticalityPredictor(CriticalityConfig(table_entries=4))
+        for pc in range(6):
+            cpt.observe_commit(pc, blocked=True)
+        assert len(cpt) == 4
+        assert cpt.stats.evictions == 2
+
+    def test_lru_entry_evicted(self):
+        cpt = CriticalityPredictor(CriticalityConfig(table_entries=2))
+        cpt.observe_commit(1, blocked=True)
+        cpt.observe_commit(2, blocked=True)
+        cpt.ratio(1)  # touch pc 1
+        cpt.observe_commit(3, blocked=True)  # evicts pc 2
+        snap = cpt.snapshot()
+        assert 1 in snap and 3 in snap and 2 not in snap
+
+
+class TestMeters:
+    def test_figure5_noncritical_percent(self):
+        meters = CriticalityMeters()
+        for _ in range(8):
+            meters.load_committed(None, blocked=False)
+        for _ in range(2):
+            meters.load_committed(0.9, blocked=True)
+        assert meters.noncritical_load_percent == pytest.approx(80.0)
+
+    def test_figure7_accuracy_declines_with_threshold(self):
+        meters = CriticalityMeters()
+        # Blocked loads issued from PCs with a spread of ratios.
+        for ratio in (0.04, 0.10, 0.30, 0.60, 1.00):
+            for _ in range(10):
+                meters.load_committed(ratio, blocked=True)
+        acc = meters.accuracy_percent()
+        assert acc[3] == pytest.approx(100.0)
+        assert acc[50] == pytest.approx(40.0)
+        assert acc[100] == pytest.approx(20.0)
+        values = [acc[t] for t in STANDARD_THRESHOLDS]
+        assert values == sorted(values, reverse=True)
+
+    def test_figure8_noncritical_blocks(self):
+        meters = CriticalityMeters()
+        meters.block_fetched(None)    # unknown PC -> non-critical everywhere
+        meters.block_fetched(0.5)     # critical up to the 50% threshold
+        pct = meters.noncritical_block_percent()
+        assert pct[3] == pytest.approx(50.0)
+        assert pct[75] == pytest.approx(100.0)
+
+    def test_figure9_noncritical_writes(self):
+        meters = CriticalityMeters()
+        meters.block_written(0.9)
+        meters.block_written(0.01)
+        meters.block_written(None)
+        pct = meters.noncritical_write_percent()
+        assert pct[3] == pytest.approx(100.0 * 2 / 3)
+
+    def test_agreement_counts_both_classes(self):
+        meters = CriticalityMeters()
+        meters.load_committed(0.9, blocked=True)    # predicted+true critical
+        meters.load_committed(None, blocked=False)  # predicted+true noncrit
+        meters.load_committed(0.9, blocked=False)   # false positive
+        agree = meters.agreement_percent()
+        assert agree[3] == pytest.approx(100.0 * 2 / 3)
+
+    def test_empty_meters_are_zero(self):
+        meters = CriticalityMeters()
+        assert meters.noncritical_load_percent == 0.0
+        assert all(v == 0.0 for v in meters.accuracy_percent().values())

@@ -1,0 +1,95 @@
+"""D-NUCA with migration (the motivational baseline) + its LLC integration."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.config import baseline_config
+from repro.mem.model import MainMemory
+from repro.noc.mesh import Mesh
+from repro.nuca import NucaLLC, make_policy
+from repro.nuca.dnuca import DNucaPolicy
+from repro.reram.wear import WearTracker
+
+
+@pytest.fixture
+def mesh(config):
+    return Mesh(config.noc)
+
+
+@pytest.fixture
+def llc(config):
+    mesh = Mesh(config.noc)
+    wear = WearTracker(config.num_banks)
+    policy = make_policy("D-NUCA", config, mesh, wear)
+    return NucaLLC(config, policy, mesh, MainMemory(config.memory), wear)
+
+
+class TestPolicy:
+    def test_initial_placement_static_home(self, mesh):
+        policy = DNucaPolicy(mesh)
+        assert policy.place(5, 0x123, critical=False) == 0x3
+
+    def test_migration_after_promotion_hits(self, mesh):
+        policy = DNucaPolicy(mesh, promotion_hits=2)
+        line = 0x3  # home bank 3; requester at node 12 (far corner)
+        policy.on_allocate(12, line, 3, critical=False)
+        assert policy.migration_target(12, line) is None  # 1st hit
+        target = policy.migration_target(12, line)        # 2nd hit
+        assert target is not None
+        assert mesh.distance(target, 12) < mesh.distance(3, 12)
+        assert policy.locate(12, line) == target
+        assert policy.migrations == 1
+
+    def test_no_migration_when_local(self, mesh):
+        policy = DNucaPolicy(mesh, promotion_hits=1)
+        policy.on_allocate(7, 0x7, 7, critical=False)
+        assert policy.migration_target(7, 0x7) is None
+
+    def test_line_eventually_reaches_requester(self, mesh):
+        policy = DNucaPolicy(mesh, promotion_hits=1)
+        policy.on_allocate(12, 0x3, 3, critical=False)
+        for _ in range(mesh.distance(3, 12)):
+            policy.migration_target(12, 0x3)
+        assert policy.locate(12, 0x3) == 12
+
+    def test_untracked_migration_rejected(self, mesh):
+        with pytest.raises(SimulationError):
+            DNucaPolicy(mesh).migration_target(0, 0x99)
+
+    def test_bad_threshold_rejected(self, mesh):
+        with pytest.raises(ConfigError):
+            DNucaPolicy(mesh, promotion_hits=0)
+
+
+class TestLlcIntegration:
+    def test_hits_trigger_migration_and_wear(self, llc):
+        core, line = 12, 0x3  # home bank 3, far from core 12
+        llc.fetch(core, line, 0.0, False)          # fill at home (1 write)
+        for t in range(1, 7):
+            llc.fetch(core, line, float(t * 1000), False)
+        # The line moved toward core 12, each hop a ReRAM write.
+        assert llc.policy.migrations >= 2
+        assert llc.wear.total_writes() == 1 + llc.policy.migrations
+        bank = llc.resident_bank_of(line)
+        assert llc.mesh.distance(bank, core) < llc.mesh.distance(3, core)
+
+    def test_migrated_line_still_found(self, llc):
+        core, line = 15, 0x0
+        llc.fetch(core, line, 0.0, False)
+        for t in range(1, 10):
+            _lat, hit = llc.fetch(core, line, float(t * 1000), False)
+            assert hit  # the location table always finds it
+
+    def test_migration_wear_exceeds_rnuca(self, config):
+        """The paper's point: migration adds write traffic R-NUCA avoids."""
+        def total_wear(scheme):
+            mesh = Mesh(config.noc)
+            wear = WearTracker(config.num_banks)
+            policy = make_policy(scheme, config, mesh, wear)
+            llc = NucaLLC(config, policy, mesh, MainMemory(config.memory), wear)
+            for line in range(64):
+                for t in range(6):  # repeated far-core reuse
+                    llc.fetch(12, line, float(t * 500 + line), False)
+            return llc.wear.total_writes()
+
+        assert total_wear("D-NUCA") > total_wear("R-NUCA")

@@ -1,0 +1,104 @@
+"""LLC energy model: coefficients, accumulation, SRAM-vs-ReRAM story."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.reram.energy import (
+    RERAM,
+    SRAM_32NM,
+    EnergyCoefficients,
+    LlcEnergyModel,
+)
+
+
+class TestCoefficients:
+    def test_reram_write_tax(self):
+        assert RERAM.write_pj > 5 * RERAM.read_pj
+
+    def test_sram_leakage_dominates_reram(self):
+        assert SRAM_32NM.leakage_mw_per_mb > 10 * RERAM.leakage_mw_per_mb
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyCoefficients("bad", read_pj=-1, write_pj=1, leakage_mw_per_mb=0)
+
+
+class TestModel:
+    def test_static_energy_scales_with_time_and_capacity(self):
+        model = LlcEnergyModel(SRAM_32NM, capacity_mb=32)
+        one = model.report(1.0)
+        two = model.report(2.0)
+        assert two.static_mj == pytest.approx(2 * one.static_mj)
+        assert one.static_mj == pytest.approx(25.0 * 32 * 1.0)
+
+    def test_dynamic_energy_counts_events(self):
+        model = LlcEnergyModel(RERAM, capacity_mb=32)
+        model.record(reads=1000, writes=100, noc_hops=500)
+        report = model.report(0.0)
+        assert report.read_mj == pytest.approx(60.0 * 1000 * 1e-9)
+        assert report.write_mj == pytest.approx(600.0 * 100 * 1e-9)
+        assert report.noc_mj == pytest.approx(12.0 * 500 * 1e-9)
+        assert report.total_mj == pytest.approx(report.dynamic_mj)
+
+    def test_record_accumulates(self):
+        model = LlcEnergyModel(RERAM, capacity_mb=1)
+        model.record(reads=1)
+        model.record(reads=2)
+        assert model.reads == 3
+
+    def test_negative_counts_rejected(self):
+        model = LlcEnergyModel(RERAM, capacity_mb=1)
+        with pytest.raises(ConfigError):
+            model.record(reads=-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            LlcEnergyModel(RERAM, capacity_mb=0)
+
+
+class TestPaperStory:
+    def test_sram_llc_is_leakage_dominated(self):
+        """Section I: 'standby power is up to 80% of their total power'."""
+        sram = LlcEnergyModel(SRAM_32NM, capacity_mb=32)
+        reram = LlcEnergyModel(RERAM, capacity_mb=32)
+        # A second of moderately busy LLC: ~10M reads, 3M writes.
+        for model in (sram, reram):
+            model.record(reads=10_000_000, writes=3_000_000,
+                         noc_hops=40_000_000)
+        sram_report = sram.report(1.0)
+        reram_report = reram.report(1.0)
+        assert sram_report.static_fraction > 0.6
+        assert reram_report.static_fraction < 0.35
+        assert reram_report.total_mj < sram_report.total_mj
+
+    def test_write_heavy_traffic_narrows_the_gap(self):
+        """ReRAM's write energy erodes its advantage under write storms."""
+        def totals(writes):
+            sram = LlcEnergyModel(SRAM_32NM, capacity_mb=32)
+            reram = LlcEnergyModel(RERAM, capacity_mb=32)
+            for m in (sram, reram):
+                m.record(reads=1_000_000, writes=writes)
+            return (reram.report(0.05).total_mj, sram.report(0.05).total_mj)
+
+        light_ratio = totals(100_000)[0] / totals(100_000)[1]
+        heavy_ratio = totals(50_000_000)[0] / totals(50_000_000)[1]
+        assert heavy_ratio > light_ratio
+
+
+class TestResultIntegration:
+    def test_energy_of_result(self):
+        from repro.config import baseline_config
+        from repro.reram.energy import energy_of_result
+        from repro.sim.runner import Stage1Cache, run_workload
+        from repro.trace.workloads import make_workloads
+
+        config = baseline_config()
+        workload = make_workloads(num_cores=16, count=1, seed=8)[0]
+        result = run_workload(
+            workload, "S-NUCA", config, seed=8,
+            n_instructions=20_000, stage1=Stage1Cache(),
+        )
+        reram = energy_of_result(result, config, RERAM)
+        sram = energy_of_result(result, config, SRAM_32NM)
+        assert reram.total_mj > 0
+        assert sram.static_fraction > reram.static_fraction

@@ -1,0 +1,132 @@
+"""Experiment drivers and report rendering (small-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config import baseline_config
+from repro.experiments.criticality import run_criticality_sweep
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.main_result import MOTIVATION_SCHEMES, run_main_matrix
+from repro.experiments.report import (
+    format_table,
+    render_fig2,
+    render_ipc_improvements,
+    render_lifetime_bars,
+    render_percent_map,
+    render_table2,
+    render_table3,
+    render_threshold_sweep,
+    render_tradeoff,
+)
+from repro.experiments.sensitivity import run_sensitivity, table3
+from repro.experiments.table2 import run_table2
+from repro.sim.runner import Stage1Cache
+
+INSTR = 30_000
+APPS = ("hmmer", "milc", "astar")
+
+
+@pytest.fixture(scope="module")
+def stage1():
+    return Stage1Cache()
+
+
+class TestTable2:
+    def test_rows_carry_targets(self, stage1):
+        rows = run_table2(apps=APPS, seed=5, n_instructions=INSTR, stage1=stage1)
+        assert [r.app for r in rows] == list(APPS)
+        for row in rows:
+            assert row.target_ipc > 0
+            assert row.wpki >= 0
+        text = render_table2(rows)
+        assert "hmmer" in text and "WPKI" in text
+
+    def test_fig2_sorted_descending(self, stage1):
+        rows = run_table2(apps=APPS, seed=5, n_instructions=INSTR, stage1=stage1)
+        text = render_fig2(rows)
+        assert text.index("milc") < text.index("astar")
+
+
+class TestFig5:
+    def test_percentages_valid(self, stage1):
+        data = run_fig5(apps=APPS, seed=5, n_instructions=INSTR, stage1=stage1)
+        assert set(data) == set(APPS)
+        assert all(0 <= v <= 100 for v in data.values())
+        text = render_percent_map("Fig5", data)
+        assert "Average" in text
+
+
+class TestCriticalitySweep:
+    def test_sweep_structure(self, stage1):
+        sweep = run_criticality_sweep(
+            apps=APPS, seed=5, n_instructions=INSTR, stage1=stage1
+        )
+        assert set(sweep.accuracy) == set(APPS)
+        avg = sweep.average(sweep.noncritical_blocks)
+        assert set(avg) == set(sweep.thresholds)
+        # Non-critical share grows (weakly) with the threshold.
+        values = [avg[t] for t in sweep.thresholds]
+        assert values[-1] >= values[0]
+        text = render_threshold_sweep("Fig8", sweep.noncritical_blocks,
+                                      sweep.thresholds)
+        assert "Avg" in text
+
+
+class TestMatrixDrivers:
+    @pytest.fixture(scope="class")
+    def matrix(self, stage1):
+        return run_main_matrix(
+            baseline_config(),
+            schemes=("S-NUCA", "Re-NUCA"),
+            num_workloads=2,
+            seed=5,
+            n_instructions=INSTR,
+            stage1=stage1,
+        )
+
+    def test_matrix_covers_grid(self, matrix):
+        assert len(matrix.results) == 4
+        assert matrix.workloads == ("WL1", "WL2")
+
+    def test_renders(self, matrix):
+        assert "CB-0" in render_lifetime_bars(matrix, ("S-NUCA", "Re-NUCA"))
+        assert "Avg" in render_ipc_improvements(matrix, ("S-NUCA", "Re-NUCA"))
+        assert "S-NUCA" in render_tradeoff(matrix)
+
+    def test_table3_assembly(self, matrix):
+        t3 = table3({"Actual Results": matrix}, schemes=("S-NUCA", "Re-NUCA"))
+        assert t3["Actual Results"]["S-NUCA"] > 0
+        assert "Config" in render_table3(t3)
+
+
+class TestSensitivity:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sensitivity("L4-64MB")
+
+    def test_variant_runs(self, stage1):
+        matrix = run_sensitivity(
+            "ROB-168",
+            schemes=("S-NUCA",),
+            num_workloads=1,
+            seed=5,
+            n_instructions=INSTR,
+            stage1=stage1,
+        )
+        assert matrix.label == "ROB-168"
+        assert matrix.get("WL1", "S-NUCA").ipc > 0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_floats_rounded(self):
+        assert "2.50" in format_table(["x"], [[2.5]])
+
+    def test_motivation_schemes_exclude_renuca(self):
+        assert "Re-NUCA" not in MOTIVATION_SCHEMES

@@ -1,0 +1,94 @@
+"""Trace file I/O and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError, TraceError
+from repro.common.rng import derive_rng
+from repro.trace.fileio import load_trace, params_from_meta, save_trace
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import derive_params
+
+
+@pytest.fixture
+def trace():
+    params = derive_params(get_profile("milc"))
+    return generate_trace(params, 2000, derive_rng(0, "io")), params
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_exact(self, trace, tmp_path):
+        arr, params = trace
+        path = tmp_path / "milc.npz"
+        save_trace(path, arr, params=params, extra={"app": "milc"})
+        loaded, meta = load_trace(path)
+        assert np.array_equal(loaded, arr)
+        assert meta["records"] == len(arr)
+        assert meta["extra"]["app"] == "milc"
+
+    def test_params_round_trip(self, trace, tmp_path):
+        arr, params = trace
+        path = tmp_path / "t.npz"
+        save_trace(path, arr, params=params)
+        _loaded, meta = load_trace(path)
+        assert params_from_meta(meta) == params
+
+    def test_params_optional(self, trace, tmp_path):
+        arr, _params = trace
+        path = tmp_path / "t.npz"
+        save_trace(path, arr)
+        _loaded, meta = load_trace(path)
+        assert params_from_meta(meta) is None
+
+    def test_non_structured_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            save_trace(tmp_path / "x.npz", np.zeros(10))
+
+    def test_random_npz_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestMatrixStore:
+    def test_round_trip(self, tmp_path):
+        from repro.config import baseline_config
+        from repro.sim.runner import Stage1Cache, run_workload
+        from repro.sim.store import load_matrix, save_matrix
+        from repro.sim.metrics import MatrixResult
+        from repro.trace.workloads import make_workloads
+
+        config = baseline_config()
+        workload = make_workloads(num_cores=16, count=1, seed=6)[0]
+        result = run_workload(
+            workload, "S-NUCA", config, seed=6,
+            n_instructions=15_000, stage1=Stage1Cache(),
+        )
+        matrix = MatrixResult(label="t", schemes=("S-NUCA",),
+                              workloads=(workload.name,))
+        matrix.add(result)
+        path = tmp_path / "matrix.json"
+        save_matrix(path, matrix)
+        loaded = load_matrix(path)
+        got = loaded.get(workload.name, "S-NUCA")
+        assert got.ipc == pytest.approx(result.ipc)
+        assert np.array_equal(got.bank_writes, result.bank_writes)
+        assert loaded.raw_min_lifetime("S-NUCA") == pytest.approx(
+            matrix.raw_min_lifetime("S-NUCA")
+        )
+
+    def test_bad_file_rejected(self, tmp_path):
+        from repro.sim.store import load_matrix
+
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ReproError):
+            load_matrix(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        from repro.sim.store import load_matrix
+
+        with pytest.raises(ReproError):
+            load_matrix(tmp_path / "nope.json")

@@ -1,0 +1,177 @@
+"""End-to-end shape tests: the paper's qualitative claims on small runs.
+
+These are the repo's acceptance tests: every claim checked here is a
+sentence from the paper's evaluation, verified on a reduced instruction
+budget with a fixed seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.trace.workloads import Workload, make_workloads
+
+INSTR = 60_000
+SEED = 11
+
+#: A deliberately imbalanced mix: heavy writers clustered on low cores.
+MIX = Workload(
+    "accept16",
+    (
+        "mcf", "lbm", "omnetpp", "xalancbmk",
+        "milc", "leslie3d", "bzip2", "soplex",
+        "hmmer", "h264ref", "astar", "dealII",
+        "sjeng", "povray", "namd", "GemsFDTD",
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = baseline_config()
+    stage1 = Stage1Cache()
+    return {
+        scheme: run_workload(
+            MIX, scheme, config, seed=SEED, n_instructions=INSTR, stage1=stage1
+        )
+        for scheme in ("Naive", "S-NUCA", "Re-NUCA", "R-NUCA", "Private")
+    }
+
+
+def cv(values) -> float:
+    values = np.asarray(values, dtype=float)
+    return float(values.std() / values.mean())
+
+
+class TestWearShapes:
+    def test_naive_levels_perfectly(self, results):
+        """'This approach leads to near-ideal wear-leveling ... 0% variation.'"""
+        assert cv(results["Naive"].bank_writes) < 0.02
+
+    def test_snuca_nearly_uniform(self, results):
+        """'All cache banks have very similar lifetime in S-NUCA.'"""
+        assert cv(results["S-NUCA"].bank_writes) < 0.25
+
+    def test_rnuca_concentrates_wear(self, results):
+        """'R-NUCA has relatively large variation between lifetimes.'"""
+        assert cv(results["R-NUCA"].bank_writes) > 2 * cv(results["S-NUCA"].bank_writes)
+
+    def test_private_is_worst(self, results):
+        """'Private cache ... offers maximum variation in lifetime.'"""
+        assert cv(results["Private"].bank_writes) > cv(results["R-NUCA"].bank_writes)
+
+    def test_renuca_between_snuca_and_rnuca(self, results):
+        """Re-NUCA 'wear-levels the cache in a performance-conscious fashion'."""
+        assert (
+            cv(results["S-NUCA"].bank_writes)
+            < cv(results["Re-NUCA"].bank_writes)
+            < cv(results["R-NUCA"].bank_writes)
+        )
+
+
+class TestLifetimeShapes:
+    def test_minimum_lifetime_ordering(self, results):
+        """Table III ordering: Naive > S-NUCA > Re-NUCA > R-NUCA > Private."""
+        life = {s: r.min_lifetime for s, r in results.items()}
+        assert life["Naive"] >= life["S-NUCA"] * 0.9
+        assert life["S-NUCA"] > life["R-NUCA"]
+        assert life["Re-NUCA"] > life["R-NUCA"]
+        assert life["R-NUCA"] >= life["Private"] * 0.9
+
+    def test_headline_42_percent_shape(self, results):
+        """'Re-NUCA improves the minimum lifetime by 42% over R-NUCA.'"""
+        gain = results["Re-NUCA"].min_lifetime / results["R-NUCA"].min_lifetime
+        assert gain > 1.2  # the paper's 1.42x, with laptop-scale tolerance
+
+    def test_lifetimes_in_plausible_range(self, results):
+        """Paper values are single-digit years; accept 0.1-100."""
+        for result in results.values():
+            assert 0.05 < result.min_lifetime < 200
+
+
+class TestPerformanceShapes:
+    def test_private_and_rnuca_beat_snuca(self, results):
+        """'R-NUCA beats S-NUCA by 4.7% ... private ~8% improvement.'
+
+        The paper itself notes Private loses on some mixes ("private
+        cache configurations suffer from the capacity utilization
+        problem ... IPC is lower in some workloads"), and this
+        deliberately capacity-hungry mix is one of them — so Private is
+        only required not to lose materially here.
+        """
+        assert results["R-NUCA"].ipc > results["S-NUCA"].ipc
+        assert results["Private"].ipc > results["S-NUCA"].ipc * 0.97
+
+    def test_naive_is_slowest(self, results):
+        """'The Naive scheme degrades performance.'"""
+        assert results["Naive"].ipc < results["S-NUCA"].ipc
+
+    def test_renuca_does_not_lose_to_snuca(self, results):
+        """Re-NUCA keeps performance while wear-levelling."""
+        assert results["Re-NUCA"].ipc > results["S-NUCA"].ipc * 0.99
+
+    def test_renuca_uses_both_mappings(self, results):
+        frac = results["Re-NUCA"].critical_fill_fraction
+        assert 0.05 < frac < 0.95
+
+
+class TestCapacityEffects:
+    def test_private_loses_capacity_sharing(self):
+        """'Private cache configurations suffer from the capacity
+        utilization problem' — a big-footprint app surrounded by idle
+        ones can borrow shared capacity under S-NUCA but is pinned to
+        2 MB under Private."""
+        config = baseline_config()
+        stage1 = Stage1Cache()
+        mix = make_workloads(num_cores=16, count=1, seed=1)[0]
+        hits = {}
+        for scheme in ("S-NUCA", "Private"):
+            r = run_workload(
+                mix, scheme, config, seed=1,
+                n_instructions=40_000, stage1=stage1,
+            )
+            hits[scheme] = r.llc_fetch_hit_rate
+        assert hits["S-NUCA"] > hits["Private"] + 0.05
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        config = baseline_config()
+        runs = []
+        for _ in range(2):
+            stage1 = Stage1Cache()
+            runs.append(
+                run_workload(
+                    MIX, "Re-NUCA", config, seed=SEED,
+                    n_instructions=20_000, stage1=stage1,
+                )
+            )
+        assert np.array_equal(runs[0].bank_writes, runs[1].bank_writes)
+        assert np.array_equal(runs[0].per_core_ipc, runs[1].per_core_ipc)
+
+
+class TestSensitivityShapes:
+    def test_smaller_l3_lowers_lifetime(self):
+        from repro.config import sensitivity_l3_1m
+
+        stage1 = Stage1Cache()
+        mix = make_workloads(num_cores=16, count=1, seed=SEED)[0]
+        base = run_workload(
+            mix, "S-NUCA", baseline_config(), seed=SEED,
+            n_instructions=30_000, stage1=stage1,
+        )
+        small = run_workload(
+            mix, "S-NUCA", sensitivity_l3_1m(), seed=SEED,
+            n_instructions=30_000, stage1=stage1,
+        )
+        # Half the lines per bank -> roughly half the write budget.
+        assert small.min_lifetime < base.min_lifetime
+
+    def test_smaller_l2_raises_writebacks(self):
+        from repro.config import sensitivity_l2_128k
+        from repro.cpu.core import AppSimulator
+
+        base = AppSimulator("omnetpp", baseline_config(), seed=SEED).run(40_000)
+        small = AppSimulator("omnetpp", sensitivity_l2_128k(), seed=SEED).run(40_000)
+        assert small.wpki >= base.wpki * 0.9  # never collapses; usually rises

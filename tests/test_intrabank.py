@@ -1,0 +1,111 @@
+"""Intra-bank wear levelling: set rotation + wear metering."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.common.errors import ConfigError
+from repro.config import CacheConfig
+from repro.reram.intrabank import IntraBankLeveler, SetWearMeter
+
+
+@pytest.fixture
+def cache():
+    return Cache(CacheConfig(64 * 8 * 2, 2, 1, name="bank"))  # 8 sets, 2 ways
+
+
+class TestRotation:
+    def test_rotation_changes_set_mapping(self, cache):
+        before = cache.set_of(0x10)
+        cache.rotate_sets(1)
+        assert cache.set_of(0x10) == (before + 1) % cache.num_sets
+
+    def test_resident_lines_survive_rotation(self, cache):
+        for line in range(10):
+            cache.access(line, line % 2 == 0)
+        resident = sorted(cache.resident_lines())
+        dirty = {line for line in resident if cache.is_dirty(line)}
+        cache.rotate_sets(1)
+        assert sorted(cache.resident_lines()) == resident
+        for line in resident:
+            assert cache.contains(line)
+            assert cache.is_dirty(line) == (line in dirty)
+
+    def test_full_cycle_restores_mapping(self, cache):
+        original = [cache.set_of(line) for line in range(32)]
+        for _ in range(cache.num_sets):
+            cache.rotate_sets(1)
+        assert [cache.set_of(line) for line in range(32)] == original
+
+    def test_zero_step_noop(self, cache):
+        cache.access(1, False)
+        cache.rotate_sets(0)
+        assert cache.rotation == 0
+        assert cache.contains(1)
+
+
+class TestMeter:
+    def test_counts_and_imbalance(self):
+        meter = SetWearMeter(4)
+        for _ in range(6):
+            meter.record(0)
+        meter.record(1)
+        meter.record(2)
+        assert meter.total == 8
+        assert meter.imbalance == pytest.approx(6 / 2.0)
+        assert meter.variation > 0
+
+    def test_perfectly_level(self):
+        meter = SetWearMeter(4)
+        for s in range(4):
+            meter.record(s)
+        assert meter.imbalance == 1.0
+        assert meter.variation == 0.0
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SetWearMeter(0)
+
+
+class TestLeveler:
+    def hammer(self, period: int) -> SetWearMeter:
+        """Write-hammer a few hot lines, optionally with rotation."""
+        cache = Cache(CacheConfig(64 * 8 * 2, 2, 1, name="bank"))
+        meter = SetWearMeter(cache.num_sets)
+        leveler = IntraBankLeveler(cache, period, meter)
+        hot_lines = [0, 8, 16]  # all map to set 0 without rotation
+        for i in range(1200):
+            line = hot_lines[i % 3]
+            if not cache.contains(line):
+                cache.allocate(line, dirty=True)
+            else:
+                cache.mark_dirty(line)
+            leveler.on_write(line)
+        return meter
+
+    def test_rotation_levels_hot_sets(self):
+        static = self.hammer(period=0)
+        rotated = self.hammer(period=50)
+        assert static.imbalance > 4.0       # hot set dominates
+        assert rotated.imbalance < static.imbalance / 2
+        assert rotated.variation < static.variation
+
+    def test_disabled_never_rotates(self, cache):
+        leveler = IntraBankLeveler(cache, 0)
+        for i in range(500):
+            leveler.on_write(i)
+        assert leveler.rotations == 0
+        assert cache.rotation == 0
+
+    def test_rotation_cadence(self, cache):
+        leveler = IntraBankLeveler(cache, 10)
+        for i in range(35):
+            leveler.on_write(i)
+        assert leveler.rotations == 3
+
+    def test_meter_mismatch_rejected(self, cache):
+        with pytest.raises(ConfigError):
+            IntraBankLeveler(cache, 10, SetWearMeter(cache.num_sets * 2))
+
+    def test_negative_period_rejected(self, cache):
+        with pytest.raises(ConfigError):
+            IntraBankLeveler(cache, -1)

@@ -1,0 +1,185 @@
+"""NUCA LLC controller semantics across policies."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.mem.model import MainMemory
+from repro.noc.mesh import Mesh
+from repro.nuca import NucaLLC, make_policy
+from repro.reram.wear import WearTracker
+
+
+def build_llc(scheme, config=None):
+    config = config or baseline_config()
+    mesh = Mesh(config.noc)
+    memory = MainMemory(config.memory)
+    wear = WearTracker(config.num_banks)
+    policy = make_policy(scheme, config, mesh, wear)
+    return NucaLLC(config, policy, mesh, memory, wear)
+
+
+class TestFetchSemantics:
+    def test_miss_then_hit(self):
+        llc = build_llc("S-NUCA")
+        lat1, hit1 = llc.fetch(0, 0x123, 0.0, False)
+        lat2, hit2 = llc.fetch(0, 0x123, 1000.0, False)
+        assert not hit1 and hit2
+        assert lat2 < lat1  # hit avoids memory
+
+    def test_miss_pays_memory_latency(self):
+        llc = build_llc("S-NUCA")
+        lat, hit = llc.fetch(0, 0x123, 0.0, False)
+        assert lat >= llc.config.memory.row_hit_latency_cycles
+
+    def test_hit_latency_scales_with_distance(self):
+        llc = build_llc("S-NUCA")
+        # Line in bank 0 (line & 15 == 0); requesters at node 0 and 15.
+        llc.fetch(0, 0x100, 0.0, False)
+        near, _ = llc.fetch(0, 0x100, 100.0, False)
+        far, _ = llc.fetch(15, 0x100, 200.0, False)
+        hops = llc.mesh.distance(15, 0)
+        assert far - near == pytest.approx(2 * hops * llc.config.noc.hop_cycles)
+
+    def test_fill_counts_bank_write(self):
+        llc = build_llc("S-NUCA")
+        llc.fetch(0, 0x123, 0.0, False)
+        assert llc.wear.writes_of(0x3) == 1
+
+    def test_stats(self):
+        llc = build_llc("S-NUCA")
+        llc.fetch(0, 1, 0.0, False)
+        llc.fetch(0, 1, 10.0, False)
+        assert llc.stats.fetches == 2
+        assert llc.stats.fetch_hits == 1
+        assert llc.stats.memory_reads == 1
+        assert llc.stats.fetch_hit_rate == pytest.approx(0.5)
+
+
+class TestWritebackSemantics:
+    def test_writeback_hit_counts_wear(self):
+        llc = build_llc("S-NUCA")
+        llc.fetch(0, 0x10, 0.0, False)     # fill: 1 write into bank 0
+        llc.writeback(0, 0x10, 10.0)       # absorbed: +1 write
+        assert llc.wear.writes_of(0) == 2
+        assert llc.stats.writeback_hits == 1
+
+    def test_writeback_miss_reallocates_dirty(self):
+        llc = build_llc("S-NUCA")
+        llc.writeback(0, 0x20, 0.0)
+        bank = llc.resident_bank_of(0x20)
+        assert bank == 0  # 0x20 & 15
+        assert llc.banks[bank].cache.is_dirty(0x20)
+
+    def test_dirty_victim_goes_to_memory(self, config):
+        llc = build_llc("Private")
+        assoc = config.l3_bank.assoc
+        sets = llc.banks[0].cache.num_sets
+        # Fill one set of core 0's bank beyond capacity with dirty lines.
+        shift = 4  # bank index_shift for 16 banks
+        for k in range(assoc + 2):
+            llc.writeback(0, (k * sets) << shift, float(k))
+        assert llc.stats.memory_writes == 2
+
+
+class TestPolicyIntegration:
+    def test_snuca_spreads_one_core(self):
+        llc = build_llc("S-NUCA")
+        for line in range(160):
+            llc.fetch(0, line, float(line), False)
+        writes = llc.bank_writes()
+        assert min(writes) == max(writes) == 10
+
+    def test_private_concentrates(self):
+        llc = build_llc("Private")
+        for line in range(160):
+            llc.fetch(3, line, float(line), False)
+        writes = llc.bank_writes()
+        assert writes[3] == 160
+        assert sum(writes) == 160
+
+    def test_rnuca_stays_in_cluster(self):
+        llc = build_llc("R-NUCA")
+        for line in range(160):
+            llc.fetch(5, line, float(line), False)
+        cluster = set(llc.policy.clusters[5])
+        for bank, count in enumerate(llc.bank_writes()):
+            assert (count > 0) == (bank in cluster)
+
+    def test_naive_perfectly_levels(self):
+        llc = build_llc("Naive")
+        for line in range(163):
+            llc.fetch(0, line, float(line), False)
+        writes = llc.bank_writes()
+        assert max(writes) - min(writes) <= 1
+
+    def test_naive_pays_directory_penalty(self, config):
+        fast = build_llc("S-NUCA")
+        slow = build_llc("Naive")
+        line = 0x40
+        fast.fetch(0, line, 0.0, False)
+        slow.fetch(0, line, 0.0, False)
+        lat_fast, _ = fast.fetch(0, line, 1e6, False)
+        lat_slow, _ = slow.fetch(0, line, 1e6, False)
+        assert lat_slow >= lat_fast + config.naive_directory_penalty - 64
+
+    def test_renuca_critical_near_noncritical_spread(self):
+        llc = build_llc("Re-NUCA")
+        core = 5
+        for line in range(0, 320, 2):
+            llc.fetch(core, line, float(line), True)       # critical
+            llc.fetch(core, line + 1, float(line), False)  # non-critical
+        cluster = set(llc.policy._rnuca.clusters[core])
+        outside = [b for b in range(16) if b not in cluster]
+        writes = llc.bank_writes()
+        # Non-critical lines must reach banks outside the cluster.
+        assert sum(writes[b] for b in outside) > 0
+        # Critical lines concentrate: cluster banks see more writes.
+        assert sum(writes[b] for b in cluster) > sum(writes[b] for b in outside)
+
+
+class TestPrefill:
+    def test_prefill_installs_without_wear_after_reset(self):
+        llc = build_llc("S-NUCA")
+        for line in range(64):
+            llc.prefill(0, line)
+        llc.reset_measurement()
+        assert llc.occupancy() == 64
+        assert llc.wear.total_writes() == 0
+        _lat, hit = llc.fetch(0, 5, 0.0, False)
+        assert hit
+
+    def test_prefill_idempotent(self):
+        llc = build_llc("S-NUCA")
+        llc.prefill(0, 7)
+        llc.prefill(0, 7)
+        assert llc.occupancy() == 1
+
+    def test_prefill_critical_respects_policy(self):
+        llc = build_llc("Re-NUCA")
+        core, line = 5, 0x1000
+        llc.prefill(core, line, critical=True)
+        assert llc.resident_bank_of(line) in llc.policy._rnuca.clusters[core]
+        assert llc.policy.tlbs[core].mapping_bit(line)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("scheme", ["S-NUCA", "R-NUCA", "Private", "Naive", "Re-NUCA"])
+    def test_no_duplicate_lines_and_locate_agrees(self, scheme, rng):
+        llc = build_llc(scheme)
+        for step in range(5000):
+            core = int(rng.integers(0, 16))
+            line = int(rng.integers(0, 3000)) + ((core + 1) << 44)
+            if rng.random() < 0.3:
+                llc.writeback(core, line, float(step))
+            else:
+                llc.fetch(core, line, float(step), bool(rng.random() < 0.5))
+        from collections import Counter
+
+        residents = Counter()
+        for bank in llc.banks:
+            residents.update(bank.cache.resident_lines())
+        assert all(count == 1 for count in residents.values())
+        for bank in llc.banks:
+            for line in bank.cache.resident_lines():
+                owner = bank.cache.aux_of(line)[0]
+                assert llc.policy.locate(owner, line) == bank.node_id

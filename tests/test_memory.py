@@ -1,0 +1,85 @@
+"""Main-memory model: row-buffer locality and bandwidth queueing."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.config import MemoryConfig
+from repro.mem.model import MainMemory
+
+
+@pytest.fixture
+def memory():
+    return MainMemory(
+        MemoryConfig(
+            latency_cycles=200,
+            row_hit_latency_cycles=80,
+            bandwidth_lines_per_cycle=0.5,
+            lines_per_row=128,
+            dram_banks=64,
+        )
+    )
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self, memory):
+        done = memory.request(0.0, line=0)
+        assert done == pytest.approx(200.0)
+        assert memory.stats.row_hits == 0
+
+    def test_same_row_hits(self, memory):
+        memory.request(0.0, line=0)
+        done = memory.request(1000.0, line=1)  # same 128-line row
+        assert done == pytest.approx(1080.0)
+        assert memory.stats.row_hits == 1
+
+    def test_row_crossing_misses(self, memory):
+        memory.request(0.0, line=0)
+        # Next row of the SAME dram bank: row 64 (64 banks), i.e. line 64*128.
+        done = memory.request(1000.0, line=64 * 128)
+        assert done == pytest.approx(1200.0)
+
+    def test_different_banks_independent(self, memory):
+        memory.request(0.0, line=0)        # bank 0, row 0
+        memory.request(10.0, line=128)     # bank 1, row 1
+        done = memory.request(1000.0, line=2)  # bank 0 row 0 still open
+        assert done == pytest.approx(1080.0)
+
+    def test_sequential_stream_mostly_row_hits(self, memory):
+        t = 0.0
+        for line in range(256):
+            memory.request(t, line)
+            t += 10
+        # Two rows touched: 2 misses, 254 hits.
+        assert memory.stats.row_hits == 254
+
+    def test_addressless_request_is_row_miss(self, memory):
+        done = memory.request(0.0)
+        assert done == pytest.approx(200.0)
+
+
+class TestBandwidthQueue:
+    def test_burst_queues(self, memory):
+        # 4 requests at t=0; service = 2 cycles each.
+        done = [memory.request(0.0, line=i * 10_000) for i in range(4)]
+        starts = [d - 200 for d in done]
+        assert starts == [0.0, 2.0, 4.0, 6.0]
+        assert memory.stats.mean_queue_cycles == pytest.approx(3.0)
+
+    def test_spread_requests_do_not_queue(self, memory):
+        memory.request(0.0, line=0)
+        done = memory.request(100.0, line=10_000)
+        assert done == pytest.approx(300.0)
+        assert memory.stats.total_queue_cycles == 0.0
+
+    def test_negative_time_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            memory.request(-1.0, line=0)
+
+
+class TestReset:
+    def test_reset_clears_rows_and_queue(self, memory):
+        memory.request(0.0, line=0)
+        memory.reset()
+        assert memory.stats.requests == 0
+        done = memory.request(0.0, line=1)
+        assert done == pytest.approx(200.0)  # row state forgotten

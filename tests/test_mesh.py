@@ -1,0 +1,128 @@
+"""Mesh NoC: coordinates, XY routing, latency, controllers, accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config import NocConfig
+from repro.noc.mesh import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(NocConfig(mesh_cols=4, mesh_rows=4, hop_cycles=2))
+
+
+class TestTopology:
+    def test_coords_round_trip(self, mesh):
+        for node in range(16):
+            col, row = mesh.coords(node)
+            assert mesh.node_at(col, row) == node
+
+    def test_distance_is_manhattan(self, mesh):
+        assert mesh.distance(0, 15) == 6  # (0,0) -> (3,3)
+        assert mesh.distance(5, 6) == 1
+        assert mesh.distance(7, 7) == 0
+
+    def test_distance_symmetric(self, mesh):
+        for a in range(16):
+            for b in range(16):
+                assert mesh.distance(a, b) == mesh.distance(b, a)
+
+    def test_neighbors_of_corner(self, mesh):
+        assert sorted(mesh.neighbors(0)) == [1, 4]
+
+    def test_neighbors_of_center(self, mesh):
+        assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_out_of_range_rejected(self, mesh):
+        with pytest.raises(ConfigError):
+            mesh.distance(0, 16)
+
+
+class TestRouting:
+    def test_route_endpoints(self, mesh):
+        path = mesh.route(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+
+    def test_route_length_matches_distance(self, mesh):
+        for a in range(16):
+            for b in range(16):
+                assert len(mesh.route(a, b)) == mesh.distance(a, b) + 1
+
+    def test_route_is_x_first(self, mesh):
+        # 0 (0,0) -> 10 (2,2): X corrected first -> 0,1,2,6,10
+        assert mesh.route(0, 10) == [0, 1, 2, 6, 10]
+
+    def test_route_steps_are_adjacent(self, mesh):
+        path = mesh.route(3, 12)
+        for a, b in zip(path, path[1:]):
+            assert mesh.distance(a, b) == 1
+
+
+class TestLatency:
+    def test_one_way(self, mesh):
+        assert mesh.latency(0, 15) == 12  # 6 hops * 2 cycles
+
+    def test_send_returns_latency_and_counts(self, mesh):
+        lat = mesh.send(0, 3)
+        assert lat == 6
+        assert mesh.stats.messages == 1
+        assert mesh.stats.total_hops == 3
+
+    def test_round_trip(self, mesh):
+        assert mesh.round_trip_latency(0, 3) == 12
+        assert mesh.stats.messages == 2
+
+    def test_mean_hops(self, mesh):
+        mesh.send(0, 1)
+        mesh.send(0, 3)
+        assert mesh.stats.mean_hops == pytest.approx(2.0)
+
+    def test_reset_stats(self, mesh):
+        mesh.send(0, 5)
+        mesh.reset_stats()
+        assert mesh.stats.messages == 0
+
+
+class TestMemoryControllers:
+    def test_controllers_at_corners(self, mesh):
+        assert mesh.memory_controllers == (0, 3, 12, 15)
+
+    def test_nearest_controller(self, mesh):
+        assert mesh.nearest_memory_controller(0) == 0
+        assert mesh.nearest_memory_controller(5) == 0  # ties -> lowest id
+        assert mesh.nearest_memory_controller(11) == 15
+
+    def test_address_interleaved_controller_uniform(self, mesh):
+        from collections import Counter
+
+        counts = Counter(mesh.memory_controller_of(line << 4) for line in range(64))
+        assert set(counts.values()) == {16}
+
+    def test_miss_path_latency_counts_three_legs(self, mesh):
+        mesh.reset_stats()
+        lat = mesh.miss_path_latency(5, 6)
+        assert mesh.stats.messages == 3
+        assert lat == mesh.latency(5, 6) + mesh.latency(
+            6, mesh.nearest_memory_controller(6)
+        ) + mesh.latency(mesh.nearest_memory_controller(6), 5)
+
+
+class TestLinkTracking:
+    def test_links_counted_when_enabled(self):
+        mesh = Mesh(NocConfig(hop_cycles=1), track_links=True)
+        mesh.send(0, 3)  # 0->1->2->3, east direction
+        assert mesh.link_traffic[0, 0] == 1
+        assert mesh.link_traffic[1, 0] == 1
+        assert mesh.link_traffic[2, 0] == 1
+
+    def test_links_not_counted_by_default(self, mesh):
+        mesh.send(0, 3)
+        assert mesh.link_traffic.sum() == 0
+
+
+class TestNonSquare:
+    def test_2x8_mesh(self):
+        mesh = Mesh(NocConfig(mesh_cols=8, mesh_rows=2, hop_cycles=1))
+        assert mesh.num_nodes == 16
+        assert mesh.distance(0, 15) == 8  # (0,0)->(7,1)

@@ -1,0 +1,95 @@
+"""MatrixResult / WorkloadSchemeResult metric arithmetic (synthetic data)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+
+
+def make_result(workload, scheme, *, ipc_per_core=1.0, lifetimes=None):
+    n = 4
+    lifetimes = np.asarray(lifetimes if lifetimes is not None else [5.0] * n)
+    return WorkloadSchemeResult(
+        workload=workload,
+        scheme=scheme,
+        apps=("a",) * n,
+        per_core_ipc=np.full(n, ipc_per_core),
+        per_core_instructions=np.full(n, 1000, dtype=np.int64),
+        per_core_cycles=np.full(n, 1000.0 / ipc_per_core),
+        bank_writes=np.arange(n, dtype=np.int64) + 1,
+        bank_lifetimes=lifetimes,
+        elapsed_cycles=1000.0,
+        llc_fetch_hit_rate=0.5,
+        llc_mean_fetch_latency=100.0,
+        noc_mean_hops=2.0,
+    )
+
+
+@pytest.fixture
+def matrix():
+    m = MatrixResult(label="t", schemes=("S-NUCA", "X"), workloads=("WL1", "WL2"))
+    m.add(make_result("WL1", "S-NUCA", ipc_per_core=1.0, lifetimes=[4, 4, 4, 4]))
+    m.add(make_result("WL2", "S-NUCA", ipc_per_core=2.0, lifetimes=[8, 8, 8, 8]))
+    m.add(make_result("WL1", "X", ipc_per_core=1.1, lifetimes=[2, 4, 6, 8]))
+    m.add(make_result("WL2", "X", ipc_per_core=2.2, lifetimes=[4, 8, 12, 16]))
+    return m
+
+
+class TestWorkloadSchemeResult:
+    def test_ipc_is_sum(self):
+        result = make_result("WL1", "S", ipc_per_core=1.5)
+        assert result.ipc == pytest.approx(6.0)
+
+    def test_min_lifetime(self):
+        result = make_result("WL1", "S", lifetimes=[3, 1, 2, 9])
+        assert result.min_lifetime == 1
+
+
+class TestMatrixResult:
+    def test_ipc_of(self, matrix):
+        assert matrix.ipc_of("S-NUCA") == {"WL1": pytest.approx(4.0),
+                                           "WL2": pytest.approx(8.0)}
+
+    def test_improvement_is_10_percent(self, matrix):
+        impr = matrix.ipc_improvement_over("X")
+        assert impr["WL1"] == pytest.approx(10.0)
+        assert impr["WL2"] == pytest.approx(10.0)
+        assert matrix.mean_ipc_improvement("X") == pytest.approx(10.0)
+
+    def test_lifetime_matrix_shape(self, matrix):
+        lm = matrix.lifetime_matrix("X")
+        assert lm.shape == (2, 4)
+
+    def test_hmean_per_bank(self, matrix):
+        bars = matrix.hmean_bank_lifetimes("X")
+        # bank 0: H(2, 4) = 8/3
+        assert bars[0] == pytest.approx(8 / 3)
+
+    def test_raw_min(self, matrix):
+        assert matrix.raw_min_lifetime("X") == 2.0
+        assert matrix.raw_min_lifetime("S-NUCA") == 4.0
+
+    def test_variation_zero_for_uniform(self, matrix):
+        assert matrix.lifetime_summary_of("S-NUCA")["variation"] == 0.0
+        assert matrix.lifetime_summary_of("X")["variation"] > 0.2
+
+    def test_tradeoff_points(self, matrix):
+        points = matrix.tradeoff_points()
+        assert points["S-NUCA"][0] == pytest.approx(6.0)  # mean of 4 and 8
+        assert points["S-NUCA"][1] == pytest.approx(
+            8 / (4 * (1 / 4) + 4 * (1 / 8)) * 1.0
+        )
+
+    def test_missing_cell(self, matrix):
+        with pytest.raises(ReproError):
+            matrix.get("WL3", "X")
+
+    def test_zero_baseline_rejected(self):
+        m = MatrixResult(label="t", schemes=("S-NUCA", "X"), workloads=("WL1",))
+        m.add(make_result("WL1", "S-NUCA", ipc_per_core=1e-12))
+        m.add(make_result("WL1", "X"))
+        bad = m.get("WL1", "S-NUCA")
+        bad.per_core_ipc[:] = 0.0
+        with pytest.raises(ReproError):
+            m.ipc_improvement_over("X")

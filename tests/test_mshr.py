@@ -1,0 +1,90 @@
+"""MSHR file: allocation, merging, stalls, lazy draining."""
+
+import pytest
+
+from repro.cache.mshr import MshrFile
+from repro.common.errors import ConfigError, SimulationError
+
+
+class TestAllocation:
+    def test_fresh_allocation(self):
+        mshr = MshrFile(2)
+        assert mshr.allocate(0x1, 100.0)
+        assert mshr.is_pending(0x1)
+        assert mshr.stats.primary_misses == 1
+
+    def test_secondary_merge(self):
+        mshr = MshrFile(2)
+        mshr.allocate(0x1, 100.0)
+        assert mshr.allocate(0x1, 120.0)  # merges, does not take a slot
+        assert len(mshr) == 1
+        assert mshr.stats.secondary_misses == 1
+
+    def test_full_file_stalls(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, 10.0)
+        mshr.allocate(2, 20.0)
+        assert not mshr.allocate(3, 30.0)
+        assert mshr.stats.stalls == 1
+
+    def test_full_but_pending_merges(self):
+        mshr = MshrFile(1)
+        mshr.allocate(1, 10.0)
+        assert mshr.allocate(1, 99.0)
+
+
+class TestRelease:
+    def test_release(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, 10.0)
+        mshr.release(1)
+        assert not mshr.is_pending(1)
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            MshrFile(2).release(1)
+
+    def test_release_completed_drains_by_time(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 10.0)
+        mshr.allocate(2, 20.0)
+        mshr.allocate(3, 30.0)
+        assert mshr.release_completed(20.0) == 2
+        assert len(mshr) == 1
+        assert mshr.is_pending(3)
+
+    def test_earliest_completion(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 30.0)
+        mshr.allocate(2, 10.0)
+        assert mshr.earliest_completion() == 10.0
+
+    def test_earliest_on_empty_raises(self):
+        with pytest.raises(SimulationError):
+            MshrFile(2).earliest_completion()
+
+    def test_completion_of(self):
+        mshr = MshrFile(2)
+        mshr.allocate(7, 42.0)
+        assert mshr.completion_of(7) == 42.0
+        with pytest.raises(SimulationError):
+            mshr.completion_of(8)
+
+
+class TestLifecycle:
+    def test_clear(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, 10.0)
+        mshr.clear()
+        assert len(mshr) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            MshrFile(0)
+
+    def test_mlp_bounded_by_capacity(self):
+        """The core's MLP can never exceed the file capacity."""
+        mshr = MshrFile(4)
+        accepted = sum(mshr.allocate(i, 1000.0) for i in range(10))
+        assert accepted == 4
+        assert len(mshr) == 4

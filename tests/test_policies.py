@@ -1,0 +1,185 @@
+"""NUCA mapping policies: S-NUCA, R-NUCA, Private, Naive."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.config import baseline_config
+from repro.noc.mesh import Mesh
+from repro.nuca import make_policy
+from repro.nuca.naive import NaivePolicy
+from repro.nuca.private import PrivatePolicy
+from repro.nuca.rnuca import RNucaPolicy, build_clusters, rotational_ids
+from repro.nuca.snuca import SNucaPolicy
+from repro.reram.wear import WearTracker
+
+
+@pytest.fixture
+def mesh(config):
+    return Mesh(config.noc)
+
+
+class TestSNuca:
+    def test_bank_from_low_bits(self):
+        policy = SNucaPolicy(16)
+        assert policy.locate(0, 0x12345) == 0x5
+        assert policy.place(3, 0x12345, critical=True) == 0x5
+
+    def test_uniform_distribution(self):
+        policy = SNucaPolicy(16)
+        from collections import Counter
+
+        counts = Counter(policy.locate(0, line) for line in range(1600))
+        assert set(counts.values()) == {100}
+
+    def test_requester_irrelevant(self):
+        policy = SNucaPolicy(16)
+        assert policy.locate(0, 77) == policy.locate(15, 77)
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigError):
+            SNucaPolicy(12)
+
+
+class TestRNuca:
+    def test_cluster_size(self, mesh, config):
+        clusters = build_clusters(mesh, 4)
+        assert all(len(c) == 4 for c in clusters)
+
+    def test_cluster_contains_self(self, mesh):
+        for core, cluster in enumerate(build_clusters(mesh, 4)):
+            assert core in cluster
+
+    def test_interior_clusters_one_hop(self, mesh):
+        clusters = build_clusters(mesh, 4)
+        for core in (5, 6, 9, 10):  # interior nodes of the 4x4
+            assert all(mesh.distance(core, b) <= 1 for b in clusters[core])
+
+    def test_mapping_stays_in_cluster(self, mesh):
+        policy = RNucaPolicy(mesh, 4)
+        for core in range(16):
+            for line in range(64):
+                assert policy.bank_of(core, line) in policy.clusters[core]
+
+    def test_mapping_uniform_within_cluster(self, mesh):
+        policy = RNucaPolicy(mesh, 4)
+        from collections import Counter
+
+        counts = Counter(policy.bank_of(3, line) for line in range(400))
+        assert set(counts.values()) == {100}
+
+    def test_rotational_ids_distinct_in_tile(self, mesh):
+        rids = rotational_ids(mesh, 4)
+        # Every 2x2 tile must carry all four RIDs.
+        for base_row in range(0, 4, 2):
+            for base_col in range(0, 4, 2):
+                tile = {
+                    rids[mesh.node_at(base_col + dx, base_row + dy)]
+                    for dx in (0, 1)
+                    for dy in (0, 1)
+                }
+                assert tile == {0, 1, 2, 3}
+
+    def test_paper_mapping_function(self, mesh):
+        """DestinationBank = cluster[(Addr + RID + 1) & (n-1)]."""
+        policy = RNucaPolicy(mesh, 4)
+        core = 5
+        rid = policy.rids[core]
+        line = 0x123
+        expected = policy.clusters[core][(line + rid + 1) & 3]
+        assert policy.bank_of(core, line) == expected
+
+    def test_locate_equals_place(self, mesh):
+        policy = RNucaPolicy(mesh, 4)
+        assert policy.locate(2, 99) == policy.place(2, 99, critical=False)
+
+    def test_cluster_size_one(self, mesh):
+        policy = RNucaPolicy(mesh, 1)
+        for core in range(16):
+            assert policy.bank_of(core, 1234) == core
+
+
+class TestPrivate:
+    def test_own_bank_only(self):
+        policy = PrivatePolicy(16)
+        assert policy.locate(7, 0xABC) == 7
+        assert policy.place(7, 0xABC, critical=True) == 7
+
+    def test_out_of_range_core(self):
+        policy = PrivatePolicy(4)
+        with pytest.raises(SimulationError):
+            policy.locate(4, 0)
+
+
+class TestNaive:
+    @pytest.fixture
+    def naive(self):
+        wear = WearTracker(4)
+        return NaivePolicy(4, wear, directory_penalty=100), wear
+
+    def test_unknown_line_not_located(self, naive):
+        policy, _ = naive
+        assert policy.locate(0, 0x100) is None
+
+    def test_lookup_node_is_static_home(self, naive):
+        policy, _ = naive
+        assert policy.lookup_node(0, 0x7) == 3  # 0x7 & 3
+
+    def test_places_least_written_bank(self, naive):
+        policy, wear = naive
+        wear.record_write(0)
+        wear.record_write(1)
+        assert policy.place(0, 0x100, critical=False) == 2
+
+    def test_directory_tracks_allocation(self, naive):
+        policy, _ = naive
+        policy.on_allocate(0, 0x100, 2, critical=False)
+        assert policy.locate(1, 0x100) == 2
+
+    def test_eviction_removes_entry(self, naive):
+        policy, _ = naive
+        policy.on_allocate(0, 0x100, 2, critical=False)
+        policy.on_evict(0x100, 2, aux=None)
+        assert policy.locate(0, 0x100) is None
+
+    def test_eviction_mismatch_raises(self, naive):
+        policy, _ = naive
+        policy.on_allocate(0, 0x100, 2, critical=False)
+        with pytest.raises(SimulationError):
+            policy.on_evict(0x100, 3, aux=None)
+
+    def test_eviction_of_untracked_raises(self, naive):
+        policy, _ = naive
+        with pytest.raises(SimulationError):
+            policy.on_evict(0x200, 0, aux=None)
+
+    def test_wear_levelling_loop(self, naive):
+        """Placement + wear recording keeps banks within one write."""
+        policy, wear = naive
+        for line in range(400):
+            bank = policy.place(0, line, critical=False)
+            wear.record_write(bank)
+            policy.on_allocate(0, line, bank, critical=False)
+        writes = [wear.writes_of(b) for b in range(4)]
+        assert max(writes) - min(writes) <= 1
+
+    def test_lookup_penalty_exposed(self, naive):
+        policy, _ = naive
+        assert policy.lookup_penalty == 100
+
+    def test_reset_clears_directory(self, naive):
+        policy, _ = naive
+        policy.on_allocate(0, 0x1, 0, critical=False)
+        policy.reset()
+        assert policy.directory_entries == 0
+
+
+class TestFactory:
+    def test_all_names_constructible(self, config, mesh):
+        wear = WearTracker(config.num_banks)
+        for name in ("S-NUCA", "R-NUCA", "Private", "Naive", "Re-NUCA"):
+            policy = make_policy(name, config, mesh, wear)
+            assert policy.name == name
+
+    def test_unknown_name_rejected(self, config, mesh):
+        with pytest.raises(ConfigError):
+            make_policy("T-NUCA", config, mesh, WearTracker(config.num_banks))

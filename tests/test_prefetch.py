@@ -1,0 +1,98 @@
+"""Region-based stream prefetcher."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.prefetch import StreamPrefetcher
+
+
+class TestDetection:
+    def test_first_touch_not_covered(self):
+        pf = StreamPrefetcher()
+        assert not pf.covers(0x1000)
+
+    def test_sequential_covered(self):
+        pf = StreamPrefetcher()
+        pf.covers(0x1000)
+        assert pf.covers(0x1001)
+        assert pf.covers(0x1002)
+
+    def test_small_skip_covered(self):
+        pf = StreamPrefetcher(max_stride=4)
+        pf.covers(100)
+        assert pf.covers(103)
+
+    def test_large_skip_not_covered(self):
+        pf = StreamPrefetcher(max_stride=4)
+        pf.covers(100)
+        assert not pf.covers(120)
+
+    def test_backward_not_covered(self):
+        pf = StreamPrefetcher()
+        pf.covers(100)
+        assert not pf.covers(99)
+
+    def test_same_line_not_covered(self):
+        pf = StreamPrefetcher()
+        pf.covers(100)
+        assert not pf.covers(100)
+
+    def test_random_traffic_rarely_covered(self, rng):
+        pf = StreamPrefetcher()
+        covered = sum(pf.covers(int(line)) for line in rng.integers(0, 1 << 20, 2000))
+        assert covered < 40  # pointer chases stay visible to the ROB
+
+    def test_streams_in_different_regions_tracked_independently(self):
+        pf = StreamPrefetcher(region_shift=10)
+        pf.covers(0)
+        pf.covers(1 << 10)
+        assert pf.covers(1)
+        assert pf.covers((1 << 10) + 1)
+
+    def test_region_crossing_restarts(self):
+        pf = StreamPrefetcher(region_shift=4)  # 16-line regions
+        for line in range(15):
+            pf.covers(line)
+        assert not pf.covers(16)  # new region leader... (15 -> 16 crosses)
+
+    def test_interleaved_stream_survives_noise(self, rng):
+        pf = StreamPrefetcher(max_regions=64)
+        cursor = 0
+        covered = 0
+        for i in range(600):
+            if i % 3 == 0:
+                covered += pf.covers(cursor)
+                cursor += 1
+            else:
+                pf.covers(int(rng.integers(1 << 30, 1 << 31)))
+        assert covered > 150  # the stream stays detected despite noise
+
+
+class TestCapacity:
+    def test_detector_capacity_evicts_lru_region(self):
+        pf = StreamPrefetcher(region_shift=10, max_regions=2)
+        pf.covers(0 << 10)
+        pf.covers(1 << 10)
+        pf.covers(2 << 10)  # evicts region 0
+        assert not pf.covers((0 << 10) + 1)
+
+    def test_stats(self):
+        pf = StreamPrefetcher()
+        pf.covers(1)
+        pf.covers(2)
+        assert pf.stats.queries == 2
+        assert pf.stats.covered == 1
+        assert pf.stats.coverage == pytest.approx(0.5)
+
+    def test_reset(self):
+        pf = StreamPrefetcher()
+        pf.covers(1)
+        pf.reset()
+        assert pf.stats.queries == 0
+        assert not pf.covers(2)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            StreamPrefetcher(max_stride=0)
+        with pytest.raises(ConfigError):
+            StreamPrefetcher(max_regions=0)

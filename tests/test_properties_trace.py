@@ -1,0 +1,94 @@
+"""Property-based tests on the trace layer and exposure model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import derive_rng
+from repro.cpu.prefetch import StreamPrefetcher
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import ALL_APPS
+from repro.trace.synthetic import derive_params
+
+_PARAMS = {p.name: derive_params(p) for p in ALL_APPS}
+app_names = st.sampled_from(sorted(_PARAMS))
+
+
+class TestGeneratorProperties:
+    @given(app_names, st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_wellformed_for_every_app(self, app, seed):
+        params = _PARAMS[app]
+        trace = generate_trace(params, 400, derive_rng(seed, "p", app))
+        assert len(trace) >= 400
+        assert np.all(trace["line"] >= 0)
+        # RMW store immediately follows its load on the same line.
+        stores = np.flatnonzero(trace["is_write"] & (trace["kind"] != 0))
+        if len(stores):
+            assert np.all(trace["line"][stores] == trace["line"][stores - 1])
+
+    @given(app_names, st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_regions_disjoint(self, app, seed):
+        """No line address belongs to two populations."""
+        params = _PARAMS[app]
+        trace = generate_trace(params, 600, derive_rng(seed, "q", app))
+        by_kind = {}
+        for kind in np.unique(trace["kind"]):
+            by_kind[int(kind)] = set(trace["line"][trace["kind"] == kind].tolist())
+        kinds = sorted(by_kind)
+        for i, a in enumerate(kinds):
+            for b in kinds[i + 1:]:
+                assert not (by_kind[a] & by_kind[b]), (a, b)
+
+    @given(app_names)
+    @settings(max_examples=22, deadline=None)
+    def test_rates_nonnegative_and_finite(self, app):
+        params = _PARAMS[app]
+        assert params.bundle_pki > 0
+        assert params.mean_gap >= 0
+        assert np.isfinite(params.record_pki)
+
+
+class TestPrefetcherProperties:
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_never_covers_more_than_queries(self, lines):
+        pf = StreamPrefetcher()
+        for line in lines:
+            pf.covers(line)
+        assert 0 <= pf.stats.covered < pf.stats.queries or len(lines) == 0
+
+    @given(st.integers(0, 2**30), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_pure_ascending_stream_fully_covered_after_first(self, base, length):
+        pf = StreamPrefetcher(region_shift=60)  # one giant region
+        covered = [pf.covers(base + i) for i in range(length)]
+        assert covered == [False] + [True] * (length - 1)
+
+
+class TestExposureProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_exposure_monotone(self, seed):
+        """More L3 latency can never reduce the commit-time delta."""
+        from repro.config import baseline_config
+        from repro.cpu.core import AppSimulator
+
+        result = AppSimulator("milc", baseline_config(), seed=seed % 7).run(8_000)
+        s = result.stream
+        rng = np.random.default_rng(seed)
+        lat = s.nominal_lat + rng.uniform(-80, 200, size=len(s)).astype(np.float32)
+        d1 = s.exposure_delta(lat)
+        d2 = s.exposure_delta(lat + 25)
+        assert np.all(d2 >= d1 - 1e-4)
+
+    def test_exposure_floor_is_negative_stall(self):
+        from repro.config import baseline_config
+        from repro.cpu.core import AppSimulator
+
+        result = AppSimulator("mcf", baseline_config(), seed=2).run(12_000)
+        s = result.stream
+        zero = np.zeros(len(s), dtype=np.float32)
+        delta = s.exposure_delta(zero)
+        assert np.all(delta >= -s.stall - 1e-4)

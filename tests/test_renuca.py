@@ -1,0 +1,101 @@
+"""The Re-NUCA hybrid policy (the paper's contribution)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.config import baseline_config
+from repro.core.renuca import ReNucaPolicy
+from repro.noc.mesh import Mesh
+
+
+@pytest.fixture
+def policy(config):
+    return ReNucaPolicy(config, Mesh(config.noc))
+
+
+class TestPlacement:
+    def test_critical_goes_to_cluster(self, policy):
+        core = 6
+        for line in range(32):
+            bank = policy.place(core, line, critical=True)
+            assert bank in policy._rnuca.clusters[core]
+
+    def test_noncritical_goes_to_snuca(self, policy):
+        for line in range(32):
+            assert policy.place(0, line, critical=False) == line & 15
+
+    def test_consumes_criticality_flag(self, policy):
+        assert policy.consumes_criticality
+
+
+class TestLookupViaMbv:
+    def test_unknown_line_looked_up_snuca(self, policy):
+        # "When a cache line is brought to the cache for the first time,
+        # we assume a cache line is not critical."
+        assert policy.locate(4, 0x77) == 0x77 & 15
+
+    def test_critical_allocation_switches_lookup(self, policy):
+        core, line = 4, 0x77
+        bank = policy.place(core, line, critical=True)
+        policy.on_allocate(core, line, bank, critical=True)
+        assert policy.locate(core, line) == bank
+
+    def test_eviction_resets_lookup(self, policy):
+        core, line = 4, 0x77
+        bank = policy.place(core, line, critical=True)
+        policy.on_allocate(core, line, bank, critical=True)
+        policy.on_evict(line, bank, aux=(core, True))
+        assert policy.locate(core, line) == line & 15
+
+    def test_mapping_is_per_core(self, policy):
+        line = 0x88
+        policy.on_allocate(2, line, policy.place(2, line, True), critical=True)
+        # Another core's TLB knows nothing about it.
+        assert policy.locate(3, line) == line & 15
+
+    def test_writeback_follows_recorded_mapping(self, policy):
+        core, line = 1, 0x99
+        bank = policy.place(core, line, critical=True)
+        policy.on_allocate(core, line, bank, critical=True)
+        assert policy.writeback_bank(core, line) == bank
+
+    def test_eviction_without_owner_aux_raises(self, policy):
+        with pytest.raises(SimulationError):
+            policy.on_evict(0x1, 0, aux=None)
+
+
+class TestCriticalityLifetime:
+    def test_mapping_fixed_until_eviction(self, policy):
+        """A line keeps its mapping for its whole on-chip lifetime."""
+        core, line = 3, 0x123
+        bank = policy.place(core, line, critical=True)
+        policy.on_allocate(core, line, bank, critical=True)
+        # Even if the PC later turns non-critical, lookups keep using the
+        # recorded mapping until the LLC evicts the line.
+        for _ in range(5):
+            assert policy.locate(core, line) == bank
+
+
+class TestAccounting:
+    def test_allocation_mix(self, policy):
+        policy.on_allocate(0, 1, 0, critical=True)
+        policy.on_allocate(0, 2, 0, critical=False)
+        policy.on_allocate(0, 3, 0, critical=False)
+        assert policy.critical_fraction == pytest.approx(1 / 3)
+
+    def test_reset_counters_keeps_mapping_state(self, policy):
+        core, line = 0, 0x55
+        policy.on_allocate(core, line, policy.place(core, line, True), critical=True)
+        policy.reset_counters()
+        assert policy.critical_fraction == 0.0
+        assert policy.tlbs[core].mapping_bit(line)
+
+    def test_full_reset_clears_tlbs(self, policy):
+        core, line = 0, 0x55
+        policy.on_allocate(core, line, 0, critical=True)
+        policy.reset()
+        assert not policy.tlbs[core].mapping_bit(line)
+
+    def test_storage_overhead_matches_paper(self, policy):
+        # 1 KB per core (L1I + L1D TLB instances), 16 KB for 16 cores.
+        assert policy.storage_overhead_bytes() == 16 * 1024

@@ -1,0 +1,134 @@
+"""Replacement policies: random, SRRIP, clean-first."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import (
+    CleanFirstReplacement,
+    RandomReplacement,
+    SrripReplacement,
+    make_replacement,
+)
+from repro.common.errors import ConfigError
+from repro.config import CacheConfig
+
+
+def small_cache(policy: str) -> Cache:
+    """1 set x 4 ways."""
+    return Cache(CacheConfig(64 * 4, 4, 1, name="t"), replacement=policy)
+
+
+class TestFactory:
+    def test_lru_is_native(self):
+        assert make_replacement("lru") is None
+
+    def test_known_names(self):
+        assert isinstance(make_replacement("random"), RandomReplacement)
+        assert isinstance(make_replacement("srrip"), SrripReplacement)
+        assert isinstance(make_replacement("clean-first"), CleanFirstReplacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_replacement("plru")
+
+
+class TestRandom:
+    def test_deterministic(self):
+        def victims():
+            cache = small_cache("random")
+            out = []
+            for line in range(40):
+                res = cache.access(line, False)
+                if res.victim_line is not None:
+                    out.append(res.victim_line)
+            return out
+
+        assert victims() == victims()
+
+    def test_capacity_respected(self):
+        cache = small_cache("random")
+        for line in range(100):
+            cache.access(line, False)
+        assert cache.occupancy() == 4
+
+    def test_stats_consistent(self):
+        cache = small_cache("random")
+        for line in range(50):
+            cache.access(line, line % 2 == 0)
+        s = cache.stats
+        assert s.fills == s.misses
+        assert s.writebacks + s.clean_evictions == s.fills - cache.occupancy()
+
+
+class TestSrrip:
+    def test_scan_resistance(self):
+        """A reused line survives a one-shot scan that defeats LRU."""
+        lru = small_cache("lru")
+        srrip = small_cache("srrip")
+        for cache in (lru, srrip):
+            for _ in range(4):
+                cache.access(0xA0, False)  # establish a hot line
+            for line in range(1, 9):       # scan of never-reused lines
+                cache.access(line, False)
+                cache.access(0xA0, False)  # hot line stays hot
+        assert srrip.contains(0xA0)
+        # (plain LRU also keeps it under this interleaving; the stronger
+        # SRRIP property is below)
+
+    def test_victims_are_distant_lines(self):
+        cache = small_cache("srrip")
+        cache.access(0xA0, False)
+        cache.access(0xA0, False)  # RRPV 0
+        for line in (1, 2, 3):
+            cache.access(line, False)  # RRPV 2 each
+        res = cache.access(4, False)  # must evict a distant line, not 0xA0
+        assert res.victim_line != 0xA0
+        assert cache.contains(0xA0)
+
+    def test_aging_finds_victim_eventually(self):
+        cache = small_cache("srrip")
+        for line in range(4):
+            cache.access(line, False)
+            cache.access(line, False)  # all RRPV 0
+        res = cache.access(99, False)  # aging loop must terminate
+        assert res.victim_line is not None
+
+
+class TestCleanFirst:
+    def test_prefers_clean_victim(self):
+        cache = small_cache("clean-first")
+        cache.access(0, True)    # dirty, LRU position
+        cache.access(1, False)   # clean
+        cache.access(2, True)    # dirty
+        cache.access(3, False)   # clean
+        res = cache.access(4, False)
+        assert res.victim_line == 1  # LRU clean, not the older dirty 0
+        assert not res.victim_dirty
+
+    def test_falls_back_to_lru_when_all_dirty(self):
+        cache = small_cache("clean-first")
+        for line in range(4):
+            cache.access(line, True)
+        res = cache.access(9, False)
+        assert res.victim_line == 0
+        assert res.victim_dirty
+
+    def test_reduces_writebacks_on_mixed_traffic(self, rng):
+        """The design goal: fewer write-backs than LRU on mixed traffic."""
+        def writebacks(policy):
+            cache = Cache(CacheConfig(64 * 16 * 4, 4, 1, name="t"),
+                          replacement=policy)
+            lines = rng.integers(0, 512, size=6000)
+            writes = rng.random(6000) < 0.3
+            for line, w in zip(lines.tolist(), writes.tolist()):
+                cache.access(line, w)
+            return cache.stats.writebacks
+
+        assert writebacks("clean-first") <= writebacks("lru")
+
+
+class TestRotationInteraction:
+    def test_rotation_requires_lru(self):
+        cache = small_cache("srrip")
+        with pytest.raises(ConfigError):
+            cache.rotate_sets(1)

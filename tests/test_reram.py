@@ -1,0 +1,183 @@
+"""ReRAM substrate: cell model, wear tracking, lifetime arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ReproError, SimulationError
+from repro.reram.cell import CellState, ReRamCell
+from repro.reram.endurance import (
+    LIFETIME_CAP_YEARS,
+    bank_lifetime_years,
+    lifetime_summary,
+    lifetimes_for_banks,
+)
+from repro.reram.wear import WearTracker
+
+
+class TestCell:
+    def test_initial_state_reset(self):
+        assert ReRamCell().read() == 0
+
+    def test_set_then_read(self):
+        cell = ReRamCell()
+        cell.write(1)
+        assert cell.read() == 1
+        assert cell.state is CellState.SET
+
+    def test_redundant_write_no_wear(self):
+        cell = ReRamCell()
+        cell.write(0)
+        assert cell.switch_count == 0
+
+    def test_switching_wears(self):
+        cell = ReRamCell()
+        cell.write(1)
+        cell.write(0)
+        assert cell.switch_count == 2
+
+    def test_write_latency_asymmetry(self):
+        cell = ReRamCell(set_latency_ns=10, reset_latency_ns=5, read_latency_ns=1)
+        assert cell.write(1) == 10
+        assert cell.write(0) == 5
+        assert cell.write(0) == 1  # redundant -> sense only
+
+    def test_endurance_failure(self):
+        cell = ReRamCell(endurance=4)
+        for bit in (1, 0, 1, 0):
+            cell.write(bit)
+        assert not cell.failed
+        cell.write(1)
+        assert cell.failed
+        with pytest.raises(SimulationError):
+            cell.write(0)
+        with pytest.raises(SimulationError):
+            cell.read()
+
+    def test_remaining_fraction(self):
+        cell = ReRamCell(endurance=10)
+        cell.write(1)
+        assert cell.remaining_fraction == pytest.approx(0.9)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(SimulationError):
+            ReRamCell().write(2)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            ReRamCell(endurance=0)
+
+
+class TestWearTracker:
+    def test_record_and_totals(self):
+        wear = WearTracker(4)
+        wear.record_write(0)
+        wear.record_write(0)
+        wear.record_write(3)
+        assert wear.writes_of(0) == 2
+        assert wear.total_writes() == 3
+
+    def test_min_write_bank(self):
+        wear = WearTracker(4)
+        wear.record_write(0)
+        wear.record_write(1)
+        assert wear.min_write_bank() == 2  # first zero bank
+
+    def test_min_write_bank_ties_lowest(self):
+        wear = WearTracker(3)
+        assert wear.min_write_bank() == 0
+
+    def test_line_histogram_when_enabled(self):
+        wear = WearTracker(2, track_lines=True)
+        wear.record_write(0, line=7)
+        wear.record_write(0, line=7)
+        wear.record_write(0, line=9)
+        assert wear.line_histogram(0) == {7: 2, 9: 1}
+        assert wear.max_line_writes(0) == 2
+
+    def test_line_histogram_disabled_by_default(self):
+        wear = WearTracker(2)
+        wear.record_write(0, line=7)
+        assert wear.line_histogram(0) == {}
+
+    def test_out_of_range_bank_rejected(self):
+        wear = WearTracker(2)
+        with pytest.raises(SimulationError):
+            wear.record_write(2)
+
+    def test_reset(self):
+        wear = WearTracker(2, track_lines=True)
+        wear.record_write(1, line=3)
+        wear.reset()
+        assert wear.total_writes() == 0
+        assert wear.line_histogram(1) == {}
+
+
+class TestLifetime:
+    CLOCK = 2.4e9
+    LINES = 32768
+    ENDURANCE = 1e11
+
+    def test_known_lifetime(self):
+        # 1e6 writes over 2.4e9 cycles (1 s) -> rate 1e6/s.
+        # Budget = 1e11 * 32768 -> 3.2768e15 writes -> 3.2768e9 s.
+        years = bank_lifetime_years(
+            1_000_000,
+            self.CLOCK,
+            self.CLOCK,
+            lines_per_bank=self.LINES,
+            cell_endurance=self.ENDURANCE,
+        )
+        assert years == pytest.approx(3.2768e9 / (365.25 * 24 * 3600), rel=1e-6)
+
+    def test_zero_writes_capped(self):
+        years = bank_lifetime_years(
+            0, 1e9, 1e9, lines_per_bank=self.LINES, cell_endurance=self.ENDURANCE
+        )
+        assert years == LIFETIME_CAP_YEARS
+
+    def test_wear_spread_scales(self):
+        full = bank_lifetime_years(
+            10**9, 1e9, 1e9, lines_per_bank=self.LINES, cell_endurance=1e9
+        )
+        half = bank_lifetime_years(
+            10**9, 1e9, 1e9, lines_per_bank=self.LINES, cell_endurance=1e9,
+            wear_spread=0.5,
+        )
+        assert half == pytest.approx(full / 2)
+
+    def test_double_rate_halves_lifetime(self):
+        one = bank_lifetime_years(
+            10**7, 1e9, 1e9, lines_per_bank=self.LINES, cell_endurance=1e9
+        )
+        two = bank_lifetime_years(
+            2 * 10**7, 1e9, 1e9, lines_per_bank=self.LINES, cell_endurance=1e9
+        )
+        assert two == pytest.approx(one / 2)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ReproError):
+            bank_lifetime_years(1, 0, 1e9, lines_per_bank=1, cell_endurance=1)
+
+    def test_vector_helper(self):
+        lifetimes = lifetimes_for_banks(
+            [10**6, 2 * 10**6], 1e9, 1e9,
+            lines_per_bank=self.LINES, cell_endurance=self.ENDURANCE,
+        )
+        assert lifetimes[0] == pytest.approx(2 * lifetimes[1])
+
+
+class TestLifetimeSummary:
+    def test_summary_shapes(self):
+        matrix = [[4.0, 2.0], [4.0, 6.0]]  # 2 workloads x 2 banks
+        summary = lifetime_summary(matrix)
+        assert summary["raw_min"] == 2.0
+        assert summary["hmean_per_bank"][0] == pytest.approx(4.0)
+        assert summary["hmean_per_bank"][1] == pytest.approx(3.0)
+
+    def test_perfect_leveling_zero_variation(self):
+        matrix = np.full((3, 4), 5.0)
+        assert lifetime_summary(matrix)["variation"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            lifetime_summary([])

@@ -1,0 +1,143 @@
+"""Interval ROB model: head stalls, back-pressure, MLP hiding."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.cpu.rob import ReorderBuffer
+
+
+def drain_all(rob):
+    return rob.drain()
+
+
+class TestDispatchCommit:
+    def test_pure_compute_runs_at_base_rate(self):
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        rob.dispatch(1000)
+        rob.drain()
+        assert rob.cycles == pytest.approx(500.0, rel=0.05)
+        assert rob.ipc() == pytest.approx(2.0, rel=0.05)
+
+    def test_fast_load_does_not_stall(self):
+        rob = ReorderBuffer(128, base_cpi=0.5, pipeline_depth=12)
+        rob.dispatch(10)
+        rob.push_load(rob.dispatch_clock + 2.0, token=0)  # L1 hit
+        events = rob.drain()
+        assert len(events) == 1
+        assert events[0].stall_cycles == 0.0
+
+    def test_slow_isolated_load_stalls(self):
+        rob = ReorderBuffer(128, base_cpi=0.5, pipeline_depth=12)
+        rob.dispatch(10)
+        t = rob.dispatch_clock
+        rob.push_load(t + 300.0, token=7)
+        events = rob.drain()
+        assert events[0].token == 7
+        assert events[0].stall_cycles == pytest.approx(300.0 - 12.0, abs=1.0)
+        assert events[0].blocked_head
+
+    def test_stall_extends_total_cycles(self):
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        rob.dispatch(10)
+        rob.push_load(rob.dispatch_clock + 300.0, token=0)
+        rob.dispatch(10)
+        rob.drain()
+        assert rob.cycles >= 300.0
+
+    def test_commit_order_is_program_order(self):
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        tokens = []
+        for i in range(5):
+            rob.dispatch(3)
+            # Completion times deliberately out of order.
+            rob.push_load(rob.dispatch_clock + (100 - i * 20), token=i)
+        events = rob.drain()
+        assert [e.token for e in events] == [0, 1, 2, 3, 4]
+
+
+class TestMlpHiding:
+    def test_overlapped_misses_share_one_stall(self):
+        """A burst of independent misses: only the leader pays heavily."""
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        base_latency = 300.0
+        for i in range(6):
+            rob.dispatch(4)
+            rob.push_load(rob.dispatch_clock + base_latency, token=i)
+        events = rob.drain()
+        stalls = [e.stall_cycles for e in events]
+        assert stalls[0] > 200
+        assert all(s < 30 for s in stalls[1:])
+
+    def test_serial_chain_stalls_every_load(self):
+        """Dependent misses (chase): each one blocks the head."""
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        ready = 0.0
+        for i in range(5):
+            rob.dispatch(4)
+            issue = max(rob.dispatch_clock, ready)
+            complete = issue + 300.0
+            rob.push_load(complete, token=i)
+            ready = complete
+        events = rob.drain()
+        blocked = sum(e.blocked_head for e in events)
+        assert blocked == 5
+
+
+class TestBackPressure:
+    def test_dispatch_blocked_by_full_rob(self):
+        rob = ReorderBuffer(32, base_cpi=0.25)
+        rob.dispatch(1)
+        rob.push_load(rob.dispatch_clock + 1000.0, token=0)
+        # Dispatch far beyond the ROB size: must wait for the load.
+        rob.dispatch(100)
+        assert rob.dispatch_clock >= 1000.0
+
+    def test_dispatch_not_blocked_within_window(self):
+        rob = ReorderBuffer(128, base_cpi=0.25)
+        rob.dispatch(1)
+        rob.push_load(rob.dispatch_clock + 1000.0, token=0)
+        rob.dispatch(100)  # fits in the ROB alongside the load
+        assert rob.dispatch_clock < 100
+
+    def test_occupancy_bounded(self):
+        rob = ReorderBuffer(16, base_cpi=0.5)
+        for i in range(50):
+            rob.dispatch(1)
+            rob.push_load(rob.dispatch_clock + 5.0, token=i)
+        assert rob.occupancy <= 16 + 1
+
+    def test_gap_larger_than_rob(self):
+        rob = ReorderBuffer(16, base_cpi=0.5)
+        rob.dispatch(1000)  # must not corrupt state
+        rob.drain()
+        assert rob.commit_index == 1000
+        assert rob.cycles == pytest.approx(500.0, rel=0.1)
+
+
+class TestAccounting:
+    def test_blocked_counter(self):
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        rob.dispatch(5)
+        rob.push_load(rob.dispatch_clock + 500.0, token=0)
+        rob.dispatch(5)
+        rob.push_load(rob.dispatch_clock + 1.0, token=1)
+        rob.drain()
+        assert rob.loads_committed == 2
+        assert rob.loads_blocked == 1
+        assert rob.total_stall_cycles > 400
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            ReorderBuffer(4, base_cpi=0.5)
+        with pytest.raises(ConfigError):
+            ReorderBuffer(128, base_cpi=0.0)
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        with pytest.raises(SimulationError):
+            rob.dispatch(-1)
+
+    def test_loads_must_be_in_program_order(self):
+        rob = ReorderBuffer(128, base_cpi=0.5)
+        rob.dispatch(1)
+        rob.push_load(10.0, token=0)
+        with pytest.raises(SimulationError):
+            rob.push_load(10.0, token=1)  # no dispatch in between

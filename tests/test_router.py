@@ -1,0 +1,69 @@
+"""Flit-level router timing model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.config import baseline_config
+from repro.noc.router import (
+    RouterTiming,
+    effective_hop_cycles,
+    validate_against_config,
+)
+
+
+class TestRouterTiming:
+    def test_data_flits_for_64B_line(self):
+        assert RouterTiming().data_flits == 5  # head + 4 payload flits
+
+    def test_data_flits_rounds_up(self):
+        timing = RouterTiming(flit_bytes=30, line_bytes=64)
+        assert timing.data_flits == 1 + 3
+
+    def test_hop_latency_single_flit(self):
+        timing = RouterTiming(pipeline_stages=4, link_cycles=1)
+        assert timing.hop_latency(1) == 5
+
+    def test_hop_latency_serializes_body(self):
+        timing = RouterTiming(pipeline_stages=4, link_cycles=1)
+        assert timing.hop_latency(5) == 9
+
+    def test_message_latency_pipelines_across_hops(self):
+        timing = RouterTiming(pipeline_stages=4, link_cycles=1)
+        # Heads pay per-hop cost; tail trails by flits-1 once.
+        assert timing.message_latency(3, 5) == 3 * 5 + 4
+
+    def test_zero_hops_free(self):
+        assert RouterTiming().message_latency(0, 5) == 0
+
+    def test_longer_path_costs_more(self):
+        timing = RouterTiming()
+        assert timing.message_latency(4, 5) > timing.message_latency(2, 5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RouterTiming(pipeline_stages=0)
+        with pytest.raises(ConfigError):
+            RouterTiming(flit_bytes=128, line_bytes=64)
+        with pytest.raises(ConfigError):
+            RouterTiming().hop_latency(0)
+        with pytest.raises(ConfigError):
+            RouterTiming().message_latency(-1, 1)
+
+
+class TestEffectiveHopCycles:
+    def test_zero_load_value(self):
+        assert effective_hop_cycles(congestion_factor=1.0) == 6
+
+    def test_default_matches_config(self):
+        """NocConfig.hop_cycles must stay justified by the router model."""
+        config = baseline_config()
+        assert validate_against_config(config.noc.hop_cycles)
+
+    def test_congestion_scales(self):
+        assert effective_hop_cycles(congestion_factor=2.0) == pytest.approx(
+            2 * effective_hop_cycles(congestion_factor=1.0), abs=1
+        )
+
+    def test_underload_rejected(self):
+        with pytest.raises(ConfigError):
+            effective_hop_cycles(congestion_factor=0.5)

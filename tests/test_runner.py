@@ -1,0 +1,184 @@
+"""Stage-2 runner: merging, workload execution, matrices."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.config import baseline_config
+from repro.sim.calibrate import calibrated_base_cpi, config_signature
+from repro.sim.metrics import MatrixResult
+from repro.sim.runner import Stage1Cache, _merge_streams, run_matrix, run_workload
+from repro.trace.workloads import Workload
+
+INSTR = 40_000
+
+LIGHT_MIX = Workload(
+    "light16",
+    (
+        "hmmer", "namd", "povray", "dealII",
+        "astar", "sjeng", "h264ref", "gromacs",
+        "bzip2", "soplex", "sphinx3", "GemsFDTD",
+        "milc", "leslie3d", "omnetpp", "xalancbmk",
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def stage1():
+    return Stage1Cache()
+
+
+@pytest.fixture(scope="module")
+def snuca_result(stage1):
+    return run_workload(LIGHT_MIX, "S-NUCA", baseline_config(), seed=2,
+                        n_instructions=INSTR, stage1=stage1)
+
+
+class TestStage1Cache:
+    def test_memoises(self, stage1):
+        cfg = baseline_config()
+        before = len(stage1)
+        a = stage1.get("hmmer", cfg, seed=2, n_instructions=INSTR)
+        mid = len(stage1)
+        b = stage1.get("hmmer", cfg, seed=2, n_instructions=INSTR)
+        assert b is a
+        assert len(stage1) == mid >= before
+
+    def test_different_budget_different_entry(self, stage1):
+        cfg = baseline_config()
+        a = stage1.get("hmmer", cfg, seed=2, n_instructions=INSTR)
+        b = stage1.get("hmmer", cfg, seed=2, n_instructions=INSTR // 2)
+        assert a is not b
+
+    def test_config_signature_distinguishes_variants(self):
+        from repro.config import sensitivity_l2_128k
+
+        assert config_signature(baseline_config()) != config_signature(
+            sensitivity_l2_128k()
+        )
+
+
+class TestCalibration:
+    def test_base_cpi_within_clamp(self):
+        cpi = calibrated_base_cpi("hmmer", baseline_config(), seed=2)
+        assert 0.25 <= cpi <= 20.0
+
+    def test_calibration_improves_ipc_match(self, stage1):
+        cfg = baseline_config()
+        result = stage1.get("hmmer", cfg, seed=2, n_instructions=INSTR)
+        from repro.trace.profiles import get_profile
+
+        target = get_profile("hmmer").ipc
+        assert result.ipc == pytest.approx(target, rel=0.3)
+
+    def test_memoised(self):
+        cfg = baseline_config()
+        assert calibrated_base_cpi("namd", cfg, seed=2) == calibrated_base_cpi(
+            "namd", cfg, seed=2
+        )
+
+
+class TestMergeStreams:
+    def test_sorted_by_time(self, stage1):
+        cfg = baseline_config()
+        results = [stage1.get(a, cfg, seed=2, n_instructions=INSTR)
+                   for a in ("hmmer", "milc")]
+        merged = _merge_streams(results)
+        assert np.all(np.diff(merged.ts) >= 0)
+
+    def test_replay_extends_fast_cores(self, stage1):
+        cfg = baseline_config()
+        results = [stage1.get(a, cfg, seed=2, n_instructions=INSTR)
+                   for a in ("hmmer", "milc")]  # hmmer much faster
+        merged = _merge_streams(results)
+        fast_records = int(np.count_nonzero(merged.core == 0))
+        assert fast_records > len(results[0].stream)  # replayed
+
+    def test_measured_slices_align_with_streams(self, stage1):
+        cfg = baseline_config()
+        results = [stage1.get(a, cfg, seed=2, n_instructions=INSTR)
+                   for a in ("hmmer", "milc")]
+        merged = _merge_streams(results)
+        for core, result in enumerate(results):
+            lo, hi = merged.measured_slices[core]
+            assert hi - lo == len(result.stream)
+
+    def test_address_spaces_disjoint(self, stage1):
+        cfg = baseline_config()
+        results = [stage1.get(a, cfg, seed=2, n_instructions=INSTR)
+                   for a in ("hmmer", "hmmer")]
+        merged = _merge_streams(results)
+        lines0 = set(merged.line[merged.core == 0].tolist())
+        lines1 = set(merged.line[merged.core == 1].tolist())
+        assert not lines0 & lines1
+
+
+class TestRunWorkload:
+    def test_result_shape(self, snuca_result):
+        assert snuca_result.scheme == "S-NUCA"
+        assert len(snuca_result.per_core_ipc) == 16
+        assert len(snuca_result.bank_lifetimes) == 16
+        assert snuca_result.elapsed_cycles > 0
+
+    def test_ipc_is_throughput_sum(self, snuca_result):
+        assert snuca_result.ipc == pytest.approx(
+            float(snuca_result.per_core_ipc.sum())
+        )
+
+    def test_bank_writes_positive(self, snuca_result):
+        assert snuca_result.bank_writes.sum() > 0
+
+    def test_lifetimes_positive(self, snuca_result):
+        assert np.all(snuca_result.bank_lifetimes > 0)
+        assert snuca_result.min_lifetime == snuca_result.bank_lifetimes.min()
+
+    def test_wrong_core_count_rejected(self, stage1):
+        small = Workload("two", ("hmmer", "milc"))
+        with pytest.raises(ReproError):
+            run_workload(small, "S-NUCA", baseline_config(), stage1=stage1)
+
+    def test_snuca_wear_near_uniform(self, snuca_result):
+        writes = snuca_result.bank_writes
+        assert writes.std() / writes.mean() < 0.2
+
+
+class TestRunMatrix:
+    def test_matrix_accessors(self, stage1):
+        cfg = baseline_config()
+        matrix = run_matrix(
+            [LIGHT_MIX], ("S-NUCA", "Private"), cfg,
+            seed=2, n_instructions=INSTR, stage1=stage1,
+        )
+        assert matrix.get("light16", "S-NUCA").scheme == "S-NUCA"
+        improvement = matrix.ipc_improvement_over("Private")
+        assert "light16" in improvement
+        summary = matrix.lifetime_summary_of("Private")
+        assert summary["hmean_per_bank"].shape == (16,)
+        with pytest.raises(ReproError):
+            matrix.get("light16", "R-NUCA")
+
+    def test_progress_callback(self, stage1):
+        calls = []
+        run_matrix(
+            [LIGHT_MIX], ("S-NUCA",), baseline_config(),
+            seed=2, n_instructions=INSTR, stage1=stage1,
+            progress=lambda wl, s: calls.append((wl, s)),
+        )
+        assert calls == [("light16", "S-NUCA")]
+
+
+class TestMatrixMetrics:
+    def test_tradeoff_points(self, stage1):
+        matrix = run_matrix(
+            [LIGHT_MIX], ("S-NUCA", "Private"), baseline_config(),
+            seed=2, n_instructions=INSTR, stage1=stage1,
+        )
+        points = matrix.tradeoff_points()
+        assert set(points) == {"S-NUCA", "Private"}
+        for ipc, life in points.values():
+            assert ipc > 0 and life > 0
+
+    def test_empty_matrix_raises(self):
+        matrix = MatrixResult(label="x", schemes=("S-NUCA",), workloads=("WL1",))
+        with pytest.raises(ReproError):
+            matrix.get("WL1", "S-NUCA")

@@ -1,0 +1,94 @@
+"""Statistics helpers: harmonic/geometric means, running moments."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.stats import (
+    RunningStats,
+    coefficient_of_variation,
+    geometric_mean,
+    harmonic_mean,
+)
+
+
+class TestHarmonicMean:
+    def test_constant_sequence(self):
+        assert harmonic_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        # H(1, 2) = 4/3
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([0.1, 100.0]) < 0.3
+
+    def test_at_most_arithmetic_mean(self):
+        vals = [1.0, 5.0, 9.0, 2.5]
+        assert harmonic_mean(vals) <= float(np.mean(vals))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            harmonic_mean([])
+
+    def test_zero_rejected(self):
+        with pytest.raises(ReproError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestCoefficientOfVariation:
+    def test_zero_for_constant(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # values 1 and 3: mean 2, pop-std 1 -> cv 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_zero_mean_returns_zero(self):
+        assert coefficient_of_variation([-1.0, 1.0]) == 0.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            geometric_mean([2.0, -1.0])
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(10, 3, size=500)
+        acc = RunningStats()
+        for v in data:
+            acc.add(float(v))
+        assert acc.count == 500
+        assert acc.mean == pytest.approx(float(np.mean(data)))
+        assert acc.variance == pytest.approx(float(np.var(data)))
+        assert acc.min == pytest.approx(float(data.min()))
+        assert acc.max == pytest.approx(float(data.max()))
+
+    def test_merge_equals_combined(self, rng):
+        a_data = rng.normal(0, 1, 100)
+        b_data = rng.normal(5, 2, 300)
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        for v in a_data:
+            a.add(float(v))
+            c.add(float(v))
+        for v in b_data:
+            b.add(float(v))
+            c.add(float(v))
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean)
+        assert merged.variance == pytest.approx(c.variance)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.add(2.0)
+        assert a.merge(RunningStats()).mean == 2.0
+        assert RunningStats().merge(a).count == 1
+
+    def test_empty_variance_zero(self):
+        assert RunningStats().variance == 0.0

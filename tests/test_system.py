@@ -1,0 +1,62 @@
+"""The System façade."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.sim.system import DEFAULT_SCHEMES, System
+from repro.trace.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    return System(seed=7, n_instructions=15_000)
+
+
+class TestWorkloadResolution:
+    def test_by_index(self, system):
+        assert system.workload(0).name == "WL1"
+
+    def test_by_name(self, system):
+        assert system.workload("WL3").name == "WL3"
+
+    def test_passthrough(self, system):
+        wl = system.workloads[1]
+        assert system.workload(wl) is wl
+
+    def test_bad_index(self, system):
+        with pytest.raises(ReproError):
+            system.workload(99)
+
+    def test_bad_name(self, system):
+        with pytest.raises(ReproError):
+            system.workload("WL99")
+
+    def test_wrong_size_workload(self, system):
+        with pytest.raises(ReproError):
+            system.workload(Workload("two", ("mcf", "namd")))
+
+
+class TestSimulation:
+    def test_characterize(self, system):
+        result = system.characterize("namd")
+        assert result.app == "namd"
+        assert result.ipc > 0
+
+    def test_characterize_memoised(self, system):
+        assert system.characterize("namd") is system.characterize("namd")
+
+    def test_run(self, system):
+        result = system.run(0, "S-NUCA")
+        assert result.scheme == "S-NUCA"
+        assert result.ipc > 0
+
+    def test_compare_and_summary(self, system):
+        results = system.compare(0, schemes=("S-NUCA", "Private"))
+        assert set(results) == {"S-NUCA", "Private"}
+        text = system.summary(results)
+        assert "Private" in text and "min life" in text
+
+    def test_default_schemes_are_the_paper_five(self):
+        assert set(DEFAULT_SCHEMES) == {
+            "S-NUCA", "R-NUCA", "Re-NUCA", "Private", "Naive"
+        }

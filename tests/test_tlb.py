@@ -1,0 +1,114 @@
+"""Enhanced TLB with Mapping Bit Vectors (Section IV-C / Figure 10)."""
+
+import pytest
+
+from repro.config import TlbConfig
+from repro.core.tlb import EnhancedTlb
+
+
+@pytest.fixture
+def tlb():
+    return EnhancedTlb(TlbConfig(entries=64, assoc=8))
+
+
+def line_of(page: int, index: int) -> int:
+    return page * 64 + index
+
+
+class TestGeometry:
+    def test_64_lines_per_page(self, tlb):
+        assert tlb.lines_per_page == 64
+
+    def test_page_and_index_extraction(self, tlb):
+        line = line_of(5, 17)
+        assert tlb.page_of(line) == 5
+        assert tlb.line_index(line) == 17
+
+
+class TestMappingBits:
+    def test_default_bit_is_zero(self, tlb):
+        assert tlb.mapping_bit(line_of(1, 0)) is False
+
+    def test_set_and_read(self, tlb):
+        line = line_of(1, 5)
+        tlb.set_mapping_bit(line, True)
+        assert tlb.mapping_bit(line) is True
+
+    def test_bits_are_per_line(self, tlb):
+        tlb.set_mapping_bit(line_of(1, 5), True)
+        assert tlb.mapping_bit(line_of(1, 6)) is False
+        assert tlb.mapping_bit(line_of(2, 5)) is False
+
+    def test_clear_on_eviction(self, tlb):
+        line = line_of(1, 5)
+        tlb.set_mapping_bit(line, True)
+        tlb.clear_mapping_bit(line)
+        assert tlb.mapping_bit(line) is False
+
+    def test_set_false_clears(self, tlb):
+        line = line_of(3, 2)
+        tlb.set_mapping_bit(line, True)
+        tlb.set_mapping_bit(line, False)
+        assert tlb.mapping_bit(line) is False
+
+    def test_all_64_bits_independent(self, tlb):
+        page = 9
+        for i in range(0, 64, 2):
+            tlb.set_mapping_bit(line_of(page, i), True)
+        for i in range(64):
+            assert tlb.mapping_bit(line_of(page, i)) is (i % 2 == 0)
+        assert tlb.mbv_of_page(page) == int("01" * 32, 2)
+
+
+class TestEvictionAndBackingStore:
+    def fill_set(self, tlb, set_idx, count):
+        """Touch ``count`` distinct pages mapping to one TLB set."""
+        pages = [set_idx + k * tlb.config.num_sets for k in range(count)]
+        for page in pages:
+            tlb.set_mapping_bit(line_of(page, 0), True)
+        return pages
+
+    def test_mbv_survives_tlb_eviction(self, tlb):
+        pages = self.fill_set(tlb, set_idx=0, count=9)  # 8-way set overflows
+        # The first page's entry was evicted; its MBV must be restored.
+        assert tlb.mapping_bit(line_of(pages[0], 0)) is True
+        assert tlb.stats.mbv_writebacks >= 1
+        assert tlb.stats.mbv_restores >= 1
+
+    def test_zero_mbv_not_written_back(self, tlb):
+        # Pages with all-zero vectors cost nothing on eviction.
+        for k in range(9):
+            page = k * tlb.config.num_sets
+            tlb.mapping_bit(line_of(page, 0))  # touch (bit stays 0)
+        assert tlb.stats.mbv_writebacks == 0
+
+    def test_clear_reaches_backing_store(self, tlb):
+        pages = self.fill_set(tlb, set_idx=0, count=9)
+        victim = pages[0]
+        tlb.clear_mapping_bit(line_of(victim, 0))  # entry not resident
+        assert tlb.mapping_bit(line_of(victim, 0)) is False
+
+    def test_hit_rate_accounting(self, tlb):
+        line = line_of(4, 0)
+        tlb.mapping_bit(line)
+        tlb.mapping_bit(line)
+        assert tlb.stats.lookups == 2
+        assert tlb.stats.hits == 1
+        assert tlb.stats.hit_rate == pytest.approx(0.5)
+
+    def test_invariant_checker(self, tlb):
+        self.fill_set(tlb, set_idx=0, count=12)
+        tlb.check_invariants()
+
+    def test_resident_pages_bounded_by_capacity(self, tlb):
+        for page in range(200):
+            tlb.mapping_bit(line_of(page, 0))
+        assert len(tlb.resident_pages()) <= tlb.config.entries
+
+
+class TestStorageMath:
+    def test_paper_overhead_figure(self):
+        """64 entries x 64 bits = 512 B per instance (Section IV-C)."""
+        tlb = EnhancedTlb(TlbConfig(entries=64, assoc=8))
+        bits = tlb.config.entries * tlb.lines_per_page
+        assert bits // 8 == 512

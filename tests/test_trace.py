@@ -1,0 +1,252 @@
+"""Trace layer: profiles (Table II), parameter inversion, generation,
+workload composition."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.rng import derive_rng
+from repro.trace.generator import (
+    KIND_CHASE_HIT,
+    KIND_CHASE_MISS,
+    KIND_HOT,
+    KIND_MID,
+    KIND_STREAM,
+    PCS_PER_APP,
+    TRACE_DTYPE,
+    bundles_for_instructions,
+    generate_trace,
+    trace_instruction_count,
+)
+from repro.trace.profiles import (
+    ALL_APPS,
+    CRITICALITY_STUDY_APPS,
+    apps_by_intensity,
+    get_profile,
+    intensity_class,
+)
+from repro.trace.synthetic import (
+    CHASE_RES_BASE,
+    MID_BASE,
+    STREAM_BASE,
+    derive_params,
+    warm_sets,
+)
+from repro.trace.workloads import Workload, make_workloads, single_app_workload
+
+
+class TestProfiles:
+    def test_all_22_apps_present(self):
+        assert len(ALL_APPS) == 22
+
+    def test_table2_spot_values(self):
+        mcf = get_profile("mcf")
+        assert mcf.wpki == 68.67
+        assert mcf.mpki == 55.29
+        assert mcf.hitrate == 0.20
+        assert mcf.ipc == 0.07
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(TraceError):
+            get_profile("doom")
+
+    def test_intensity_classification(self):
+        assert intensity_class(get_profile("mcf")) == "high"
+        assert intensity_class(get_profile("bzip2")) == "medium"
+        assert intensity_class(get_profile("namd")) == "low"
+
+    def test_intensity_groups_cover_everything(self):
+        groups = apps_by_intensity()
+        assert sum(len(v) for v in groups.values()) == 22
+        assert len(groups["high"]) >= 7  # the paper's heavy hitters
+
+    def test_study_apps_exist(self):
+        for name in CRITICALITY_STUDY_APPS:
+            get_profile(name)
+
+
+class TestDerivation:
+    def test_write_fraction_bounded(self):
+        for profile in ALL_APPS:
+            params = derive_params(profile)
+            assert 0.0 <= params.write_fraction <= 1.0
+
+    def test_miss_rates_follow_mpki(self):
+        heavy = derive_params(get_profile("mcf"))
+        light = derive_params(get_profile("namd"))
+        assert heavy.stream_pki + heavy.chase_miss_pki > 20
+        assert light.stream_pki + light.chase_miss_pki < 1
+
+    def test_hit_traffic_follows_hitrate(self):
+        omnetpp = derive_params(get_profile("omnetpp"))
+        # hit-rate 0.96 -> resident traffic far exceeds miss traffic
+        assert omnetpp.mid_pki + omnetpp.chase_hit_pki > 5 * (
+            omnetpp.stream_pki + omnetpp.chase_miss_pki
+        )
+
+    def test_chase_share_splits_populations(self):
+        profile = get_profile("mcf")  # chase_share 0.55
+        params = derive_params(profile)
+        assert params.chase_miss_pki > params.stream_pki
+
+    def test_regions_defeat_l2(self):
+        for profile in ALL_APPS:
+            params = derive_params(profile)
+            assert params.mid_lines >= 3 * 4096
+            assert params.chase_res_lines >= 4096
+
+    def test_record_pki_includes_rmw(self):
+        params = derive_params(get_profile("streamL"))  # wf = 1.0
+        assert params.record_pki > params.bundle_pki
+
+    def test_warm_sets_fit_nominal_l3(self, config):
+        for profile in ALL_APPS:
+            params = derive_params(profile, config)
+            total = sum(len(block) for block in warm_sets(params)["l3"])
+            assert total <= config.l3_bank.num_lines
+
+
+class TestGenerator:
+    @pytest.fixture
+    def params(self):
+        return derive_params(get_profile("mcf"))
+
+    def test_dtype(self, params, rng):
+        trace = generate_trace(params, 1000, rng)
+        assert trace.dtype == TRACE_DTYPE
+
+    def test_deterministic(self, params):
+        a = generate_trace(params, 500, derive_rng(1, "t"))
+        b = generate_trace(params, 500, derive_rng(1, "t"))
+        assert np.array_equal(a, b)
+
+    def test_population_mix_matches_rates(self, params, rng):
+        trace = generate_trace(params, 60_000, rng)
+        primary = trace[~trace["is_write"] | (trace["kind"] == KIND_HOT)]
+        frac_hot = np.mean(primary["kind"] == KIND_HOT)
+        expected = params.hot_pki / params.bundle_pki
+        assert frac_hot == pytest.approx(expected, abs=0.02)
+
+    def test_stream_is_sequential(self, params, rng):
+        trace = generate_trace(params, 20_000, rng)
+        stream = trace[(trace["kind"] == KIND_STREAM) & ~trace["is_write"]]
+        lines = stream["line"]
+        assert np.all(np.diff(lines) == 1)
+
+    def test_stream_cursor_continues(self, params):
+        rng1, rng2 = derive_rng(0, "a"), derive_rng(0, "a")
+        whole = generate_trace(params, 4000, rng1)
+        first = generate_trace(params, 2000, rng2)
+        n_stream = int(np.count_nonzero((first["kind"] == KIND_STREAM) & ~first["is_write"]))
+        n_mid = int(np.count_nonzero((first["kind"] == KIND_MID) & ~first["is_write"]))
+        second = generate_trace(params, 2000, rng2, stream_cursor=n_stream, mid_cursor=n_mid)
+        w_stream = whole[(whole["kind"] == KIND_STREAM) & ~whole["is_write"]]["line"]
+        c_stream = np.concatenate([
+            first[(first["kind"] == KIND_STREAM) & ~first["is_write"]]["line"],
+            second[(second["kind"] == KIND_STREAM) & ~second["is_write"]]["line"],
+        ])
+        # chunked generation continues the same ascending sequence
+        assert np.all(np.diff(c_stream) == 1)
+        assert c_stream[0] == w_stream[0]
+
+    def test_chase_records_are_dependent(self, params, rng):
+        trace = generate_trace(params, 10_000, rng)
+        chase = trace[np.isin(trace["kind"], (KIND_CHASE_MISS, KIND_CHASE_HIT))]
+        loads = chase[~chase["is_write"]]
+        assert np.all(loads["dep"])
+
+    def test_non_chase_loads_independent(self, params, rng):
+        trace = generate_trace(params, 10_000, rng)
+        others = trace[np.isin(trace["kind"], (KIND_HOT, KIND_MID, KIND_STREAM))]
+        assert not np.any(others["dep"])
+
+    def test_chase_hit_in_own_region(self, params, rng):
+        trace = generate_trace(params, 20_000, rng)
+        chit = trace[trace["kind"] == KIND_CHASE_HIT]["line"]
+        assert np.all(chit >= CHASE_RES_BASE)
+        assert np.all(chit < CHASE_RES_BASE + params.chase_res_lines)
+
+    def test_chase_hit_popularity_skewed(self, params, rng):
+        trace = generate_trace(params, 60_000, rng)
+        chit = trace[(trace["kind"] == KIND_CHASE_HIT) & ~trace["is_write"]]["line"]
+        # Log-uniform popularity: the hottest sqrt(N) lines draw about
+        # half of all touches, under any rank-to-address scattering.
+        _, counts = np.unique(chit, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        head = int(np.sqrt(params.chase_res_lines))
+        assert 0.3 < counts[:head].sum() / counts.sum() < 0.75
+
+    def test_rmw_store_follows_load_same_line(self, params, rng):
+        trace = generate_trace(params, 20_000, rng)
+        stores = np.flatnonzero(trace["is_write"] & (trace["kind"] != KIND_HOT))
+        assert len(stores) > 0
+        for idx in stores[:200]:
+            assert trace["line"][idx] == trace["line"][idx - 1]
+            assert not trace["is_write"][idx - 1]
+
+    def test_write_fraction_controls_stores(self, rng):
+        params = derive_params(get_profile("streamL"))  # wf = 1.0
+        trace = generate_trace(params, 5000, rng)
+        stream_loads = np.count_nonzero((trace["kind"] == KIND_STREAM) & ~trace["is_write"])
+        stream_stores = np.count_nonzero((trace["kind"] == KIND_STREAM) & trace["is_write"])
+        assert stream_stores == stream_loads
+
+    def test_base_line_offsets_everything(self, params, rng):
+        trace = generate_trace(params, 1000, rng, base_line=1 << 40)
+        assert np.all(trace["line"] >= 1 << 40)
+
+    def test_pcs_within_app_budget(self, params, rng):
+        trace = generate_trace(params, 10_000, rng)
+        assert np.all(trace["pc"] < PCS_PER_APP)
+
+    def test_instruction_count_near_target(self, params, rng):
+        n_instr = 100_000
+        bundles = bundles_for_instructions(params, n_instr)
+        trace = generate_trace(params, bundles, rng)
+        measured = trace_instruction_count(trace)
+        assert measured == pytest.approx(n_instr, rel=0.05)
+
+    def test_zero_bundles_rejected(self, params, rng):
+        with pytest.raises(TraceError):
+            generate_trace(params, 0, rng)
+
+
+class TestWorkloads:
+    def test_ten_workloads_of_16(self):
+        wls = make_workloads(num_cores=16)
+        assert len(wls) == 10
+        assert all(wl.num_cores == 16 for wl in wls)
+
+    def test_deterministic_given_seed(self):
+        a = make_workloads(num_cores=16, seed=3)
+        b = make_workloads(num_cores=16, seed=3)
+        assert [wl.apps for wl in a] == [wl.apps for wl in b]
+
+    def test_every_workload_mixes_intensities(self):
+        for wl in make_workloads(num_cores=16):
+            classes = {intensity_class(p) for p in wl.profiles()}
+            assert "high" in classes
+            assert classes & {"medium", "low"}
+
+    def test_intensity_varies_across_workloads(self):
+        wls = make_workloads(num_cores=16)
+        high_counts = {
+            sum(intensity_class(p) == "high" for p in wl.profiles()) for wl in wls
+        }
+        assert len(high_counts) >= 3
+
+    def test_scaled_core_counts(self):
+        wls = make_workloads(num_cores=4)
+        assert all(wl.num_cores == 4 for wl in wls)
+
+    def test_single_app_workload(self):
+        wl = single_app_workload("mcf", num_cores=4)
+        assert wl.apps == ("mcf",) * 4
+
+    def test_invalid_app_in_workload_rejected(self):
+        with pytest.raises(TraceError):
+            Workload("bad", ("nonexistent",))
+
+    def test_app_names_are_plain_strings(self):
+        for wl in make_workloads(num_cores=16):
+            assert all(type(a) is str for a in wl.apps)

@@ -1,0 +1,88 @@
+"""Unit helpers: sizes, time conversion, power-of-two utilities."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import (
+    GHZ,
+    KIB,
+    MIB,
+    SECONDS_PER_YEAR,
+    cycles_to_seconds,
+    cycles_to_years,
+    is_power_of_two,
+    log2_exact,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_bytes_suffix(self):
+        assert parse_size("512B") == 512
+
+    def test_kb_is_binary(self):
+        assert parse_size("256KB") == 256 * KIB
+
+    def test_mb_is_binary(self):
+        assert parse_size("2MB") == 2 * MIB
+
+    def test_kib_alias(self):
+        assert parse_size("1KiB") == KIB
+
+    def test_case_insensitive(self):
+        assert parse_size("32kb") == 32 * KIB
+
+    def test_fractional_mb(self):
+        assert parse_size("1.5MB") == int(1.5 * MIB)
+
+    def test_bare_number_string(self):
+        assert parse_size("128") == 128
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  64 KB ") == 64 * KIB
+
+    def test_negative_integer_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots of bytes")
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("0.3B")
+
+
+class TestTimeConversion:
+    def test_one_second_at_1ghz(self):
+        assert cycles_to_seconds(1e9, GHZ) == pytest.approx(1.0)
+
+    def test_one_year(self):
+        cycles = SECONDS_PER_YEAR * 2.4e9
+        assert cycles_to_years(cycles, 2.4e9) == pytest.approx(1.0)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            cycles_to_seconds(100, 0)
+
+
+class TestPowerOfTwo:
+    def test_powers_accepted(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers_rejected(self):
+        for v in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(v)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(4096) == 12
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            log2_exact(48)
