@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""End-of-life study: graceful degradation of an aging ReRAM LLC.
+
+The paper's headline lifetime numbers say *when* each scheme's first
+bank wears out; this study shows *how the machine degrades* on the way
+there.  One workload is swept over service ages (fractions of nominal
+cell endurance); at each age the deterministic fault models retire the
+frames each scheme's own write distribution has worn out, and the
+measured phase runs on the degraded cache.  A scheduled whole-bank
+failure is thrown in at age 0.9 to show the remap layer absorbing it.
+
+Expected shape of the result: R-NUCA's clustered writes kill its hot
+banks early, S-NUCA fades uniformly, and Re-NUCA — which wear-levels the
+non-critical majority of its fills — keeps its IPC cliff furthest out.
+
+Run:
+    python examples/endoflife_study.py
+    python examples/endoflife_study.py --ages 0.5,1.0 --instructions 20000
+"""
+
+import argparse
+
+from repro.experiments.endoflife import (
+    DEFAULT_SCHEMES,
+    ipc_cliff_age,
+    render_endoflife,
+    run_endoflife,
+)
+from repro.sim.runner import Stage1Cache
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", type=int, default=1)
+    parser.add_argument("--ages", default="0.5,0.75,0.9,1.0",
+                        help="comma list of endurance fractions")
+    parser.add_argument("--instructions", type=int, default=30_000)
+    parser.add_argument("--seed", type=int, default=1)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    ages = tuple(float(a) for a in args.ages.split(","))
+
+    print(f"Sweeping WL{args.workload} over ages {ages} "
+          f"({args.instructions} instructions/core, seed {args.seed});")
+    print("bank 7 suffers a scheduled peripheral failure at age 0.9.\n")
+
+    curves = run_endoflife(
+        workload_number=args.workload,
+        ages=(0.0, *ages),
+        schemes=DEFAULT_SCHEMES,
+        seed=args.seed,
+        n_instructions=args.instructions,
+        stage1=Stage1Cache(),
+        bank_failures=((7, 0.9),),
+        progress=lambda scheme, age: print(f"  {scheme} @ age {age:.2f} ..."),
+    )
+    print()
+    print(render_endoflife(curves))
+
+    print("\nSummary — first age with a >=10% IPC drop:")
+    for scheme, points in curves.items():
+        cliff = ipc_cliff_age(points)
+        where = f"age {cliff:.2f}" if cliff is not None else "beyond the sweep"
+        print(f"  {scheme:>8s}: {where}")
+    print("\nEvery run above completed on the degraded cache — dead banks")
+    print("remap over the survivors instead of stopping the machine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ two-stage runner (``sim``) and per-figure drivers (``experiments``).
 """
 
 from repro.config import (
+    FaultConfig,
     SystemConfig,
     baseline_config,
     scaled_config,
@@ -37,6 +38,7 @@ from repro.trace.workloads import Workload, make_workloads, single_app_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultConfig",
     "SystemConfig",
     "baseline_config",
     "scaled_config",

@@ -84,6 +84,10 @@ class AccessResult:
     victim_dirty: bool = False
     #: The ``aux`` payload the victim carried (policy-specific).
     victim_aux: object = None
+    #: False when an allocation was *skipped* because every frame of the
+    #: target set is retired (fault degradation) — the line is not
+    #: resident and the caller must serve it from the next level.
+    filled: bool = True
 
 
 class Cache:
@@ -117,6 +121,8 @@ class Cache:
         self.num_sets = config.num_sets
         self._set_mask = self.num_sets - 1
         self._rotation = 0
+        #: Per-set live-way limits (None = full associativity everywhere).
+        self._way_limits: list[int] | None = None
         self._array = SetAssocArray(self.num_sets, config.assoc)
 
     # -- address helpers ---------------------------------------------------
@@ -145,6 +151,10 @@ class Cache:
         if self._policy is not None:
             raise ConfigError(
                 f"{self.name}: set rotation requires the native LRU policy"
+            )
+        if self._way_limits is not None:
+            raise ConfigError(
+                f"{self.name}: set rotation with retired frames is unsupported"
             )
         if step % self.num_sets == 0:
             return
@@ -205,10 +215,25 @@ class Cache:
         return self._allocate(line, dirty=dirty, aux=aux)
 
     def _allocate(self, line: int, *, dirty: bool, aux: object = None) -> AccessResult:
-        self.stats.fills += 1
         set_idx = self.set_of(line)
+        if self._way_limits is not None and self._way_limits[set_idx] <= 0:
+            # Every frame of this set is retired: the fill is skipped
+            # and the line stays non-resident.
+            return AccessResult(hit=False, filled=False)
+        self.stats.fills += 1
         if self._policy is None:
-            victim = self._array.insert(set_idx, line, [dirty, aux])
+            victim = None
+            if self._way_limits is not None:
+                limit = self._way_limits[set_idx]
+                if limit < self.config.assoc:
+                    ways = self._array.ways(set_idx)
+                    if len(ways) >= limit:
+                        victim_tag = next(iter(ways))
+                        victim_entry = self._array.invalidate(set_idx, victim_tag)
+                        victim = (victim_tag, victim_entry)
+            evicted = self._array.insert(set_idx, line, [dirty, aux])
+            if victim is None:
+                victim = evicted
         else:
             victim = None
             ways = self._array.ways(set_idx)
@@ -236,6 +261,75 @@ class Cache:
             victim_dirty=victim_entry[_DIRTY],
             victim_aux=victim_entry[_AUX],
         )
+
+    # -- fault degradation ---------------------------------------------------
+
+    def set_way_limits(self, limits) -> list[tuple[int, bool, object]]:
+        """Retire frames: cap the live ways of each set (fault injection).
+
+        ``limits`` is a per-set sequence of live-way counts in
+        ``[0, assoc]`` (or None to restore full associativity).  Resident
+        lines beyond a set's new limit are drained LRU-first and
+        returned as ``(line, dirty, aux)`` tuples so the caller can
+        write dirty data back and fix up policy metadata.
+
+        Raises:
+            ConfigError: with a non-LRU replacement policy (its state is
+                keyed by physical way and cannot shrink), or for limits
+                of the wrong length/range.
+        """
+        if limits is None:
+            self._way_limits = None
+            return []
+        if self._policy is not None:
+            raise ConfigError(
+                f"{self.name}: way limits require the native LRU policy"
+            )
+        limits = [int(v) for v in limits]
+        if len(limits) != self.num_sets:
+            raise ConfigError(
+                f"{self.name}: {len(limits)} way limits for {self.num_sets} sets"
+            )
+        if any(v < 0 or v > self.config.assoc for v in limits):
+            raise ConfigError(
+                f"{self.name}: way limits must be in [0, {self.config.assoc}]"
+            )
+        self._way_limits = limits
+        drained: list[tuple[int, bool, object]] = []
+        for set_idx, limit in enumerate(limits):
+            ways = self._array.ways(set_idx)
+            while len(ways) > limit:
+                tag = next(iter(ways))
+                entry = self._array.invalidate(set_idx, tag)
+                self.stats.invalidations += 1
+                drained.append((tag, bool(entry[_DIRTY]), entry[_AUX]))
+        return drained
+
+    def way_limit_of(self, set_idx: int) -> int:
+        """Live ways of one set (full associativity when no faults)."""
+        if self._way_limits is None:
+            return self.config.assoc
+        return self._way_limits[set_idx]
+
+    def live_frames(self) -> int:
+        """Usable line frames under the current way limits."""
+        if self._way_limits is None:
+            return self.num_sets * self.config.assoc
+        return sum(self._way_limits)
+
+    def drain(self) -> list[tuple[int, bool, object]]:
+        """Drop every line, returning ``(line, dirty, aux)`` tuples.
+
+        Like :meth:`flush` but preserves the ``aux`` payloads so mapping
+        policies can clean up per-line metadata (used when a whole bank
+        dies).  Dirty lines are counted as write-backs.
+        """
+        drained = []
+        for _set_idx, line, entry in self._array.flush():
+            if entry[_DIRTY]:
+                self.stats.writebacks += 1
+            drained.append((line, bool(entry[_DIRTY]), entry[_AUX]))
+        return drained
 
     # -- maintenance ---------------------------------------------------------
 

@@ -7,9 +7,16 @@ Commands:
 * ``compare``  — run one workload under several NUCA schemes.
 * ``workloads``— show the generated WL1..WL10 mixes.
 * ``trace``    — generate a synthetic application trace to a .npz file.
+* ``endoflife``— sweep cache age under fault injection (degradation study).
 
 Every command takes ``--instructions`` and ``--seed``; results are
 printed as the same text tables the benchmark harness emits.
+
+User-facing failures (unknown application, malformed trace file,
+inconsistent configuration — anything deriving from
+:class:`~repro.common.errors.ReproError`) print a one-line
+``error: ...`` to stderr and exit with status 2; tracebacks are reserved
+for actual bugs.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import ReproError
 from repro.config import baseline_config
 from repro.experiments.report import format_table, render_table2
 from repro.experiments.table2 import run_table2
@@ -101,6 +109,52 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _parse_ages(text: str) -> tuple[float, ...]:
+    """Parse the ``--ages`` comma list (e.g. ``0.5,0.9,1.1``)."""
+    try:
+        ages = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad age list {text!r}") from None
+    if not ages:
+        raise argparse.ArgumentTypeError("age list is empty")
+    return ages
+
+
+def _parse_bank_failure(text: str) -> tuple[int, float]:
+    """Parse one ``--fail-bank`` entry: ``BANK`` or ``BANK:AGE``."""
+    bank, _, age = text.partition(":")
+    try:
+        return int(bank), float(age) if age else 0.0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad bank failure {text!r} (expected BANK or BANK:AGE)"
+        ) from None
+
+
+def _cmd_endoflife(args) -> int:
+    from repro.experiments.endoflife import (
+        DEFAULT_SCHEMES,
+        render_endoflife,
+        run_endoflife,
+    )
+
+    ages = tuple(sorted(set(args.ages)))
+    curves = run_endoflife(
+        workload_number=args.workload,
+        ages=(0.0, *[a for a in ages if a > 0]),
+        schemes=tuple(args.schemes or DEFAULT_SCHEMES),
+        seed=args.seed,
+        n_instructions=args.instructions,
+        bank_failures=tuple(args.fail_bank),
+        transient_rate=args.transient_rate,
+        progress=lambda scheme, age: print(
+            f"  running {scheme} at age {age:.2f} ...", file=sys.stderr
+        ),
+    )
+    print(render_endoflife(curves))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -132,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("output", help="output .npz path")
     _add_common(p_trace)
 
+    p_eol = sub.add_parser(
+        "endoflife",
+        help="sweep cache age under end-of-life fault injection",
+    )
+    p_eol.add_argument("--workload", type=int, default=1,
+                       help="workload number 1..10 (default 1)")
+    p_eol.add_argument("--ages", type=_parse_ages, default=(0.5, 0.9, 1.1),
+                       help="comma list of endurance fractions "
+                            "(default 0.5,0.9,1.1; 0.0 baseline always runs)")
+    p_eol.add_argument("--schemes", nargs="+", default=None,
+                       help="NUCA schemes (default S-NUCA R-NUCA Re-NUCA)")
+    p_eol.add_argument("--fail-bank", type=_parse_bank_failure, action="append",
+                       default=[], metavar="BANK[:AGE]",
+                       help="schedule a whole-bank failure (repeatable); "
+                            "AGE defaults to 0 (dead at every swept age)")
+    p_eol.add_argument("--transient-rate", type=float, default=0.0,
+                       help="per-read soft-fault probability (default 0)")
+    _add_common(p_eol)
+
     return parser
 
 
@@ -141,13 +214,24 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
+    "endoflife": _cmd_endoflife,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.common.errors.ReproError` subclasses:
+    unknown apps, malformed traces, bad configurations) are reported as a
+    one-line ``error: ...`` on stderr with exit status 2 — they are user
+    mistakes, not crashes.  Anything else propagates with a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

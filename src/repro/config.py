@@ -161,6 +161,81 @@ class ReRamConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """End-of-life fault-injection parameters (the robustness testbed).
+
+    This section is *not* part of :class:`SystemConfig`: faults describe a
+    point in the cache's service life, not the machine, so the same Table I
+    system is swept over many :class:`FaultConfig` instances (see
+    ``repro.experiments.endoflife``).
+
+    ``age_fraction`` is the fraction of the nominal cell endurance the
+    *average* bank has consumed; individual banks age faster or slower in
+    proportion to their share of the write traffic, and frames inside a
+    bank die spread over ``[wear_spread, 1.0]`` of consumed endurance
+    (the residual intra-bank imbalance of ``ReRamConfig``).  Ages above
+    1.0 model operation past the rated endurance.
+
+    ``bank_failures`` schedules whole-bank (peripheral-circuit) failures:
+    ``(bank_id, fail_age)`` pairs; the bank is fully dead once
+    ``age_fraction >= fail_age``.
+
+    ``transient_rate`` is the per-LLC-read probability of a transient
+    (soft) fault: the read data is corrupt, the line is dropped and
+    refetched from memory.
+
+    ``remap_penalty_cycles`` is the extra latency of every access
+    redirected away from a dead bank (the remap table lookup).
+
+    ``fault_seed`` decouples the fault-site draw from the experiment
+    seed; ``None`` reuses the run seed (the default, so one ``--seed``
+    reproduces the whole run, faults included).
+    """
+
+    age_fraction: float = 0.0
+    transient_rate: float = 0.0
+    bank_failures: tuple[tuple[int, float], ...] = ()
+    remap_penalty_cycles: int = 24
+    fault_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.age_fraction < 0:
+            raise ConfigError("age fraction cannot be negative")
+        if not (0 <= self.transient_rate < 1):
+            raise ConfigError("transient fault rate must be in [0, 1)")
+        if self.remap_penalty_cycles < 0:
+            raise ConfigError("remap penalty cannot be negative")
+        for entry in self.bank_failures:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                raise ConfigError(
+                    f"bank failure entries must be (bank, fail_age) pairs, "
+                    f"got {entry!r}"
+                )
+            bank, fail_age = entry
+            if int(bank) < 0:
+                raise ConfigError(f"bank id cannot be negative: {bank}")
+            if float(fail_age) < 0:
+                raise ConfigError(f"failure age cannot be negative: {fail_age}")
+
+    @property
+    def active(self) -> bool:
+        """True when this configuration injects any fault at all."""
+        return (
+            self.age_fraction > 0
+            or self.transient_rate > 0
+            or bool(self.failed_banks())
+        )
+
+    def failed_banks(self) -> frozenset[int]:
+        """Banks whose scheduled whole-bank failure has already struck."""
+        return frozenset(
+            int(bank)
+            for bank, fail_age in self.bank_failures
+            if self.age_fraction >= float(fail_age)
+        )
+
+
+@dataclass(frozen=True)
 class TlbConfig:
     """Enhanced-TLB geometry (Section IV-C / Figure 10)."""
 

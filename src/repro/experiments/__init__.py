@@ -12,10 +12,17 @@ module              paper artefact
 ``criticality``     Figures 7/8/9 (threshold sweeps on the 8 study apps)
 ``main_result``     Figures 3, 4b, 11, 12 + Table III baseline row
 ``sensitivity``     Figures 13-18 + Table III variant rows
+``endoflife``       beyond the paper: IPC/capacity vs. cache age under
+                    deterministic end-of-life fault injection
 ==================  =====================================================
 """
 
 from repro.experiments.criticality import run_criticality_sweep
+from repro.experiments.endoflife import (
+    DEFAULT_AGES,
+    run_endoflife,
+    render_endoflife,
+)
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.main_result import (
     ALL_SCHEMES,
@@ -26,7 +33,10 @@ from repro.experiments.sensitivity import SENSITIVITY_CONFIGS, run_sensitivity
 from repro.experiments.table2 import run_table2
 
 __all__ = [
+    "DEFAULT_AGES",
     "run_criticality_sweep",
+    "run_endoflife",
+    "render_endoflife",
     "run_fig5",
     "ALL_SCHEMES",
     "MOTIVATION_SCHEMES",

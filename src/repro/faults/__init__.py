@@ -1,0 +1,29 @@
+"""End-of-life fault injection and graceful degradation.
+
+The paper's lifetime analysis stops at *when* the first ReRAM bank dies;
+this package models what happens *after*: seeded, deterministic fault
+models (:mod:`repro.faults.models`) and the :class:`FaultInjector`
+(:mod:`repro.faults.injector`) that the NUCA LLC consults so worn-out
+frames are retired, dead banks degrade to remapping instead of crashing,
+and every degraded-capacity run completes with graceful-degradation
+metrics (effective capacity, remap traffic, IPC-vs-age).
+
+Entry points: a :class:`~repro.config.FaultConfig` passed to
+:func:`~repro.sim.runner.run_workload`, the
+``python -m repro endoflife`` command, and
+:func:`repro.experiments.endoflife.run_endoflife`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    BankFailureSchedule,
+    StuckAtFaultModel,
+    TransientFaultModel,
+)
+
+__all__ = [
+    "BankFailureSchedule",
+    "FaultInjector",
+    "StuckAtFaultModel",
+    "TransientFaultModel",
+]

@@ -1,0 +1,201 @@
+"""The fault injector: turns fault models into LLC degradation state.
+
+The :class:`FaultInjector` is the single object the
+:class:`~repro.nuca.llc.NucaLLC` consults on its hot paths.  Lifecycle:
+
+1. Construct from a :class:`~repro.config.SystemConfig` and a
+   :class:`~repro.config.FaultConfig` (plus the run seed).  The injector
+   starts *inert* — no faults — so warm-up runs on pristine hardware.
+2. :meth:`derive` consumes a :class:`~repro.reram.wear.WearSnapshot`
+   (typically the warm-up wear of this very run) and materialises the
+   fault state for the configured service age: per-bank consumed
+   endurance, dead frames per set, and fully dead banks.
+3. The LLC applies the state (retiring frames, flushing dead banks) and
+   thereafter asks :meth:`is_bank_dead` / :meth:`remap_bank` /
+   :meth:`transient_fault` per access.
+
+Degradation semantics:
+
+* A **dead frame** is retired from placement: the set's effective
+  associativity shrinks; with zero live ways a fill is skipped (the line
+  is served from memory every time — the L2C2 "disabled line" regime).
+* A **dead bank** stops serving entirely; accesses are *remapped* over
+  the surviving banks by a deterministic hash of ``(home bank, line)``,
+  each paying ``remap_penalty_cycles`` extra.  With no survivors the LLC
+  degrades to a memory pass-through — slow, but never an exception.
+* A **transient fault** corrupts one read: the line is dropped and
+  refetched from memory.
+
+Everything is deterministic in ``(seed, fault config, wear snapshot)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.config import FaultConfig, SystemConfig
+from repro.faults.models import (
+    BankFailureSchedule,
+    StuckAtFaultModel,
+    TransientFaultModel,
+)
+from repro.reram.wear import WearSnapshot
+
+#: Per-set wear-weight clamp: how much faster/slower than the bank mean a
+#: single set may age (keeps sparse warm-up histograms from producing
+#: immortal or instantly-dead sets).
+_SET_WEIGHT_CLIP = (0.25, 4.0)
+
+
+class FaultInjector:
+    """Deterministic fault state for one NUCA LLC instance."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        faults: FaultConfig,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.faults = faults
+        fault_seed = faults.fault_seed if faults.fault_seed is not None else seed
+        self.num_banks = config.num_banks
+        self.num_sets = config.l3_bank.num_sets
+        self.assoc = config.l3_bank.assoc
+        self.remap_penalty_cycles = faults.remap_penalty_cycles
+        self._stuck_at = StuckAtFaultModel(
+            self.num_sets,
+            self.assoc,
+            wear_spread=config.reram.intra_bank_wear_spread,
+            seed=fault_seed,
+        )
+        self._transient = TransientFaultModel(faults.transient_rate, seed=fault_seed)
+        self._schedule = BankFailureSchedule(
+            faults.bank_failures, num_banks=self.num_banks
+        )
+        # Inert until derive(): warm-up must see pristine hardware.
+        self._derived = False
+        self.dead_banks: frozenset[int] = frozenset()
+        self._surviving: tuple[int, ...] = tuple(range(self.num_banks))
+        self._dead_ways = np.zeros((self.num_banks, self.num_sets), dtype=np.int64)
+        self.consumed = np.zeros(self.num_banks)
+
+    # -- derivation ---------------------------------------------------------
+
+    @property
+    def derived(self) -> bool:
+        """True once :meth:`derive` has materialised the fault state."""
+        return self._derived
+
+    def derive(self, snapshot: WearSnapshot, *, index_shift: int = 0) -> None:
+        """Materialise fault state for ``faults.age_fraction``.
+
+        ``snapshot`` supplies the write-traffic shape: per-bank consumed
+        endurance scales with each bank's share of the snapshot's writes
+        (a bank absorbing twice the mean traffic ages twice as fast), and
+        per-set aging is weighted by the snapshot's per-line counts when
+        present.  ``index_shift`` is the bank's set-index shift (so line
+        addresses map to the same sets the cache uses).
+
+        Raises:
+            ConfigError: when the snapshot's bank count does not match.
+        """
+        if snapshot.num_banks != self.num_banks:
+            raise ConfigError(
+                f"wear snapshot has {snapshot.num_banks} banks, "
+                f"injector expects {self.num_banks}"
+            )
+        age = self.faults.age_fraction
+        writes = snapshot.bank_writes.astype(np.float64)
+        mean_writes = float(writes.mean())
+        if mean_writes > 0:
+            self.consumed = age * writes / mean_writes
+        else:
+            self.consumed = np.full(self.num_banks, float(age))
+
+        set_mask = self.num_sets - 1
+        dead_banks = set(self._schedule.failed_at(age))
+        for bank in range(self.num_banks):
+            if bank in dead_banks:
+                self._dead_ways[bank, :] = self.assoc
+                continue
+            weights = self._set_weights(
+                snapshot.line_histogram(bank), index_shift, set_mask
+            )
+            self._dead_ways[bank] = self._stuck_at.dead_ways(
+                bank, self.consumed[bank] * weights
+            )
+            if int(self._dead_ways[bank].sum()) == self.num_sets * self.assoc:
+                dead_banks.add(bank)
+        self.dead_banks = frozenset(dead_banks)
+        self._surviving = tuple(
+            b for b in range(self.num_banks) if b not in self.dead_banks
+        )
+        self._derived = True
+
+    def _set_weights(
+        self, histogram: dict[int, int], index_shift: int, set_mask: int
+    ) -> np.ndarray:
+        """Per-set aging weights (mean ~1) from a per-line write histogram."""
+        if not histogram:
+            return np.ones(self.num_sets)
+        set_writes = np.zeros(self.num_sets)
+        for line, count in histogram.items():
+            set_writes[(line >> index_shift) & set_mask] += count
+        mean = set_writes.mean()
+        if mean <= 0:
+            return np.ones(self.num_sets)
+        return np.clip(set_writes / mean, *_SET_WEIGHT_CLIP)
+
+    # -- hot-path queries ---------------------------------------------------
+
+    def is_bank_dead(self, bank: int) -> bool:
+        """True when the bank serves no accesses at this age."""
+        return bank in self.dead_banks
+
+    def remap_bank(self, bank: int, line: int) -> int | None:
+        """Surviving bank absorbing a dead bank's traffic for ``line``.
+
+        Deterministic in ``(bank, line)`` so lookups and fills agree
+        forever.  Returns None when no bank survives (LLC bypassed).
+        """
+        if not self._surviving:
+            return None
+        return self._surviving[(line + bank) % len(self._surviving)]
+
+    def transient_fault(self) -> bool:
+        """Draw the next read's transient-fault verdict."""
+        return self._transient.query()
+
+    # -- applied-state accessors -------------------------------------------
+
+    def dead_ways_of(self, bank: int) -> np.ndarray:
+        """Dead-frame count per set of one bank."""
+        if not (0 <= bank < self.num_banks):
+            raise SimulationError(f"bank {bank} of {self.num_banks}")
+        return self._dead_ways[bank].copy()
+
+    def way_limits_of(self, bank: int) -> np.ndarray:
+        """Live ways per set of one bank (what the cache may still use)."""
+        return self.assoc - self.dead_ways_of(bank)
+
+    def effective_capacity_fraction(self) -> float:
+        """Live frames / total frames across the whole LLC."""
+        total = self.num_banks * self.num_sets * self.assoc
+        return 1.0 - float(self._dead_ways.sum()) / total
+
+    @property
+    def transient_faults_injected(self) -> int:
+        """Transient faults delivered so far."""
+        return self._transient.faults
+
+    def describe(self) -> str:
+        """One-line summary for reports and logs."""
+        return (
+            f"age={self.faults.age_fraction:.2f} "
+            f"capacity={self.effective_capacity_fraction():.1%} "
+            f"dead_banks={sorted(self.dead_banks)} "
+            f"transient_rate={self.faults.transient_rate:g}"
+        )

@@ -1,0 +1,168 @@
+"""Seeded, deterministic ReRAM fault models.
+
+Three fault populations, mirroring the end-of-life literature (Mittal's
+write-endurance-aware management, arXiv:1311.0041; Escuin et al.'s L2C2
+line-disabling forecasts, arXiv:2204.09504):
+
+* :class:`StuckAtFaultModel` — endurance wear-out.  Every line frame of a
+  bank gets a deterministic *death threshold* in ``[wear_spread, 1.0]``
+  of consumed endurance; a frame is stuck-at (dead, retired from
+  placement) once its bank's consumed-endurance fraction crosses the
+  threshold.  Per-bank consumption scales with the bank's share of write
+  traffic (hot banks age faster), and per-set consumption is further
+  weighted by the :class:`~repro.reram.wear.WearTracker` per-line counts
+  when available, so hot sets inside a bank die first.
+* :class:`TransientFaultModel` — soft errors on reads, a stateless
+  counter-hashed Bernoulli stream (no RNG object: the ``n``-th query
+  always gives the same verdict for a given seed).
+* :class:`BankFailureSchedule` — whole-bank peripheral failures at
+  scheduled ages (from :class:`~repro.config.FaultConfig`).
+
+All randomness flows through :func:`~repro.common.rng.derive_rng` with a
+dedicated path, so fault sites are a pure function of
+``(seed, bank, geometry)`` — two runs with the same seed inject exactly
+the same faults, and adding faults never perturbs trace generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_rng
+
+#: 64-bit SplitMix multiplier used by the counter-hash transient stream.
+_SPLITMIX = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class StuckAtFaultModel:
+    """Endurance-driven stuck-at faults over one bank's line frames.
+
+    Args:
+        num_sets: sets per bank.
+        assoc: ways per set.
+        wear_spread: residual intra-bank imbalance (``(0, 1]``); the
+            first frame dies at consumed fraction ``wear_spread``, the
+            most resilient at 1.0.  ``1.0`` means perfectly uniform
+            intra-bank wear: every frame dies together at consumed 1.0.
+        seed: experiment seed (``None`` = library default).
+
+    Thresholds are drawn lazily per bank and cached, so a model is cheap
+    to construct even for many banks.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        *,
+        wear_spread: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        if num_sets <= 0 or assoc <= 0:
+            raise ConfigError("fault model needs positive bank geometry")
+        if not (0 < wear_spread <= 1.0):
+            raise ConfigError("wear spread must be in (0, 1]")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.wear_spread = wear_spread
+        self.seed = seed
+        self._thresholds: dict[int, np.ndarray] = {}
+
+    def thresholds(self, bank: int) -> np.ndarray:
+        """``(num_sets, assoc)`` death thresholds of one bank's frames."""
+        cached = self._thresholds.get(bank)
+        if cached is None:
+            rng = derive_rng(self.seed, "faults", "stuckat", bank)
+            u = rng.random((self.num_sets, self.assoc))
+            cached = self.wear_spread + (1.0 - self.wear_spread) * u
+            self._thresholds[bank] = cached
+        return cached
+
+    def dead_ways(self, bank: int, consumed_per_set: np.ndarray | float) -> np.ndarray:
+        """Dead-frame count per set at the given consumed endurance.
+
+        ``consumed_per_set`` is a scalar or a ``num_sets`` vector of
+        consumed-endurance fractions (>= 1.0 kills every frame whose
+        threshold it reaches; the hardest frame dies exactly at 1.0).
+        """
+        consumed = np.asarray(consumed_per_set, dtype=np.float64)
+        if consumed.ndim == 0:
+            consumed = np.full(self.num_sets, float(consumed))
+        elif consumed.shape != (self.num_sets,):
+            raise ConfigError(
+                f"consumed vector has shape {consumed.shape}, "
+                f"expected ({self.num_sets},)"
+            )
+        dead = consumed[:, None] >= self.thresholds(bank)
+        return dead.sum(axis=1).astype(np.int64)
+
+
+class TransientFaultModel:
+    """Counter-hashed Bernoulli stream of transient read faults.
+
+    ``query()`` advances an internal counter and reports whether that
+    access suffers a soft fault.  The verdict for access ``n`` is a pure
+    function of ``(seed, n)`` (SplitMix64 finalizer), so a replayed run
+    faults exactly the same accesses — no RNG state to save.
+    """
+
+    def __init__(self, rate: float, *, seed: int | None = None) -> None:
+        if not (0 <= rate < 1):
+            raise ConfigError("transient fault rate must be in [0, 1)")
+        self.rate = rate
+        # Fold the seed into a 64-bit stream key via the shared plumbing
+        # so the stream is independent of other consumers of the seed.
+        self._key = int(
+            derive_rng(seed, "faults", "transient").integers(0, 2**63)
+        )
+        self.count = 0
+        self.faults = 0
+
+    @staticmethod
+    def _hash01(key: int, index: int) -> float:
+        x = (key + index * _SPLITMIX) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        x ^= x >> 31
+        return x / 2**64
+
+    def query(self) -> bool:
+        """Advance the access counter; True when this access faults."""
+        if self.rate <= 0:
+            return False
+        index = self.count
+        self.count += 1
+        faulty = self._hash01(self._key, index) < self.rate
+        if faulty:
+            self.faults += 1
+        return faulty
+
+
+class BankFailureSchedule:
+    """Whole-bank failures at scheduled service ages.
+
+    A thin, validated wrapper over the ``(bank, fail_age)`` pairs of
+    :class:`~repro.config.FaultConfig` that answers "which banks are
+    dead at age ``a``" for any bank count.
+    """
+
+    def __init__(
+        self, entries: tuple[tuple[int, float], ...], *, num_banks: int
+    ) -> None:
+        if num_banks <= 0:
+            raise ConfigError("need at least one bank")
+        self.num_banks = num_banks
+        self.entries = tuple(
+            (int(bank), float(age)) for bank, age in entries
+        )
+        for bank, _age in self.entries:
+            if not (0 <= bank < num_banks):
+                raise ConfigError(
+                    f"scheduled failure of bank {bank} outside 0..{num_banks - 1}"
+                )
+
+    def failed_at(self, age: float) -> frozenset[int]:
+        """Banks whose failure age has been reached."""
+        return frozenset(b for b, fail_age in self.entries if age >= fail_age)

@@ -60,10 +60,29 @@ class NucaBank:
         return hit
 
     def fill(self, line: int, *, dirty: bool, aux: object) -> AccessResult:
-        """Allocate a line (always a ReRAM write: the fill data is stored)."""
+        """Allocate a line (a ReRAM write whenever the fill data is stored).
+
+        With retired frames (fault injection) the target set may have no
+        live ways left; the fill is then skipped (``result.filled`` is
+        False) and no wear is recorded — nothing was written.
+        """
         result = self.cache.allocate(line, dirty=dirty, aux=aux)
-        self._wear.record_write(self.node_id, line)
+        if result.filled:
+            self._wear.record_write(self.node_id, line)
         return result
+
+    def apply_frame_faults(self, way_limits) -> list[tuple[int, bool, object]]:
+        """Retire dead frames per set; returns drained ``(line, dirty, aux)``.
+
+        ``way_limits`` is the per-set live-way vector from a
+        :class:`~repro.faults.injector.FaultInjector`.
+        """
+        return self.cache.set_way_limits(way_limits)
+
+    @property
+    def live_frames(self) -> int:
+        """Usable line frames under the current fault state."""
+        return self.cache.live_frames()
 
     @property
     def writes(self) -> int:

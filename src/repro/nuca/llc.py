@@ -16,6 +16,13 @@ Latency returned for a fetch is what the core sees:
 ``lookup_penalty + NoC round trip + bank read latency [+ memory]``.
 Write-backs are off the critical path; their latency is not fed back, but
 their NoC traffic and bank wear are fully accounted.
+
+With a :class:`~repro.faults.injector.FaultInjector` attached, the
+controller degrades gracefully instead of crashing: accesses to dead
+banks are remapped over the survivors (with a latency penalty), fills
+into sets whose frames are all retired are skipped (the line is served
+from memory), and transient read faults force a refetch.  All of it is
+counted in :class:`LlcStats`.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from repro.mem.model import MainMemory
 from repro.noc.mesh import Mesh
 from repro.nuca.bank import NucaBank
 from repro.nuca.policies import MappingPolicy
-from repro.reram.wear import WearTracker
+from repro.reram.wear import WearSnapshot, WearTracker
 
 
 @dataclass
@@ -43,6 +50,14 @@ class LlcStats:
     memory_reads: int = 0
     memory_writes: int = 0
     total_fetch_latency: float = 0.0
+    #: Accesses redirected away from a dead bank (degradation traffic).
+    remapped_fetches: int = 0
+    remapped_writebacks: int = 0
+    remapped_fills: int = 0
+    #: Fills dropped because the target set has no live frames left.
+    fills_skipped: int = 0
+    #: Hits invalidated by an injected transient (soft) fault.
+    transient_faults: int = 0
 
     @property
     def fetch_hit_rate(self) -> float:
@@ -53,6 +68,11 @@ class LlcStats:
     def mean_fetch_latency(self) -> float:
         """Mean demand-fetch latency in cycles."""
         return self.total_fetch_latency / self.fetches if self.fetches else 0.0
+
+    @property
+    def remap_traffic(self) -> int:
+        """Total accesses that crossed the dead-bank remap layer."""
+        return self.remapped_fetches + self.remapped_writebacks + self.remapped_fills
 
 
 class NucaLLC:
@@ -65,18 +85,26 @@ class NucaLLC:
         mesh: Mesh,
         memory: MainMemory,
         wear: WearTracker,
+        *,
+        faults=None,
     ) -> None:
         if wear.num_banks != config.num_banks:
             raise ConfigError("wear tracker / bank count mismatch")
         if mesh.num_nodes != config.num_banks:
             raise ConfigError("mesh node / bank count mismatch")
+        if faults is not None and faults.num_banks != config.num_banks:
+            raise ConfigError("fault injector / bank count mismatch")
         self.config = config
         self.policy = policy
         self.mesh = mesh
         self.memory = memory
         self.wear = wear
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; None
+        #: means pristine hardware (zero overhead on the hot paths).
+        self.faults = faults
         self.stats = LlcStats()
         shift = log2_exact(config.num_banks)
+        self._index_shift = shift
         self.banks = [
             NucaBank(node, config.l3_bank, config.reram, wear, index_shift=shift)
             for node in range(config.num_banks)
@@ -99,10 +127,25 @@ class NucaLLC:
         """
         self.stats.fetches += 1
         mesh = self.mesh
+        faults = self.faults
         penalty = float(self.policy.lookup_penalty)
         bank_id = self.policy.locate(core, line)
+        if bank_id is not None and faults is not None and faults.is_bank_dead(bank_id):
+            # The home bank is dead: the remap layer redirects the access
+            # to a surviving bank (or to memory when none survive).
+            bank_id = faults.remap_bank(bank_id, line)
+            penalty += faults.remap_penalty_cycles
+            self.stats.remapped_fetches += 1
         if bank_id is not None:
             hit = self.banks[bank_id].probe(line)
+            if hit and faults is not None and faults.transient_fault():
+                # Soft fault: the read delivered corrupt data.  The line
+                # is dropped and refetched from memory below.
+                self.stats.transient_faults += 1
+                aux = self.banks[bank_id].cache.aux_of(line)
+                self.banks[bank_id].cache.invalidate(line)
+                self.policy.on_evict(line, bank_id, aux)
+                hit = False
             if hit:
                 latency = (
                     penalty
@@ -146,13 +189,23 @@ class NucaLLC:
     def writeback(self, core: int, line: int, now: float) -> None:
         """Absorb a dirty L2 eviction (off the core's critical path)."""
         self.stats.writebacks += 1
+        faults = self.faults
         bank_id = self.policy.locate(core, line)
+        remapped = False
+        if bank_id is not None and faults is not None and faults.is_bank_dead(bank_id):
+            bank_id = faults.remap_bank(bank_id, line)
+            remapped = True
+            self.stats.remapped_writebacks += 1
         if bank_id is not None:
             self.mesh.round_trip_latency(core, bank_id)
             if self.banks[bank_id].probe(line, is_write=True):
                 self.stats.writeback_hits += 1
                 return
-            place_bank = bank_id if self._is_static(bank_id, core, line) else None
+            place_bank = (
+                bank_id
+                if not remapped and self._is_static(bank_id, core, line)
+                else None
+            )
         else:
             place_bank = None
         if place_bank is None:
@@ -171,6 +224,11 @@ class NucaLLC:
         The move rewrites the line's data in the destination bank — a
         full ReRAM write, counted as wear — and is off the critical path
         (the demand hit was already serviced from the source bank).
+
+        Under fault injection the destination may be dead (the move is
+        redirected through the remap layer) or out of live frames (the
+        line is dropped to memory); the policy's location metadata is
+        kept consistent in both cases.
         """
         from repro.common.errors import SimulationError
 
@@ -179,24 +237,121 @@ class NucaLLC:
         present, dirty = src_cache.invalidate(line)
         if not present:
             raise SimulationError(f"migration of non-resident line {line:#x}")
-        self.mesh.send(src, dst)
-        result = self.banks[dst].fill(line, dirty=dirty, aux=aux)
+        faults = self.faults
+        dst_actual = dst
+        if faults is not None and faults.is_bank_dead(dst):
+            dst_actual = faults.remap_bank(dst, line)
+            self.stats.remapped_fills += 1
+        if dst_actual is None:
+            # No surviving bank: the migrating line falls out of the LLC.
+            self._drop_line(line, dst, aux, dirty)
+            return
+        if dst_actual != dst and isinstance(aux, tuple) and len(aux) == 2:
+            # The policy recorded ``dst``; re-announce the real location
+            # before the fill so eviction bookkeeping stays consistent.
+            owner, critical = aux
+            self.policy.on_allocate(owner, line, dst_actual, critical)
+        self.mesh.send(src, dst_actual)
+        result = self.banks[dst_actual].fill(line, dirty=dirty, aux=aux)
+        if not result.filled:
+            self._drop_line(line, dst_actual, aux, dirty)
+            return
         if result.victim_line is not None:
-            self.policy.on_evict(result.victim_line, dst, result.victim_aux)
+            self.policy.on_evict(result.victim_line, dst_actual, result.victim_aux)
             if result.victim_dirty:
                 self.memory.request(0.0, result.victim_line)
                 self.stats.memory_writes += 1
 
+    def _drop_line(self, line: int, bank: int, aux: object, dirty: bool) -> None:
+        """A line could not be kept resident: evict it to memory."""
+        self.stats.fills_skipped += 1
+        self.policy.on_evict(line, bank, aux)
+        if dirty:
+            self.memory.request(0.0, line)
+            self.stats.memory_writes += 1
+
     def _fill(
         self, bank_id: int, line: int, now: float, *, dirty: bool, core: int, critical: bool
     ) -> None:
+        faults = self.faults
+        if faults is not None and faults.is_bank_dead(bank_id):
+            bank_id = faults.remap_bank(bank_id, line)
+            self.stats.remapped_fills += 1
+        if bank_id is None:
+            # No surviving bank at all: the LLC is a pass-through.
+            self.stats.fills_skipped += 1
+            if dirty:
+                self.memory.request(now, line)
+                self.stats.memory_writes += 1
+            return
         result = self.banks[bank_id].fill(line, dirty=dirty, aux=(core, critical))
+        if not result.filled:
+            # Every frame of the target set is retired: serve from memory.
+            self.stats.fills_skipped += 1
+            if dirty:
+                self.memory.request(now, line)
+                self.stats.memory_writes += 1
+            return
         self.policy.on_allocate(core, line, bank_id, critical)
         if result.victim_line is not None:
             self.policy.on_evict(result.victim_line, bank_id, result.victim_aux)
             if result.victim_dirty:
                 self.memory.request(now, result.victim_line)
                 self.stats.memory_writes += 1
+
+    # -- fault degradation ----------------------------------------------------------
+
+    def apply_faults(self, snapshot: WearSnapshot | None = None) -> None:
+        """Materialise and apply the injector's fault state.
+
+        ``snapshot`` supplies the wear history driving endurance faults
+        (defaults to this LLC's current wear — typically the warm-up
+        wear).  Dead banks are drained entirely; partially worn banks
+        have their dead frames retired.  Drained dirty lines stream to
+        memory; mapping-policy metadata is cleaned up line by line, so
+        the simulation continues on the degraded cache without any
+        internal inconsistency.
+
+        No-op without an attached injector.  Idempotent derivation: the
+        injector derives once; re-applying reuses the derived state.
+        """
+        if self.faults is None:
+            return
+        if snapshot is None:
+            snapshot = self.wear.snapshot()
+        if not self.faults.derived:
+            self.faults.derive(snapshot, index_shift=self._index_shift)
+        assoc = self.config.l3_bank.assoc
+        for bank in self.banks:
+            node = bank.node_id
+            if self.faults.is_bank_dead(node):
+                self.policy.on_bank_failed(node)
+                drained = bank.cache.drain()
+            else:
+                limits = self.faults.way_limits_of(node)
+                if int(limits.min()) >= assoc:
+                    continue
+                drained = bank.apply_frame_faults(limits.tolist())
+            for line, dirty, aux in drained:
+                self.policy.on_evict(line, node, aux)
+                if dirty:
+                    self.memory.request(0.0, line)
+                    self.stats.memory_writes += 1
+
+    def effective_capacity_fraction(self) -> float:
+        """Usable LLC frames / nominal frames (1.0 on pristine hardware)."""
+        total = self.config.l3_bank.num_lines * len(self.banks)
+        live = sum(
+            0 if (self.faults is not None and self.faults.is_bank_dead(b.node_id))
+            else b.live_frames
+            for b in self.banks
+        )
+        return live / total
+
+    @property
+    def dead_bank_count(self) -> int:
+        """Banks currently out of service."""
+        return len(self.faults.dead_banks) if self.faults is not None else 0
 
     # -- warm-up --------------------------------------------------------------------
 

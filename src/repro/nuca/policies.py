@@ -68,6 +68,18 @@ class MappingPolicy(abc.ABC):
         (an ``(owner_core, critical)`` tuple).
         """
 
+    def on_bank_failed(self, bank: int) -> None:
+        """Observe a whole-bank (end-of-life) failure.
+
+        Called once by the LLC when fault injection takes ``bank`` out of
+        service, *before* the bank's lines are drained (each drained line
+        still gets its own :meth:`on_evict`).  Policies that precompute
+        bank sets (clusters, interleavings) may use this to adapt; the
+        default keeps the mapping function unchanged and relies on the
+        controller's remap layer, which is what a table-free hardware
+        mapping would do.
+        """
+
     def reset(self) -> None:
         """Clear policy state between workloads (default: nothing)."""
 

@@ -11,9 +11,39 @@ assumes intra-bank wear-levelling (its subject is *inter-bank* wear; see
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.common.errors import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class WearSnapshot:
+    """Immutable copy of a tracker's state at one instant.
+
+    Taken with :meth:`WearTracker.snapshot` (e.g. after warm-up, just
+    before counters are reset) and consumed by the fault models, which
+    need the write-traffic shape to decide where cells die first.
+    """
+
+    bank_writes: np.ndarray
+    line_writes: tuple[dict[int, int], ...]
+
+    @property
+    def num_banks(self) -> int:
+        """Number of banks covered by the snapshot."""
+        return len(self.bank_writes)
+
+    def line_histogram(self, bank: int) -> dict[int, int]:
+        """Per-line write counts of one bank (empty when untracked)."""
+        if not (0 <= bank < self.num_banks):
+            raise SimulationError(f"bank {bank} of {self.num_banks}")
+        return dict(self.line_writes[bank])
+
+    def total_writes(self) -> int:
+        """Writes across all banks."""
+        return int(self.bank_writes.sum())
 
 
 class WearTracker:
@@ -22,6 +52,14 @@ class WearTracker:
     ``record_write(bank)`` is the single hot entry point; per-line
     tracking (``record_write(bank, line=...)``) is optional and costs one
     dict update.
+
+    The ``line`` argument is **deliberately ignored** when the tracker
+    was built with ``track_lines=False`` (the default): callers on the
+    hot path — :class:`~repro.nuca.bank.NucaBank` passes the line on
+    every fill — must not pay the per-line dict cost unless an
+    experiment opted into it.  Only the bank counter advances; the
+    per-line histogram stays empty.  Opt in with ``track_lines=True``
+    when per-line data is needed (e.g. fault derivation).
     """
 
     def __init__(self, num_banks: int, *, track_lines: bool = False) -> None:
@@ -68,6 +106,38 @@ class WearTracker:
         """Most-written line's count in a bank (0 when untracked/idle)."""
         hist = self._line_writes[bank]
         return max(hist.values()) if hist else 0
+
+    def snapshot(self) -> WearSnapshot:
+        """Deep-copied, immutable view of the current counters."""
+        return WearSnapshot(
+            bank_writes=self.bank_writes.copy(),
+            line_writes=tuple(dict(d) for d in self._line_writes),
+        )
+
+    def merge(self, other: "WearTracker | WearSnapshot") -> None:
+        """Accumulate another tracker's (or snapshot's) counts into this one.
+
+        Used to combine wear observed in separate phases (e.g. warm-up +
+        measurement) into one lifetime computation.  Per-line counts are
+        merged only when this tracker tracks lines.
+
+        Raises:
+            ConfigError: on a bank-count mismatch.
+        """
+        if other.num_banks != self.num_banks:
+            raise ConfigError(
+                f"cannot merge wear over {other.num_banks} banks into "
+                f"{self.num_banks} banks"
+            )
+        self.bank_writes += np.asarray(other.bank_writes, dtype=np.int64)
+        if self.track_lines:
+            if isinstance(other, WearSnapshot):
+                histograms = other.line_writes
+            else:
+                histograms = other._line_writes
+            for mine, theirs in zip(self._line_writes, histograms):
+                for line, count in theirs.items():
+                    mine[line] = mine.get(line, 0) + count
 
     def reset(self) -> None:
         """Zero all counters."""

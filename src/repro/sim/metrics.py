@@ -41,6 +41,19 @@ class WorkloadSchemeResult:
     llc_fetches: int = 0
     llc_writebacks: int = 0
     noc_total_hops: int = 0
+    # -- degradation metrics (fault-injection runs; defaults = pristine) --
+    #: Fraction of nominal cell endurance consumed by the average bank.
+    age_fraction: float = 0.0
+    #: Usable LLC frames / nominal frames after fault retirement.
+    effective_capacity: float = 1.0
+    #: Banks fully out of service.
+    dead_banks: int = 0
+    #: Accesses redirected away from dead banks (remap-layer traffic).
+    remap_traffic: int = 0
+    #: Fills dropped because the target set had no live frames.
+    fills_skipped: int = 0
+    #: Transient read faults injected during the measured phase.
+    transient_faults: int = 0
 
     @property
     def ipc(self) -> float:
@@ -51,6 +64,16 @@ class WorkloadSchemeResult:
     def min_lifetime(self) -> float:
         """Worst bank lifetime in this workload."""
         return float(self.bank_lifetimes.min())
+
+    @property
+    def degraded(self) -> bool:
+        """True when this run executed on faulty hardware."""
+        return (
+            self.effective_capacity < 1.0
+            or self.dead_banks > 0
+            or self.transient_faults > 0
+            or self.age_fraction > 0
+        )
 
 
 @dataclass

@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import ReproError
-from repro.config import SystemConfig, baseline_config
+from repro.config import FaultConfig, SystemConfig, baseline_config
 from repro.core.criticality import CriticalityPredictor
 from repro.cpu.core import AppSimulator, Stage1Result
+from repro.faults.injector import FaultInjector
 from repro.mem.model import MainMemory
 from repro.noc.mesh import Mesh
 from repro.nuca import NucaLLC, make_policy
@@ -182,7 +183,9 @@ def _warm_llc(
 
     Mirrors the paper's warm-up phase: without it, short runs would count
     one compulsory miss per working-set line, drowning the steady-state
-    hit rates of cache-friendly applications.
+    hit rates of cache-friendly applications.  The caller is responsible
+    for :meth:`~repro.nuca.llc.NucaLLC.reset_measurement` afterwards (it
+    may want to snapshot warm-up wear or apply faults first).
 
     For criticality-consuming policies (Re-NUCA), each resident line is
     installed with the criticality its last long-run fetch would have
@@ -214,7 +217,6 @@ def _warm_llc(
             else:
                 for line in block:
                     llc.prefill(core, line + offset)
-    llc.reset_measurement()
 
 
 def run_workload(
@@ -225,8 +227,17 @@ def run_workload(
     seed: int | None = None,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     stage1: Stage1Cache | None = None,
+    fault_config: FaultConfig | None = None,
 ) -> WorkloadSchemeResult:
-    """Stage-2 simulation of one workload under one NUCA scheme."""
+    """Stage-2 simulation of one workload under one NUCA scheme.
+
+    ``fault_config`` injects end-of-life faults: after warm-up, the wear
+    snapshot of the warmed LLC seeds the deterministic fault derivation
+    (hot banks/sets have consumed more endurance), dead frames and banks
+    are retired, and the measured phase runs on the degraded cache.  The
+    run always completes; degradation shows up in the result's
+    ``effective_capacity``/``remap_traffic``/IPC instead of exceptions.
+    """
     config = config or baseline_config()
     if workload.num_cores != config.num_cores:
         raise ReproError(
@@ -241,10 +252,21 @@ def run_workload(
 
     mesh = Mesh(config.noc)
     memory = MainMemory(config.memory)
-    wear = WearTracker(config.num_banks)
+    inject = fault_config is not None and fault_config.active
+    # Per-line tracking feeds the endurance fault model's set weighting.
+    wear = WearTracker(
+        config.num_banks,
+        track_lines=inject and fault_config.age_fraction > 0,
+    )
     policy = make_policy(scheme, config, mesh, wear)
-    llc = NucaLLC(config, policy, mesh, memory, wear)
+    injector = (
+        FaultInjector(config, fault_config, seed=seed) if inject else None
+    )
+    llc = NucaLLC(config, policy, mesh, memory, wear, faults=injector)
     _warm_llc(llc, workload, config, results1, seed=seed)
+    if injector is not None:
+        llc.apply_faults(wear.snapshot())
+    llc.reset_measurement()
 
     merged = _merge_streams(results1)
 
@@ -341,6 +363,12 @@ def run_workload(
         llc_fetches=llc.stats.fetches,
         llc_writebacks=llc.stats.writebacks,
         noc_total_hops=mesh.stats.total_hops,
+        age_fraction=fault_config.age_fraction if fault_config else 0.0,
+        effective_capacity=llc.effective_capacity_fraction(),
+        dead_banks=llc.dead_bank_count,
+        remap_traffic=llc.stats.remap_traffic,
+        fills_skipped=llc.stats.fills_skipped,
+        transient_faults=llc.stats.transient_faults,
     )
 
 
@@ -353,12 +381,14 @@ def run_matrix(
     seed: int | None = None,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     stage1: Stage1Cache | None = None,
+    fault_config: FaultConfig | None = None,
     progress=None,
 ) -> MatrixResult:
     """Run every workload under every scheme (the paper's result grid).
 
     ``progress`` is an optional callback ``(workload, scheme) -> None``
     invoked before each stage-2 run (the benches use it for narration).
+    ``fault_config`` applies the same fault-injection point to every cell.
     """
     config = config or baseline_config()
     stage1 = stage1 or Stage1Cache()
@@ -379,6 +409,7 @@ def run_matrix(
                     seed=seed,
                     n_instructions=n_instructions,
                     stage1=stage1,
+                    fault_config=fault_config,
                 )
             )
     return matrix

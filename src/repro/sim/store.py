@@ -40,6 +40,12 @@ def _result_to_dict(result: WorkloadSchemeResult) -> dict:
         "llc_fetches": result.llc_fetches,
         "llc_writebacks": result.llc_writebacks,
         "noc_total_hops": result.noc_total_hops,
+        "age_fraction": result.age_fraction,
+        "effective_capacity": result.effective_capacity,
+        "dead_banks": result.dead_banks,
+        "remap_traffic": result.remap_traffic,
+        "fills_skipped": result.fills_skipped,
+        "transient_faults": result.transient_faults,
     }
 
 
@@ -61,6 +67,12 @@ def _result_from_dict(data: dict) -> WorkloadSchemeResult:
         llc_fetches=data.get("llc_fetches", 0),
         llc_writebacks=data.get("llc_writebacks", 0),
         noc_total_hops=data.get("noc_total_hops", 0),
+        age_fraction=data.get("age_fraction", 0.0),
+        effective_capacity=data.get("effective_capacity", 1.0),
+        dead_banks=data.get("dead_banks", 0),
+        remap_traffic=data.get("remap_traffic", 0),
+        fills_skipped=data.get("fills_skipped", 0),
+        transient_faults=data.get("transient_faults", 0),
     )
 
 

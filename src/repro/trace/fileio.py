@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -59,32 +60,56 @@ def save_trace(
 def load_trace(path: str | Path) -> tuple[np.ndarray, dict]:
     """Read a trace file; returns ``(trace_array, metadata)``.
 
+    Every way a file can be bad surfaces as :class:`TraceError` — never a
+    raw ``zipfile``/``KeyError``/decoder exception — so callers (and the
+    CLI) can report "this trace file is unusable" uniformly:
+
+    * unreadable, truncated, or non-zip bytes,
+    * missing/corrupt metadata or column arrays,
+    * unsupported ``format_version``,
+    * column lengths disagreeing with the metadata record count.
+
     Raises:
-        TraceError: for missing fields, length mismatches, or an
-            unsupported format version.
+        TraceError: for any malformed, truncated, or unsupported file.
     """
-    with np.load(Path(path)) as archive:
-        if "_meta" not in archive:
-            raise TraceError(f"{path}: not a repro trace file (no metadata)")
-        meta = json.loads(bytes(archive["_meta"]).decode("utf-8"))
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise TraceError(
-                f"{path}: unsupported trace format "
-                f"{meta.get('format_version')!r} (expected {FORMAT_VERSION})"
-            )
-        missing = [n for n in TRACE_DTYPE.names if n not in archive]
-        if missing:
-            raise TraceError(f"{path}: missing trace fields {missing}")
-        length = meta["records"]
-        trace = np.empty(length, dtype=TRACE_DTYPE)
-        for name in TRACE_DTYPE.names:
-            column = archive[name]
-            if len(column) != length:
+    try:
+        with np.load(Path(path)) as archive:
+            if "_meta" not in archive:
+                raise TraceError(f"{path}: not a repro trace file (no metadata)")
+            meta = json.loads(bytes(archive["_meta"]).decode("utf-8"))
+            if not isinstance(meta, dict):
+                raise TraceError(f"{path}: malformed trace metadata")
+            if meta.get("format_version") != FORMAT_VERSION:
                 raise TraceError(
-                    f"{path}: field {name!r} has {len(column)} records, "
-                    f"metadata says {length}"
+                    f"{path}: unsupported trace format "
+                    f"{meta.get('format_version')!r} (expected {FORMAT_VERSION})"
                 )
-            trace[name] = column
+            missing = [n for n in TRACE_DTYPE.names if n not in archive]
+            if missing:
+                raise TraceError(f"{path}: missing trace fields {missing}")
+            length = meta.get("records")
+            if not isinstance(length, int) or length < 0:
+                raise TraceError(
+                    f"{path}: metadata record count {length!r} is not a "
+                    f"non-negative integer"
+                )
+            trace = np.empty(length, dtype=TRACE_DTYPE)
+            for name in TRACE_DTYPE.names:
+                column = archive[name]
+                if len(column) != length:
+                    raise TraceError(
+                        f"{path}: field {name!r} has {len(column)} records, "
+                        f"metadata says {length}"
+                    )
+                trace[name] = column
+    except TraceError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError,
+            json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # np.load raises BadZipFile/ValueError/OSError for truncated or
+        # non-npz bytes, and member reads can fail mid-archive; json /
+        # unicode errors mean the metadata blob itself is corrupt.
+        raise TraceError(f"{path}: cannot read trace file: {exc}") from exc
     return trace, meta
 
 

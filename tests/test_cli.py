@@ -15,6 +15,31 @@ class TestParser:
         assert args.workload == 1
         assert "Re-NUCA" in args.schemes
 
+    def test_endoflife_defaults(self):
+        args = build_parser().parse_args(["endoflife"])
+        assert args.workload == 1
+        assert args.ages == (0.5, 0.9, 1.1)
+        assert args.fail_bank == []
+        assert args.transient_rate == 0.0
+
+    def test_endoflife_ages_parsed(self):
+        args = build_parser().parse_args(["endoflife", "--ages", "0.25,0.75"])
+        assert args.ages == (0.25, 0.75)
+
+    def test_endoflife_bad_ages_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["endoflife", "--ages", "young"])
+
+    def test_endoflife_fail_bank_parsed(self):
+        args = build_parser().parse_args(
+            ["endoflife", "--fail-bank", "3", "--fail-bank", "7:0.9"]
+        )
+        assert args.fail_bank == [(3, 0.0), (7, 0.9)]
+
+    def test_endoflife_bad_fail_bank_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["endoflife", "--fail-bank", "three"])
+
 
 class TestCommands:
     def test_config(self, capsys):
@@ -56,3 +81,48 @@ class TestCommands:
         trace, meta = load_trace(out_file)
         assert len(trace) > 0
         assert meta["extra"]["app"] == "milc"
+
+    def test_endoflife_small(self, capsys):
+        code = main([
+            "endoflife", "--ages", "1.1", "--schemes", "S-NUCA",
+            "--instructions", "5000", "--seed", "2",
+            "--fail-bank", "3",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "S-NUCA" in captured.out
+        assert "capacity" in captured.out
+        assert "IPC retention" in captured.out
+        assert "running S-NUCA" in captured.err  # progress narration
+
+
+class TestErrorReporting:
+    """ReproError subclasses become `error: ...` + exit 2, not tracebacks."""
+
+    def test_unknown_app(self, tmp_path, capsys):
+        code = main(["trace", "no-such-app", str(tmp_path / "x.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no-such-app" in err
+
+    def test_unknown_scheme(self, capsys):
+        code = main([
+            "compare", "--schemes", "no-such-scheme", "--instructions", "5000",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no-such-scheme" in err
+
+    def test_unknown_app_in_table2(self, capsys):
+        code = main(["table2", "no-such-app"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_endoflife_bad_workload(self, capsys):
+        code = main(["endoflife", "--workload", "99", "--ages", "0.5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "workload" in err

@@ -130,8 +130,18 @@ class TestValidation:
             CriticalityConfig(threshold_percent=0)
 
     def test_cluster_size_power_of_two(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError) as excinfo:
             SystemConfig(rnuca_cluster_size=3)
+        assert "cluster" in str(excinfo.value)
+
+    def test_cluster_cannot_exceed_banks(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(rnuca_cluster_size=32)
+        assert "cluster" in str(excinfo.value)
+
+    def test_core_count_power_of_two(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_cores=12)
 
     def test_tlb_assoc_divides(self):
         with pytest.raises(ConfigError):

@@ -118,6 +118,64 @@ class TestSensitivity:
         assert matrix.get("WL1", "S-NUCA").ipc > 0
 
 
+class TestEndOfLife:
+    def test_cliff_detection(self):
+        from repro.experiments.endoflife import AgePoint, ipc_cliff_age
+
+        def point(age, ipc):
+            return AgePoint(scheme="X", age=age, ipc=ipc, llc_hit_rate=0.5,
+                            effective_capacity=1.0, dead_banks=0,
+                            remap_traffic=0, fills_skipped=0,
+                            transient_faults=0)
+
+        points = [point(0.0, 10.0), point(0.5, 9.5), point(0.9, 8.5)]
+        assert ipc_cliff_age(points) == 0.9
+        assert ipc_cliff_age(points, drop=0.20) is None
+        assert ipc_cliff_age([]) is None
+
+    def test_bad_workload_number_rejected(self):
+        from repro.common.errors import ReproError
+        from repro.experiments.endoflife import run_endoflife
+
+        with pytest.raises(ReproError):
+            run_endoflife(workload_number=0, n_instructions=INSTR)
+        with pytest.raises(ReproError):
+            run_endoflife(workload_number=1, ages=(), n_instructions=INSTR)
+
+    def test_sweep_degrades_and_renders(self, stage1):
+        from repro.experiments.endoflife import render_endoflife, run_endoflife
+
+        curves = run_endoflife(
+            workload_number=1,
+            ages=(0.0, 1.1),
+            schemes=("S-NUCA",),
+            seed=5,
+            n_instructions=INSTR,
+            stage1=stage1,
+        )
+        points = curves["S-NUCA"]
+        assert [p.age for p in points] == [0.0, 1.1]
+        assert points[0].effective_capacity == 1.0
+        assert points[0].remap_traffic == 0
+        # Past rated endurance most frames are gone and IPC suffers.
+        assert points[1].effective_capacity < points[0].effective_capacity
+        assert points[1].ipc < points[0].ipc
+        text = render_endoflife(curves)
+        assert "IPC retention" in text
+        assert "capacity" in text
+
+    def test_sweep_deterministic(self, stage1):
+        from repro.experiments.endoflife import run_endoflife
+
+        kwargs = dict(
+            workload_number=1, ages=(0.9,), schemes=("S-NUCA",),
+            seed=5, n_instructions=INSTR, stage1=stage1,
+        )
+        a = run_endoflife(**kwargs)["S-NUCA"][0]
+        b = run_endoflife(**kwargs)["S-NUCA"][0]
+        assert a == b
+
+
 class TestFormatting:
     def test_format_table_alignment(self):
         text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])

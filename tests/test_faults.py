@@ -1,0 +1,379 @@
+"""Fault models, injector, and graceful LLC degradation."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import Cache
+from repro.common.errors import ConfigError, SimulationError
+from repro.config import FaultConfig, baseline_config
+from repro.faults import (
+    BankFailureSchedule,
+    FaultInjector,
+    StuckAtFaultModel,
+    TransientFaultModel,
+)
+from repro.mem.model import MainMemory
+from repro.noc.mesh import Mesh
+from repro.nuca import NucaLLC, make_policy
+from repro.reram.wear import WearSnapshot, WearTracker
+
+
+def build_llc(scheme, fault_config=None, *, seed=7, config=None):
+    config = config or baseline_config()
+    mesh = Mesh(config.noc)
+    memory = MainMemory(config.memory)
+    wear = WearTracker(config.num_banks, track_lines=True)
+    policy = make_policy(scheme, config, mesh, wear)
+    injector = (
+        FaultInjector(config, fault_config, seed=seed)
+        if fault_config is not None
+        else None
+    )
+    return NucaLLC(config, policy, mesh, memory, wear, faults=injector)
+
+
+def flat_snapshot(num_banks, writes=1000):
+    return WearSnapshot(
+        bank_writes=np.full(num_banks, writes, dtype=np.int64),
+        line_writes=tuple({} for _ in range(num_banks)),
+    )
+
+
+class TestFaultConfig:
+    def test_defaults_inactive(self):
+        assert not FaultConfig().active
+
+    def test_age_activates(self):
+        assert FaultConfig(age_fraction=0.5).active
+
+    def test_transient_activates(self):
+        assert FaultConfig(transient_rate=1e-6).active
+
+    def test_unreached_bank_failure_inactive(self):
+        cfg = FaultConfig(bank_failures=((3, 0.9),))
+        assert not cfg.active
+        assert cfg.failed_banks() == frozenset()
+
+    def test_reached_bank_failure_active(self):
+        cfg = FaultConfig(age_fraction=1.0, bank_failures=((3, 0.9),))
+        assert cfg.active
+        assert cfg.failed_banks() == frozenset({3})
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(age_fraction=-0.1)
+
+    def test_bad_transient_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(transient_rate=1.0)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(remap_penalty_cycles=-1)
+
+    def test_malformed_failure_entry_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(bank_failures=((1, 2, 3),))
+        with pytest.raises(ConfigError):
+            FaultConfig(bank_failures=((-1, 0.5),))
+
+
+class TestStuckAtFaultModel:
+    def test_thresholds_deterministic(self):
+        a = StuckAtFaultModel(16, 4, wear_spread=0.5, seed=3)
+        b = StuckAtFaultModel(16, 4, wear_spread=0.5, seed=3)
+        assert np.array_equal(a.thresholds(2), b.thresholds(2))
+
+    def test_banks_draw_independent_thresholds(self):
+        model = StuckAtFaultModel(16, 4, wear_spread=0.5, seed=3)
+        assert not np.array_equal(model.thresholds(0), model.thresholds(1))
+
+    def test_thresholds_bounded_by_spread(self):
+        model = StuckAtFaultModel(64, 8, wear_spread=0.3, seed=1)
+        t = model.thresholds(0)
+        assert t.shape == (64, 8)
+        assert t.min() >= 0.3 and t.max() <= 1.0
+
+    def test_no_deaths_below_spread(self):
+        model = StuckAtFaultModel(16, 4, wear_spread=0.5, seed=3)
+        assert model.dead_ways(0, 0.25).sum() == 0
+
+    def test_everything_dead_at_full_consumption(self):
+        model = StuckAtFaultModel(16, 4, wear_spread=0.5, seed=3)
+        assert model.dead_ways(0, 1.0).sum() == 16 * 4
+
+    def test_dead_ways_monotonic_in_consumption(self):
+        model = StuckAtFaultModel(32, 8, wear_spread=0.4, seed=5)
+        counts = [model.dead_ways(0, c).sum() for c in (0.3, 0.5, 0.7, 0.9, 1.0)]
+        assert counts == sorted(counts)
+
+    def test_per_set_consumption_vector(self):
+        model = StuckAtFaultModel(4, 4, wear_spread=0.5, seed=9)
+        dead = model.dead_ways(0, np.array([0.0, 0.0, 1.0, 1.0]))
+        assert dead[0] == dead[1] == 0
+        assert dead[2] == dead[3] == 4
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            StuckAtFaultModel(0, 4)
+        with pytest.raises(ConfigError):
+            StuckAtFaultModel(4, 4, wear_spread=0.0)
+
+    def test_bad_vector_shape_rejected(self):
+        model = StuckAtFaultModel(4, 2, seed=1)
+        with pytest.raises(ConfigError):
+            model.dead_ways(0, np.zeros(5))
+
+
+class TestTransientFaultModel:
+    def test_zero_rate_never_faults(self):
+        model = TransientFaultModel(0.0, seed=1)
+        assert not any(model.query() for _ in range(1000))
+        assert model.faults == 0
+
+    def test_stream_deterministic(self):
+        a = TransientFaultModel(0.05, seed=11)
+        b = TransientFaultModel(0.05, seed=11)
+        assert [a.query() for _ in range(500)] == [b.query() for _ in range(500)]
+
+    def test_observed_rate_tracks_configured(self):
+        model = TransientFaultModel(0.1, seed=2)
+        n = 20_000
+        for _ in range(n):
+            model.query()
+        assert model.faults / n == pytest.approx(0.1, rel=0.15)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            TransientFaultModel(1.0)
+        with pytest.raises(ConfigError):
+            TransientFaultModel(-0.1)
+
+
+class TestBankFailureSchedule:
+    def test_failed_at_respects_ages(self):
+        sched = BankFailureSchedule(((2, 0.5), (7, 0.9)), num_banks=16)
+        assert sched.failed_at(0.4) == frozenset()
+        assert sched.failed_at(0.5) == frozenset({2})
+        assert sched.failed_at(1.0) == frozenset({2, 7})
+
+    def test_out_of_range_bank_rejected(self):
+        with pytest.raises(ConfigError):
+            BankFailureSchedule(((16, 0.0),), num_banks=16)
+
+
+class TestFaultInjector:
+    def make(self, fault_config, *, seed=4):
+        return FaultInjector(baseline_config(), fault_config, seed=seed)
+
+    def test_inert_before_derive(self):
+        inj = self.make(FaultConfig(age_fraction=1.0))
+        assert not inj.derived
+        assert not inj.is_bank_dead(0)
+        assert inj.effective_capacity_fraction() == 1.0
+
+    def test_snapshot_bank_mismatch_rejected(self):
+        inj = self.make(FaultConfig(age_fraction=0.5))
+        with pytest.raises(ConfigError):
+            inj.derive(flat_snapshot(4))
+
+    def test_derivation_deterministic(self):
+        a = self.make(FaultConfig(age_fraction=0.9))
+        b = self.make(FaultConfig(age_fraction=0.9))
+        snap = flat_snapshot(a.num_banks)
+        a.derive(snap)
+        b.derive(snap)
+        for bank in range(a.num_banks):
+            assert np.array_equal(a.dead_ways_of(bank), b.dead_ways_of(bank))
+        assert a.dead_banks == b.dead_banks
+
+    def test_capacity_shrinks_with_age(self):
+        caps = []
+        for age in (0.3, 0.7, 1.0):
+            inj = self.make(FaultConfig(age_fraction=age))
+            inj.derive(flat_snapshot(inj.num_banks))
+            caps.append(inj.effective_capacity_fraction())
+        assert caps[0] > caps[1] > caps[2]
+        assert caps[2] == pytest.approx(0.0)
+
+    def test_hot_banks_age_faster(self):
+        inj = self.make(FaultConfig(age_fraction=0.8))
+        writes = np.full(inj.num_banks, 100, dtype=np.int64)
+        writes[3] = 100 * inj.num_banks  # bank 3 absorbs most traffic
+        snap = WearSnapshot(
+            bank_writes=writes,
+            line_writes=tuple({} for _ in range(inj.num_banks)),
+        )
+        inj.derive(snap)
+        assert inj.consumed[3] > inj.consumed[0]
+        assert inj.dead_ways_of(3).sum() > inj.dead_ways_of(0).sum()
+
+    def test_scheduled_failure_kills_bank(self):
+        inj = self.make(FaultConfig(age_fraction=0.5, bank_failures=((5, 0.5),)))
+        inj.derive(flat_snapshot(inj.num_banks))
+        assert inj.is_bank_dead(5)
+        assert inj.dead_ways_of(5).sum() == inj.num_sets * inj.assoc
+
+    def test_remap_avoids_dead_banks_deterministically(self):
+        inj = self.make(FaultConfig(age_fraction=0.5, bank_failures=((5, 0.0),)))
+        inj.derive(flat_snapshot(inj.num_banks))
+        targets = {inj.remap_bank(5, line) for line in range(256)}
+        assert 5 not in targets
+        assert len(targets) > 1  # traffic spreads over survivors
+        assert inj.remap_bank(5, 77) == inj.remap_bank(5, 77)
+
+    def test_no_survivors_remap_is_none(self):
+        failures = tuple((b, 0.0) for b in range(16))
+        inj = self.make(FaultConfig(age_fraction=0.1, bank_failures=failures))
+        inj.derive(flat_snapshot(inj.num_banks))
+        assert inj.remap_bank(0, 123) is None
+        assert inj.effective_capacity_fraction() == 0.0
+
+    def test_bad_bank_query_rejected(self):
+        inj = self.make(FaultConfig(age_fraction=0.1))
+        with pytest.raises(SimulationError):
+            inj.dead_ways_of(99)
+
+
+class TestCacheWayLimits:
+    def test_zero_limit_skips_fill(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        cache.set_way_limits([0, 2, 2, 2])
+        res = cache.allocate(0)  # line 0 -> set 0
+        assert not res.filled and not cache.contains(0)
+        assert cache.stats.fills == 0
+        assert cache.allocate(1).filled  # set 1 unaffected
+
+    def test_limit_caps_occupancy(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        cache.set_way_limits([1, 2, 2, 2])
+        cache.allocate(0)
+        res = cache.allocate(4)  # same set: must evict line 0 at limit 1
+        assert res.filled and res.victim_line == 0
+        assert cache.occupancy() == 1
+
+    def test_shrinking_drains_lru_first(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        cache.allocate(0, dirty=True, aux="a")
+        cache.allocate(4)
+        drained = cache.set_way_limits([1, 2, 2, 2])
+        assert drained == [(0, True, "a")]  # LRU line left first
+        assert cache.contains(4)
+
+    def test_live_frames_and_limits(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        assert cache.live_frames() == 8
+        cache.set_way_limits([0, 1, 2, 2])
+        assert cache.live_frames() == 5
+        assert cache.way_limit_of(0) == 0
+        assert cache.way_limit_of(3) == 2
+        cache.set_way_limits(None)
+        assert cache.live_frames() == 8
+
+    def test_bad_limits_rejected(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        with pytest.raises(ConfigError):
+            cache.set_way_limits([1, 1])  # wrong length
+        with pytest.raises(ConfigError):
+            cache.set_way_limits([3, 0, 0, 0])  # above assoc
+
+    def test_rotation_with_limits_rejected(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        cache.set_way_limits([1, 1, 1, 1])
+        with pytest.raises(ConfigError):
+            cache.rotate_sets(1)
+
+    def test_drain_preserves_aux(self, tiny_cache_config):
+        cache = Cache(tiny_cache_config)
+        cache.allocate(0, dirty=True, aux=(1, True))
+        cache.allocate(5, aux=(2, False))
+        drained = dict((line, (dirty, aux)) for line, dirty, aux in cache.drain())
+        assert drained[0] == (True, (1, True))
+        assert drained[5] == (False, (2, False))
+        assert cache.occupancy() == 0
+
+
+class TestLlcDegradation:
+    SCHEMES = ("S-NUCA", "R-NUCA", "Re-NUCA")
+
+    def warm(self, llc, n=200):
+        # Knuth-hash the index so cores and lines decorrelate (a regular
+        # stride can systematically alias with R-NUCA's rotational
+        # interleave and miss entire banks).
+        for k in range(n):
+            h = (k * 2654435761) & 0xFFFFF
+            llc.fetch((h >> 12) % 16, h, float(k), False)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_dead_bank_remaps_and_serves(self, scheme):
+        llc = build_llc(scheme, FaultConfig(age_fraction=0.1,
+                                            bank_failures=((0, 0.0),)))
+        self.warm(llc)
+        llc.apply_faults()
+        assert llc.dead_bank_count == 1
+        assert llc.banks[0].cache.occupancy() == 0
+        self.warm(llc)  # traffic to the dead bank must keep working
+        assert llc.stats.remap_traffic > 0
+        assert llc.banks[0].cache.occupancy() == 0
+        assert llc.effective_capacity_fraction() < 1.0
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_total_failure_degrades_to_passthrough(self, scheme):
+        failures = tuple((b, 0.0) for b in range(16))
+        llc = build_llc(scheme, FaultConfig(age_fraction=0.1,
+                                            bank_failures=failures))
+        self.warm(llc)
+        llc.apply_faults()
+        assert llc.effective_capacity_fraction() == 0.0
+        lat, hit = llc.fetch(0, 0x999, 1.0, False)
+        assert not hit and lat > 0
+        llc.writeback(0, 0x999, 2.0)  # dirty data must reach memory
+        assert llc.stats.fills_skipped > 0
+        assert llc.stats.memory_writes > 0
+        assert llc.occupancy() == 0
+
+    def test_worn_frames_reduce_capacity(self):
+        llc = build_llc("S-NUCA", FaultConfig(age_fraction=0.9))
+        self.warm(llc, n=2000)
+        llc.apply_faults()
+        assert 0.0 < llc.effective_capacity_fraction() < 1.0
+        self.warm(llc, n=500)  # degraded cache still serves traffic
+
+    def test_transient_fault_invalidates_hit(self):
+        llc = build_llc("S-NUCA", FaultConfig(transient_rate=0.99))
+        llc.apply_faults()
+        llc.fetch(0, 0x40, 0.0, False)
+        for k in range(20):
+            llc.fetch(0, 0x40, 10.0 * (k + 1), False)
+        assert llc.stats.transient_faults > 0
+        # Each faulted read was re-served from memory, not crashed on.
+        assert llc.stats.memory_reads >= 1 + llc.stats.transient_faults
+
+    def test_apply_faults_without_injector_is_noop(self):
+        llc = build_llc("S-NUCA")
+        self.warm(llc)
+        before = llc.occupancy()
+        llc.apply_faults()
+        assert llc.occupancy() == before
+        assert llc.dead_bank_count == 0
+
+    def test_dirty_lines_drained_to_memory(self):
+        llc = build_llc("S-NUCA", FaultConfig(age_fraction=0.1,
+                                              bank_failures=((0, 0.0),)))
+        llc.writeback(0, 0x100, 0.0)  # line 0x100 -> bank 0, dirty
+        assert llc.banks[0].cache.is_dirty(0x100)
+        llc.apply_faults()
+        assert llc.stats.memory_writes >= 1
+
+    def test_same_seed_same_faults(self):
+        results = []
+        for _ in range(2):
+            llc = build_llc("Re-NUCA", FaultConfig(age_fraction=0.85), seed=13)
+            self.warm(llc, n=1500)
+            llc.apply_faults()
+            results.append((
+                llc.effective_capacity_fraction(),
+                sorted(llc.faults.dead_banks),
+                [llc.faults.dead_ways_of(b).sum() for b in range(16)],
+            ))
+        assert results[0] == results[1]

@@ -52,6 +52,106 @@ class TestTraceRoundTrip:
             load_trace(path)
 
 
+class TestLoadTraceRobustness:
+    """Every malformed input surfaces as TraceError, never a raw
+    zipfile/KeyError/decoder exception."""
+
+    def _saved(self, trace, tmp_path, name="t.npz"):
+        arr, params = trace
+        path = tmp_path / name
+        save_trace(path, arr, params=params)
+        return path, arr
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_truncated_file(self, trace, tmp_path):
+        path, _arr = self._saved(trace, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def _meta_bytes(self, meta):
+        import json
+
+        return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+    def test_unsupported_format_version(self, trace, tmp_path):
+        from repro.trace.fileio import FORMAT_VERSION
+        from repro.trace.generator import TRACE_DTYPE
+
+        arr, _params = trace
+        path = tmp_path / "future.npz"
+        meta = {"format_version": FORMAT_VERSION + 1, "records": len(arr)}
+        columns = {n: arr[n] for n in TRACE_DTYPE.names}
+        np.savez(path, _meta=self._meta_bytes(meta), **columns)
+        with pytest.raises(TraceError, match="unsupported trace format"):
+            load_trace(path)
+
+    def test_missing_column(self, trace, tmp_path):
+        from repro.trace.fileio import FORMAT_VERSION
+        from repro.trace.generator import TRACE_DTYPE
+
+        arr, _params = trace
+        path = tmp_path / "partial.npz"
+        meta = {"format_version": FORMAT_VERSION, "records": len(arr)}
+        columns = {n: arr[n] for n in TRACE_DTYPE.names[1:]}  # drop one
+        np.savez(path, _meta=self._meta_bytes(meta), **columns)
+        with pytest.raises(TraceError, match="missing trace fields"):
+            load_trace(path)
+
+    def test_mismatched_column_lengths(self, trace, tmp_path):
+        from repro.trace.fileio import FORMAT_VERSION
+        from repro.trace.generator import TRACE_DTYPE
+
+        arr, _params = trace
+        path = tmp_path / "ragged.npz"
+        meta = {"format_version": FORMAT_VERSION, "records": len(arr)}
+        columns = {n: arr[n] for n in TRACE_DTYPE.names}
+        short = TRACE_DTYPE.names[0]
+        columns[short] = columns[short][:-5]
+        np.savez(path, _meta=self._meta_bytes(meta), **columns)
+        with pytest.raises(TraceError, match="metadata says"):
+            load_trace(path)
+
+    def test_corrupt_metadata_json(self, trace, tmp_path):
+        from repro.trace.generator import TRACE_DTYPE
+
+        arr, _params = trace
+        path = tmp_path / "badmeta.npz"
+        bad = np.frombuffer(b"{not json", dtype=np.uint8)
+        columns = {n: arr[n] for n in TRACE_DTYPE.names}
+        np.savez(path, _meta=bad, **columns)
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_bad_record_count(self, trace, tmp_path):
+        from repro.trace.fileio import FORMAT_VERSION
+        from repro.trace.generator import TRACE_DTYPE
+
+        arr, _params = trace
+        path = tmp_path / "badcount.npz"
+        meta = {"format_version": FORMAT_VERSION, "records": "many"}
+        columns = {n: arr[n] for n in TRACE_DTYPE.names}
+        np.savez(path, _meta=self._meta_bytes(meta), **columns)
+        with pytest.raises(TraceError, match="record count"):
+            load_trace(path)
+
+
 class TestMatrixStore:
     def test_round_trip(self, tmp_path):
         from repro.config import baseline_config

@@ -181,5 +181,10 @@ class TestFactory:
             assert policy.name == name
 
     def test_unknown_name_rejected(self, config, mesh):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError) as excinfo:
             make_policy("T-NUCA", config, mesh, WearTracker(config.num_banks))
+        # The message names the offender and lists every valid scheme.
+        message = str(excinfo.value)
+        assert "T-NUCA" in message
+        for known in ("S-NUCA", "R-NUCA", "Re-NUCA", "Private", "Naive"):
+            assert known in message

@@ -95,9 +95,14 @@ class TestWearTracker:
         assert wear.max_line_writes(0) == 2
 
     def test_line_histogram_disabled_by_default(self):
+        # The line= argument is deliberately ignored without track_lines:
+        # the bank counter still advances, the histogram stays empty, and
+        # no error is raised (hot-path callers always pass the line).
         wear = WearTracker(2)
         wear.record_write(0, line=7)
         assert wear.line_histogram(0) == {}
+        assert wear.writes_of(0) == 1
+        assert wear.max_line_writes(0) == 0
 
     def test_out_of_range_bank_rejected(self):
         wear = WearTracker(2)
@@ -110,6 +115,58 @@ class TestWearTracker:
         wear.reset()
         assert wear.total_writes() == 0
         assert wear.line_histogram(1) == {}
+
+
+class TestWearSnapshot:
+    def test_snapshot_is_decoupled_copy(self):
+        wear = WearTracker(2, track_lines=True)
+        wear.record_write(0, line=5)
+        snap = wear.snapshot()
+        wear.record_write(0, line=5)
+        wear.record_write(1, line=9)
+        assert snap.total_writes() == 1
+        assert snap.line_histogram(0) == {5: 1}
+        assert snap.line_histogram(1) == {}
+        assert snap.num_banks == 2
+
+    def test_snapshot_bad_bank_rejected(self):
+        snap = WearTracker(2).snapshot()
+        with pytest.raises(SimulationError):
+            snap.line_histogram(2)
+
+    def test_merge_tracker(self):
+        a = WearTracker(2, track_lines=True)
+        b = WearTracker(2, track_lines=True)
+        a.record_write(0, line=1)
+        b.record_write(0, line=1)
+        b.record_write(1, line=4)
+        a.merge(b)
+        assert a.writes_of(0) == 2
+        assert a.writes_of(1) == 1
+        assert a.line_histogram(0) == {1: 2}
+        assert a.line_histogram(1) == {4: 1}
+
+    def test_merge_snapshot(self):
+        a = WearTracker(2, track_lines=True)
+        b = WearTracker(2, track_lines=True)
+        b.record_write(1, line=7)
+        a.merge(b.snapshot())
+        assert a.writes_of(1) == 1
+        assert a.line_histogram(1) == {7: 1}
+
+    def test_merge_without_line_tracking_keeps_banks_only(self):
+        a = WearTracker(2)  # track_lines=False
+        b = WearTracker(2, track_lines=True)
+        b.record_write(0, line=3)
+        a.merge(b)
+        assert a.writes_of(0) == 1
+        assert a.line_histogram(0) == {}
+
+    def test_merge_bank_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            WearTracker(2).merge(WearTracker(4))
+        with pytest.raises(ConfigError):
+            WearTracker(2).merge(WearTracker(4).snapshot())
 
 
 class TestLifetime:

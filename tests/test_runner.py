@@ -134,8 +134,11 @@ class TestRunWorkload:
 
     def test_wrong_core_count_rejected(self, stage1):
         small = Workload("two", ("hmmer", "milc"))
-        with pytest.raises(ReproError):
+        with pytest.raises(ReproError) as excinfo:
             run_workload(small, "S-NUCA", baseline_config(), stage1=stage1)
+        # The message states both counts so the mismatch is actionable.
+        message = str(excinfo.value)
+        assert "two" in message and "2" in message and "16" in message
 
     def test_snuca_wear_near_uniform(self, snuca_result):
         writes = snuca_result.bank_writes

@@ -53,6 +53,9 @@ class TestStage2Warmup:
         policy = make_policy(scheme, config, mesh, wear)
         llc = NucaLLC(config, policy, mesh, MainMemory(config.memory), wear)
         runner_mod._warm_llc(llc, workload, config, results, seed=seed)
+        # The runner resets meters after warm-up (and after any fault
+        # application, which must see the warm-up wear); mirror it here.
+        llc.reset_measurement()
         return llc
 
     @pytest.fixture(scope="class")
