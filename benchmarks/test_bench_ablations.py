@@ -10,16 +10,11 @@ Not paper figures — these probe the knobs the paper fixes:
 import dataclasses
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import BENCH_SEED
 from repro.cache.cache import Cache
 from repro.config import CacheConfig, CriticalityConfig, baseline_config
-from repro.mem.model import MainMemory
-from repro.noc.mesh import Mesh
-from repro.nuca import NucaLLC, make_policy
 from repro.reram.intrabank import IntraBankLeveler, SetWearMeter
-from repro.reram.wear import WearTracker
 from repro.sim.runner import Stage1Cache, run_workload
 from repro.trace.workloads import make_workloads
 

@@ -51,7 +51,8 @@ def test_bench_fig12_wearout(benchmark, main_matrix):
         print(f"\n{scheme} aggregate bank-write heat (4x4 mesh):")
         print(wear_heatmap(list(writes), cols=4))
 
-    cv = lambda x: float(np.std(x) / np.mean(x))
+    def cv(x):
+        return float(np.std(x) / np.mean(x))
     # Re-NUCA wear-levels R-NUCA: lower variation, higher minimum.
     assert cv(bars["Re-NUCA"]) < cv(bars["R-NUCA"])
     assert bars["Re-NUCA"].min() > bars["R-NUCA"].min()

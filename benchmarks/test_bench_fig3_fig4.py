@@ -19,7 +19,8 @@ def test_bench_fig3(benchmark, main_matrix):
     naive = bars["Naive"]
     private = bars["Private"]
     rnuca = bars["R-NUCA"]
-    cv = lambda x: float(np.std(x) / np.mean(x))
+    def cv(x):
+        return float(np.std(x) / np.mean(x))
     # Paper shapes: Naive levels perfectly, S-NUCA nearly so; R-NUCA has
     # large variation; Private is the extreme.
     assert cv(naive) < 0.02

@@ -33,7 +33,8 @@ def test_bench_sensitivity_variant(benchmark, matrices, variant):
           f"(over S-NUCA, %) ===")
     print(render_ipc_improvements(matrix, ALL_SCHEMES))
 
-    cv = lambda x: float(np.std(x) / np.mean(x))
+    def cv(x):
+        return float(np.std(x) / np.mean(x))
     re_bars = matrix.hmean_bank_lifetimes("Re-NUCA")
     r_bars = matrix.hmean_bank_lifetimes("R-NUCA")
     # The wear-levelling story must survive every variant.

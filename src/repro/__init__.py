@@ -33,6 +33,7 @@ from repro.sim.runner import (
     run_workload,
 )
 from repro.sim.system import System
+from repro.telemetry import Telemetry, load_events
 from repro.trace.workloads import Workload, make_workloads, single_app_workload
 
 __version__ = "1.0.0"
@@ -52,6 +53,8 @@ __all__ = [
     "run_matrix",
     "run_workload",
     "System",
+    "Telemetry",
+    "load_events",
     "Workload",
     "make_workloads",
     "single_app_workload",

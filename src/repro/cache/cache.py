@@ -20,7 +20,7 @@ the L3 uses to remember per-line criticality for write accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.lru import SetAssocArray
 from repro.common.errors import ConfigError, SimulationError

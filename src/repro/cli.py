@@ -8,9 +8,14 @@ Commands:
 * ``workloads``— show the generated WL1..WL10 mixes.
 * ``trace``    — generate a synthetic application trace to a .npz file.
 * ``endoflife``— sweep cache age under fault injection (degradation study).
+* ``stats``    — telemetry deep-dive: registry summary, interval series
+  and a per-bank write heatmap over time (see ``docs/OBSERVABILITY.md``).
 
 Every command takes ``--instructions`` and ``--seed``; results are
 printed as the same text tables the benchmark harness emits.
+``compare`` and ``endoflife`` additionally accept ``--trace-out FILE``
+(JSONL event trace) and ``--profile`` (phase-timer report); invoking
+``repro`` with no subcommand prints the full help and exits 2.
 
 User-facing failures (unknown application, malformed trace file,
 inconsistent configuration — anything deriving from
@@ -29,8 +34,21 @@ from repro.config import baseline_config
 from repro.experiments.report import format_table, render_table2
 from repro.experiments.table2 import run_table2
 from repro.sim.runner import Stage1Cache, run_workload
-from repro.trace.profiles import ALL_APPS, get_profile, intensity_class
+from repro.telemetry import Telemetry
+from repro.trace.profiles import get_profile, intensity_class
 from repro.trace.workloads import make_workloads
+
+
+def _package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -38,6 +56,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="instruction budget per core (default 60000)")
     parser.add_argument("--seed", type=int, default=1,
                         help="experiment seed (default 1)")
+
+
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a JSONL event trace to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a phase-timer report after the run")
+
+
+def _make_telemetry(args, **kwargs) -> Telemetry | None:
+    """A Telemetry handle when any observability flag is set, else None."""
+    if not (args.trace_out or args.profile):
+        return None
+    return Telemetry(trace=bool(args.trace_out), profile=args.profile, **kwargs)
 
 
 def _cmd_config(_args) -> int:
@@ -63,12 +95,20 @@ def _cmd_compare(args) -> int:
     workload = workloads[index]
     print(f"{workload.name}: {', '.join(workload.apps)}\n")
     stage1 = Stage1Cache()
+    telemetry = _make_telemetry(args)
     rows = []
-    for scheme in args.schemes:
+    traced = 0
+    for number, scheme in enumerate(args.schemes):
         result = run_workload(
             workload, scheme, config, seed=args.seed,
             n_instructions=args.instructions, stage1=stage1,
+            telemetry=telemetry,
         )
+        if telemetry is not None and telemetry.trace is not None:
+            traced += telemetry.trace.export_jsonl(
+                args.trace_out, append=number > 0, extra={"scheme": scheme},
+            )
+            telemetry.trace.clear()
         writes = result.bank_writes
         rows.append((
             scheme, result.ipc, result.min_lifetime,
@@ -78,6 +118,10 @@ def _cmd_compare(args) -> int:
     print(format_table(
         ["scheme", "IPC", "min life [y]", "wear CV", "LLC hit"], rows
     ))
+    if args.trace_out:
+        print(f"\nwrote {traced} events to {args.trace_out}")
+    if args.profile:
+        print("\n" + telemetry.profiler.report())
     return 0
 
 
@@ -138,6 +182,28 @@ def _cmd_endoflife(args) -> int:
         run_endoflife,
     )
 
+    telemetry = _make_telemetry(args)
+    # The sweep shares one Telemetry handle; the event ring is flushed to
+    # the JSONL file per (scheme, age) cell — `progress` fires just
+    # before each cell, so flushing there stamps the right cell labels.
+    state = {"cell": None, "events": 0, "flushed": False}
+
+    def _flush() -> None:
+        scheme, age = state["cell"]
+        state["events"] += telemetry.trace.export_jsonl(
+            args.trace_out, append=state["flushed"],
+            extra={"scheme": scheme, "age": age},
+        )
+        state["flushed"] = True
+        telemetry.trace.clear()
+
+    def _progress(scheme: str, age: float) -> None:
+        print(f"  running {scheme} at age {age:.2f} ...", file=sys.stderr)
+        if telemetry is not None and telemetry.trace is not None:
+            if state["cell"] is not None:
+                _flush()
+            state["cell"] = (scheme, age)
+
     ages = tuple(sorted(set(args.ages)))
     curves = run_endoflife(
         workload_number=args.workload,
@@ -147,11 +213,85 @@ def _cmd_endoflife(args) -> int:
         n_instructions=args.instructions,
         bank_failures=tuple(args.fail_bank),
         transient_rate=args.transient_rate,
-        progress=lambda scheme, age: print(
-            f"  running {scheme} at age {age:.2f} ...", file=sys.stderr
-        ),
+        progress=_progress,
+        telemetry=telemetry,
     )
+    if state["cell"] is not None:
+        _flush()
     print(render_endoflife(curves))
+    if args.trace_out:
+        print(f"\nwrote {state['events']} events to {args.trace_out}")
+    if args.profile:
+        print("\n" + telemetry.profiler.report())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.experiments.ascii_plot import interval_heatmap
+
+    config = baseline_config()
+    workloads = make_workloads(num_cores=config.num_cores, seed=args.seed)
+    index = args.workload - 1
+    if not (0 <= index < len(workloads)):
+        print(f"error: workload must be 1..{len(workloads)}", file=sys.stderr)
+        return 2
+    workload = workloads[index]
+    print(f"{workload.name}: {', '.join(workload.apps)}")
+    stage1 = Stage1Cache()
+    covs: dict[str, float] = {}
+    traced = 0
+    for number, scheme in enumerate(args.schemes):
+        # One handle per scheme keeps each counter/interval series
+        # isolated; the JSONL file is shared, with the scheme stamped
+        # onto each record.
+        telemetry = Telemetry(
+            trace=bool(args.trace_out),
+            interval_instructions=args.interval,
+            profile=args.profile,
+        )
+        result = run_workload(
+            workload, scheme, config, seed=args.seed,
+            n_instructions=args.instructions, stage1=stage1,
+            telemetry=telemetry,
+        )
+        if telemetry.trace is not None:
+            traced += telemetry.trace.export_jsonl(
+                args.trace_out, append=number > 0, extra={"scheme": scheme},
+            )
+        print(f"\n=== {scheme} ===")
+        print(telemetry.registry.render())
+        series = result.intervals
+        matrix = series.bank_write_matrix()
+        if matrix.size:
+            banks = matrix.shape[1]
+            rows = [
+                (i + 1, series.instructions[i], series.accesses[i],
+                 *(int(v) for v in matrix[i]))
+                for i in range(matrix.shape[0])
+            ]
+            print("\nper-interval per-bank LLC writes "
+                  f"(every ~{series.interval_instructions} instructions):")
+            print(format_table(
+                ["#", "instrs", "accesses", *[f"b{b}" for b in range(banks)]],
+                rows,
+            ))
+            print()
+            print(interval_heatmap(
+                matrix.T,
+                title=f"{scheme}: per-bank writes over intervals "
+                      "(shade = relative write pressure)",
+            ))
+        writes = result.bank_writes
+        covs[scheme] = (
+            float(writes.std() / writes.mean()) if writes.mean() else 0.0
+        )
+        if args.profile:
+            print("\n" + telemetry.profiler.report())
+    print("\nper-bank write CoV (lower = more even wear):")
+    for scheme, cov in covs.items():
+        print(f"  {scheme:>8s}  {cov:.3f}")
+    if args.trace_out:
+        print(f"\nwrote {traced} events to {args.trace_out}")
     return 0
 
 
@@ -161,7 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Re-NUCA (IPDPS 2016) reproduction toolkit",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
+    # Not `required`: a bare ``repro`` prints the full help (exit 2, see
+    # :func:`main`) instead of argparse's two-line usage error.
+    sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("config", help="print the Table I configuration")
 
@@ -177,6 +321,22 @@ def build_parser() -> argparse.ArgumentParser:
                            default=["S-NUCA", "R-NUCA", "Re-NUCA"],
                            help="NUCA schemes to compare")
     _add_common(p_compare)
+    _add_telemetry(p_compare)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="telemetry deep-dive: interval series and wear heatmap",
+    )
+    p_stats.add_argument("--workload", type=int, default=1,
+                         help="workload number 1..10 (default 1)")
+    p_stats.add_argument("--schemes", nargs="+",
+                         default=["S-NUCA", "R-NUCA", "Re-NUCA"],
+                         help="NUCA schemes to inspect")
+    p_stats.add_argument("--interval", type=int, default=50_000,
+                         help="interval-dump period in committed "
+                              "instructions (default 50000)")
+    _add_common(p_stats)
+    _add_telemetry(p_stats)
 
     p_wl = sub.add_parser("workloads", help="show the WL1..WL10 mixes")
     _add_common(p_wl)
@@ -204,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eol.add_argument("--transient-rate", type=float, default=0.0,
                        help="per-read soft-fault probability (default 0)")
     _add_common(p_eol)
+    _add_telemetry(p_eol)
 
     return parser
 
@@ -212,6 +373,7 @@ _COMMANDS = {
     "config": _cmd_config,
     "table2": _cmd_table2,
     "compare": _cmd_compare,
+    "stats": _cmd_stats,
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
     "endoflife": _cmd_endoflife,
@@ -225,8 +387,15 @@ def main(argv: list[str] | None = None) -> int:
     unknown apps, malformed traces, bad configurations) are reported as a
     one-line ``error: ...`` on stderr with exit status 2 — they are user
     mistakes, not crashes.  Anything else propagates with a traceback.
+
+    Run without a subcommand, prints the full help and exits 2 — the
+    same status argparse uses for usage errors.
     """
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

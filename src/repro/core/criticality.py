@@ -111,6 +111,37 @@ class CriticalityPredictor:
         """Copy of the table contents (num_loads, rob_blocks) per PC."""
         return {pc: (e[0], e[1]) for pc, e in self._table.items()}
 
+    def bind_telemetry(self, registry, *, prefix: str = "cpt") -> None:
+        """Register gauges over this predictor's counters under ``prefix``."""
+        registry.gauge(f"{prefix}.lookups", lambda: self.stats.lookups)
+        registry.gauge(f"{prefix}.lookup_hits", lambda: self.stats.lookup_hits)
+        registry.gauge(
+            f"{prefix}.predictions_critical",
+            lambda: self.stats.predictions_critical,
+        )
+        registry.gauge(f"{prefix}.inserts", lambda: self.stats.inserts)
+        registry.gauge(f"{prefix}.evictions", lambda: self.stats.evictions)
+        registry.gauge(f"{prefix}.entries", lambda: len(self._table))
+
+
+def bind_cpt_telemetry(registry, cpts) -> None:
+    """Register aggregate ``cpt.*`` gauges over a group of predictors.
+
+    The stage-2 runner drives one :class:`CriticalityPredictor` per core;
+    the interval dumps want machine-level series, so the gauges sum over
+    the group.  (``cpt.predictions`` / ``cpt.mispredicts`` counters are
+    incremented by the runner itself, which is the only place issue-time
+    predictions meet commit-time ground truth.)
+    """
+    cpts = list(cpts)
+    registry.gauge("cpt.lookups", lambda: sum(c.stats.lookups for c in cpts))
+    registry.gauge(
+        "cpt.lookup_hits", lambda: sum(c.stats.lookup_hits for c in cpts)
+    )
+    registry.gauge("cpt.inserts", lambda: sum(c.stats.inserts for c in cpts))
+    registry.gauge("cpt.evictions", lambda: sum(c.stats.evictions for c in cpts))
+    registry.gauge("cpt.entries", lambda: sum(len(c) for c in cpts))
+
 
 @dataclass
 class CriticalityMeters:

@@ -102,6 +102,41 @@ class ReNucaPolicy(MappingPolicy):
         self.critical_allocations = 0
         self.noncritical_allocations = 0
 
+    # -- telemetry ------------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Register Re-NUCA gauges and wire MBV-flip tracing into the TLBs.
+
+        Gauges cover the placement mix (critical vs. spread fills) and
+        the aggregate enhanced-TLB behaviour (hit rate, MBV write-back /
+        restore traffic — the mechanism's storage cost made visible).
+        """
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        registry.gauge(
+            "renuca.critical_allocations", lambda: self.critical_allocations
+        )
+        registry.gauge(
+            "renuca.noncritical_allocations",
+            lambda: self.noncritical_allocations,
+        )
+        registry.gauge("renuca.critical_fraction", lambda: self.critical_fraction)
+        registry.gauge(
+            "tlb.lookups", lambda: sum(t.stats.lookups for t in self.tlbs)
+        )
+        registry.gauge("tlb.hits", lambda: sum(t.stats.hits for t in self.tlbs))
+        registry.gauge(
+            "tlb.mbv_writebacks",
+            lambda: sum(t.stats.mbv_writebacks for t in self.tlbs),
+        )
+        registry.gauge(
+            "tlb.mbv_restores",
+            lambda: sum(t.stats.mbv_restores for t in self.tlbs),
+        )
+        if telemetry.trace is not None:
+            for core, tlb in enumerate(self.tlbs):
+                tlb.attach_trace(telemetry.trace, core=core)
+
     # -- reporting ------------------------------------------------------------------
 
     @property

@@ -22,7 +22,7 @@ of MBV state per instance, 1 KB per core).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.lru import SetAssocArray
 from repro.common.errors import SimulationError
@@ -69,6 +69,19 @@ class EnhancedTlb:
         self._set_mask = self.config.num_sets - 1
         # Page-table backing store for MBVs of non-resident pages.
         self._backing: dict[int, int] = {}
+        # Optional telemetry: an EventTrace receiving tlb.mbv_flip events
+        # (None keeps the mapping-bit paths free of any tracing work).
+        self._trace = None
+        self._core: int | None = None
+
+    def attach_trace(self, trace, *, core: int | None = None) -> None:
+        """Emit ``tlb.mbv_flip`` events (bit transitions) to ``trace``.
+
+        ``core`` labels the events with the owning core's id.  Pass
+        ``None`` to detach.
+        """
+        self._trace = trace
+        self._core = core
 
     # -- address helpers -------------------------------------------------------
 
@@ -94,8 +107,15 @@ class EnhancedTlb:
 
     def set_mapping_bit(self, line: int, critical: bool) -> None:
         """Record the mapping used when ``line`` was allocated in the LLC."""
-        mbv_ref = self._touch(self.page_of(line), count_lookup=False)
+        page = self.page_of(line)
+        mbv_ref = self._touch(page, count_lookup=False)
         bit = 1 << self.line_index(line)
+        if self._trace is not None and bool(mbv_ref[0] & bit) != critical:
+            self._trace.emit(
+                "tlb.mbv_flip",
+                core=self._core, page=page,
+                line_index=self.line_index(line), value=critical,
+            )
         if critical:
             mbv_ref[0] |= bit
         else:
@@ -113,8 +133,20 @@ class EnhancedTlb:
         set_idx = page & self._set_mask
         entry = self._array.lookup(set_idx, page, touch=False)
         if entry is not None:
+            if self._trace is not None and entry[0] & bit:
+                self._trace.emit(
+                    "tlb.mbv_flip",
+                    core=self._core, page=page,
+                    line_index=self.line_index(line), value=False,
+                )
             entry[0] &= ~bit
         elif page in self._backing:
+            if self._trace is not None and self._backing[page] & bit:
+                self._trace.emit(
+                    "tlb.mbv_flip",
+                    core=self._core, page=page,
+                    line_index=self.line_index(line), value=False,
+                )
             self._backing[page] &= ~bit
             if not self._backing[page]:
                 del self._backing[page]

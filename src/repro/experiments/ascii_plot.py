@@ -119,6 +119,46 @@ def scatter(
     return "\n".join(lines)
 
 
+def interval_heatmap(
+    matrix: Sequence[Sequence[float]],
+    *,
+    row_label: str = "bank",
+    title: str | None = None,
+) -> str:
+    """Heat map of a rows x intervals matrix (shade = relative value).
+
+    Each output line is one row (e.g. one LLC bank) across the column
+    axis (e.g. interval-dump periods), shaded against the global peak so
+    hot spots stand out; the row sum is printed on the right.  This is
+    the terminal rendering of the telemetry interval series — see
+    ``docs/OBSERVABILITY.md``.
+
+    Raises:
+        ReproError: for an empty or ragged matrix.
+    """
+    rows = [list(row) for row in matrix]
+    if not rows or not rows[0]:
+        raise ReproError("interval heatmap of nothing")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ReproError("interval heatmap rows differ in length")
+    peak = max((value for row in rows for value in row), default=0.0) or 1.0
+    shades = " ░▒▓█"
+    label_w = len(f"{row_label}{len(rows) - 1}")
+    lines = [title] if title else []
+    for index, row in enumerate(rows):
+        cells = "".join(
+            shades[min(4, int(value / peak * 4.999))] for value in row
+        )
+        lines.append(
+            f"{row_label}{index:<{label_w - len(row_label)}} |{cells}| "
+            f"{sum(row):10.0f}"
+        )
+    lines.append(f"{'':>{label_w}} +{'-' * width}+  ({width} intervals, "
+                 f"peak {peak:.0f}/cell)")
+    return "\n".join(lines)
+
+
 def wear_heatmap(
     bank_values: Sequence[float], *, cols: int = 4, title: str | None = None
 ) -> str:

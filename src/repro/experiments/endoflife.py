@@ -83,6 +83,7 @@ def run_endoflife(
     bank_failures: tuple[tuple[int, float], ...] = (),
     transient_rate: float = 0.0,
     progress=None,
+    telemetry=None,
 ) -> dict[str, list[AgePoint]]:
     """Sweep one workload over cache ages for several schemes.
 
@@ -94,6 +95,11 @@ def run_endoflife(
             age whose value reaches the failure age.
         transient_rate: per-read soft-fault probability.
         progress: optional ``(scheme, age) -> None`` narration callback.
+        telemetry: optional shared :class:`~repro.telemetry.Telemetry`
+            handle; it sees every (scheme, age) cell, so counters
+            accumulate over the sweep and the event ring retains the
+            most recent cells.  ``progress`` fires before each cell —
+            callers that export traces per cell can flush there.
 
     Returns:
         ``{scheme: [AgePoint per age, in sweep order]}``.
@@ -132,6 +138,7 @@ def run_endoflife(
                 n_instructions=n_instructions,
                 stage1=stage1,
                 fault_config=fault_config if fault_config.active else None,
+                telemetry=telemetry,
             )
             curves[scheme].append(AgePoint.from_result(result))
     return curves

@@ -76,6 +76,7 @@ class FaultInjector:
             faults.bank_failures, num_banks=self.num_banks
         )
         # Inert until derive(): warm-up must see pristine hardware.
+        self._tel_trace = None
         self._derived = False
         self.dead_banks: frozenset[int] = frozenset()
         self._surviving: tuple[int, ...] = tuple(range(self.num_banks))
@@ -134,6 +135,14 @@ class FaultInjector:
             b for b in range(self.num_banks) if b not in self.dead_banks
         )
         self._derived = True
+        if self._tel_trace is not None:
+            self._tel_trace.emit(
+                "fault.derived",
+                age=float(age),
+                dead_banks=len(self.dead_banks),
+                dead_frames=int(self._dead_ways.sum()),
+                capacity=self.effective_capacity_fraction(),
+            )
 
     def _set_weights(
         self, histogram: dict[int, int], index_shift: int, set_mask: int
@@ -190,6 +199,24 @@ class FaultInjector:
     def transient_faults_injected(self) -> int:
         """Transient faults delivered so far."""
         return self._transient.faults
+
+    def bind_telemetry(self, registry, *, trace=None) -> None:
+        """Register ``faults.*`` gauges and attach the event trace.
+
+        Gauges track the degradation state (dead banks, retired frames,
+        mean consumed endurance, injected soft faults); ``trace``
+        additionally receives one ``fault.derived`` event when
+        :meth:`derive` materialises the fault state.
+        """
+        self._tel_trace = trace
+        registry.gauge("faults.dead_banks", lambda: len(self.dead_banks))
+        registry.gauge("faults.dead_frames", lambda: int(self._dead_ways.sum()))
+        registry.gauge(
+            "faults.consumed_mean", lambda: float(self.consumed.mean())
+        )
+        registry.gauge(
+            "faults.transient_injected", lambda: self._transient.faults
+        )
 
     def describe(self) -> str:
         """One-line summary for reports and logs."""

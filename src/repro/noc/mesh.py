@@ -14,7 +14,7 @@ of the paper's motivation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -184,6 +184,16 @@ class Mesh:
         """Clear traffic accounting (topology is untouched)."""
         self.stats = RouteStats()
         self.link_traffic[:] = 0
+
+    def bind_telemetry(self, registry) -> None:
+        """Register ``noc.*`` gauges over the live routing statistics.
+
+        Callback gauges read :attr:`stats` through ``self`` so they stay
+        valid across :meth:`reset_stats` (which replaces the object).
+        """
+        registry.gauge("noc.messages", lambda: self.stats.messages)
+        registry.gauge("noc.total_hops", lambda: self.stats.total_hops)
+        registry.gauge("noc.mean_hops", lambda: self.stats.mean_hops)
 
     def _count_links(self, src: int, dst: int) -> None:
         path = self.route(src, dst)

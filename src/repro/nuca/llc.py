@@ -27,7 +27,7 @@ counted in :class:`LlcStats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.config import SystemConfig
@@ -87,6 +87,7 @@ class NucaLLC:
         wear: WearTracker,
         *,
         faults=None,
+        telemetry=None,
     ) -> None:
         if wear.num_banks != config.num_banks:
             raise ConfigError("wear tracker / bank count mismatch")
@@ -102,6 +103,10 @@ class NucaLLC:
         #: Optional :class:`~repro.faults.injector.FaultInjector`; None
         #: means pristine hardware (zero overhead on the hot paths).
         self.faults = faults
+        #: Optional :class:`~repro.telemetry.Telemetry`; None keeps the
+        #: demand paths event-free (one ``is None`` test per block).
+        self.telemetry = telemetry
+        self._trace = telemetry.trace if telemetry is not None else None
         self.stats = LlcStats()
         shift = log2_exact(config.num_banks)
         self._index_shift = shift
@@ -109,6 +114,30 @@ class NucaLLC:
             NucaBank(node, config.l3_bank, config.reram, wear, index_shift=shift)
             for node in range(config.num_banks)
         ]
+        if telemetry is not None:
+            self._bind_gauges(telemetry.registry)
+
+    def _bind_gauges(self, registry) -> None:
+        """Register ``llc.*`` gauges over the live controller state."""
+        stats_fields = (
+            "fetches", "fetch_hits", "writebacks", "writeback_hits",
+            "memory_reads", "memory_writes", "fills_skipped",
+            "transient_faults",
+        )
+        for name in stats_fields:
+            registry.gauge(
+                f"llc.{name}", lambda f=name: getattr(self.stats, f)
+            )
+        registry.gauge("llc.fetch_hit_rate", lambda: self.stats.fetch_hit_rate)
+        registry.gauge(
+            "llc.mean_fetch_latency", lambda: self.stats.mean_fetch_latency
+        )
+        registry.gauge("llc.remap_traffic", lambda: self.stats.remap_traffic)
+        registry.gauge("llc.occupancy", self.occupancy)
+        registry.gauge(
+            "llc.effective_capacity", self.effective_capacity_fraction
+        )
+        registry.gauge("llc.dead_banks", lambda: self.dead_bank_count)
 
     # -- demand path --------------------------------------------------------
 
@@ -128,11 +157,17 @@ class NucaLLC:
         self.stats.fetches += 1
         mesh = self.mesh
         faults = self.faults
+        trace = self._trace
         penalty = float(self.policy.lookup_penalty)
         bank_id = self.policy.locate(core, line)
         if bank_id is not None and faults is not None and faults.is_bank_dead(bank_id):
             # The home bank is dead: the remap layer redirects the access
             # to a surviving bank (or to memory when none survive).
+            if trace is not None:
+                trace.emit(
+                    "fault.remap", ts=now, core=core, line=line,
+                    dead_bank=bank_id, path="fetch",
+                )
             bank_id = faults.remap_bank(bank_id, line)
             penalty += faults.remap_penalty_cycles
             self.stats.remapped_fetches += 1
@@ -142,6 +177,11 @@ class NucaLLC:
                 # Soft fault: the read delivered corrupt data.  The line
                 # is dropped and refetched from memory below.
                 self.stats.transient_faults += 1
+                if trace is not None:
+                    trace.emit(
+                        "fault.transient", ts=now, core=core, line=line,
+                        bank=bank_id,
+                    )
                 aux = self.banks[bank_id].cache.aux_of(line)
                 self.banks[bank_id].cache.invalidate(line)
                 self.policy.on_evict(line, bank_id, aux)
@@ -154,6 +194,11 @@ class NucaLLC:
                 )
                 self.stats.fetch_hits += 1
                 self.stats.total_fetch_latency += latency
+                if trace is not None:
+                    trace.emit(
+                        "llc.hit", ts=now, core=core, line=line,
+                        bank=bank_id, latency=latency, critical=critical,
+                    )
                 mover = getattr(self.policy, "migration_target", None)
                 if mover is not None:
                     target = mover(core, line)
@@ -182,6 +227,11 @@ class NucaLLC:
         self.stats.memory_reads += 1
         latency = (ready - now) + mesh.send(mc, core)
         place = self.policy.place(core, line, critical)
+        if trace is not None:
+            trace.emit(
+                "llc.miss", ts=now, core=core, line=line,
+                place_bank=place, latency=latency, critical=critical,
+            )
         self._fill(place, line, now, dirty=False, core=core, critical=critical)
         self.stats.total_fetch_latency += latency
         return latency, False
@@ -190,9 +240,15 @@ class NucaLLC:
         """Absorb a dirty L2 eviction (off the core's critical path)."""
         self.stats.writebacks += 1
         faults = self.faults
+        trace = self._trace
         bank_id = self.policy.locate(core, line)
         remapped = False
         if bank_id is not None and faults is not None and faults.is_bank_dead(bank_id):
+            if trace is not None:
+                trace.emit(
+                    "fault.remap", ts=now, core=core, line=line,
+                    dead_bank=bank_id, path="writeback",
+                )
             bank_id = faults.remap_bank(bank_id, line)
             remapped = True
             self.stats.remapped_writebacks += 1
@@ -200,6 +256,11 @@ class NucaLLC:
             self.mesh.round_trip_latency(core, bank_id)
             if self.banks[bank_id].probe(line, is_write=True):
                 self.stats.writeback_hits += 1
+                if trace is not None:
+                    trace.emit(
+                        "llc.writeback", ts=now, core=core, line=line,
+                        bank=bank_id, hit=True,
+                    )
                 return
             place_bank = (
                 bank_id
@@ -210,6 +271,11 @@ class NucaLLC:
             place_bank = None
         if place_bank is None:
             place_bank = self.policy.writeback_bank(core, line)
+        if trace is not None:
+            trace.emit(
+                "llc.writeback", ts=now, core=core, line=line,
+                bank=place_bank, hit=False,
+            )
         self._fill(place_bank, line, now, dirty=True, core=core, critical=False)
 
     # -- internals ------------------------------------------------------------
@@ -237,6 +303,8 @@ class NucaLLC:
         present, dirty = src_cache.invalidate(line)
         if not present:
             raise SimulationError(f"migration of non-resident line {line:#x}")
+        if self._trace is not None:
+            self._trace.emit("llc.migration", line=line, src=src, dst=dst)
         faults = self.faults
         dst_actual = dst
         if faults is not None and faults.is_bank_dead(dst):
@@ -265,6 +333,8 @@ class NucaLLC:
     def _drop_line(self, line: int, bank: int, aux: object, dirty: bool) -> None:
         """A line could not be kept resident: evict it to memory."""
         self.stats.fills_skipped += 1
+        if self._trace is not None:
+            self._trace.emit("llc.fill_skipped", line=line, bank=bank)
         self.policy.on_evict(line, bank, aux)
         if dirty:
             self.memory.request(0.0, line)
@@ -274,12 +344,20 @@ class NucaLLC:
         self, bank_id: int, line: int, now: float, *, dirty: bool, core: int, critical: bool
     ) -> None:
         faults = self.faults
+        trace = self._trace
         if faults is not None and faults.is_bank_dead(bank_id):
+            if trace is not None:
+                trace.emit(
+                    "fault.remap", ts=now, core=core, line=line,
+                    dead_bank=bank_id, path="fill",
+                )
             bank_id = faults.remap_bank(bank_id, line)
             self.stats.remapped_fills += 1
         if bank_id is None:
             # No surviving bank at all: the LLC is a pass-through.
             self.stats.fills_skipped += 1
+            if trace is not None:
+                trace.emit("llc.fill_skipped", ts=now, line=line, bank=None)
             if dirty:
                 self.memory.request(now, line)
                 self.stats.memory_writes += 1
@@ -288,6 +366,8 @@ class NucaLLC:
         if not result.filled:
             # Every frame of the target set is retired: serve from memory.
             self.stats.fills_skipped += 1
+            if trace is not None:
+                trace.emit("llc.fill_skipped", ts=now, line=line, bank=bank_id)
             if dirty:
                 self.memory.request(now, line)
                 self.stats.memory_writes += 1

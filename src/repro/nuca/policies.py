@@ -89,3 +89,15 @@ class MappingPolicy(abc.ABC):
         Called after warm-up prefill so reported fractions reflect only
         the measured phase (default: nothing to reset).
         """
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this policy's instruments to a telemetry handle.
+
+        Called by the runner before the measured phase when the caller
+        asked for telemetry.  The default stores the handle; policies
+        with interesting internal state (Re-NUCA's TLBs and placement
+        mix) override to register gauges and attach event traces.  A
+        policy is never handed ``None`` — absence of telemetry means the
+        method is simply not called.
+        """
+        self.telemetry = telemetry

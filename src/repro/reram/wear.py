@@ -144,3 +144,17 @@ class WearTracker:
         self.bank_writes[:] = 0
         for per_line in self._line_writes:
             per_line.clear()
+
+    def bind_telemetry(self, registry, *, prefix: str = "llc") -> None:
+        """Expose per-bank write counters as ``<prefix>.bankN.writes`` gauges.
+
+        Callback gauges read the live counters at snapshot time, so the
+        hot :meth:`record_write` path is untouched — interval dumps get
+        the wear time series for free.
+        """
+        for bank in range(self.num_banks):
+            registry.gauge(
+                f"{prefix}.bank{bank}.writes",
+                lambda b=bank: int(self.bank_writes[b]),
+            )
+        registry.gauge(f"{prefix}.total_writes", self.total_writes)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.common.errors import ReproError
 from repro.reram.endurance import lifetime_summary
+from repro.telemetry.intervals import IntervalSeries
 
 
 @dataclass
@@ -54,6 +55,9 @@ class WorkloadSchemeResult:
     fills_skipped: int = 0
     #: Transient read faults injected during the measured phase.
     transient_faults: int = 0
+    #: Interval-dump time series (telemetry runs only; see
+    #: :mod:`repro.telemetry.intervals`).
+    intervals: IntervalSeries | None = None
 
     @property
     def ipc(self) -> float:
@@ -67,12 +71,20 @@ class WorkloadSchemeResult:
 
     @property
     def degraded(self) -> bool:
-        """True when this run executed on faulty hardware."""
+        """True when faults actually affected this run.
+
+        An aged cache whose frames all survived (``age_fraction`` below
+        the endurance wall, no scheduled bank failures, no soft faults)
+        ran exactly like pristine hardware, so age alone does not mark a
+        run degraded — only observed effects do: lost capacity, dead
+        banks, remapped traffic, dropped fills or injected soft faults.
+        """
         return (
             self.effective_capacity < 1.0
             or self.dead_banks > 0
             or self.transient_faults > 0
-            or self.age_fraction > 0
+            or self.remap_traffic > 0
+            or self.fills_skipped > 0
         )
 
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.common.errors import ReproError
 from repro.config import FaultConfig, SystemConfig, baseline_config
-from repro.core.criticality import CriticalityPredictor
+from repro.core.criticality import CriticalityPredictor, bind_cpt_telemetry
 from repro.cpu.core import AppSimulator, Stage1Result
 from repro.faults.injector import FaultInjector
 from repro.mem.model import MainMemory
@@ -33,6 +33,8 @@ from repro.reram.endurance import lifetimes_for_banks
 from repro.reram.wear import WearTracker
 from repro.sim.calibrate import calibrated_base_cpi, config_signature
 from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+from repro.telemetry import DISABLED_PROFILER, Telemetry
+from repro.telemetry.intervals import IntervalSeries
 from repro.trace.workloads import Workload
 
 #: Per-core instruction budget when the caller does not specify one.
@@ -228,6 +230,7 @@ def run_workload(
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     stage1: Stage1Cache | None = None,
     fault_config: FaultConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> WorkloadSchemeResult:
     """Stage-2 simulation of one workload under one NUCA scheme.
 
@@ -237,6 +240,14 @@ def run_workload(
     are retired, and the measured phase runs on the degraded cache.  The
     run always completes; degradation shows up in the result's
     ``effective_capacity``/``remap_traffic``/IPC instead of exceptions.
+
+    ``telemetry`` opts into observability (see ``docs/OBSERVABILITY.md``):
+    the components register their instruments on its registry, structured
+    events flow to its trace, the run is phase-timed by its profiler,
+    and — when ``telemetry.interval_instructions`` is set — the measured
+    phase periodically snapshots the registry into the result's
+    ``intervals`` series.  Passing ``None`` (the default) leaves the
+    simulation on its un-instrumented fast path.
     """
     config = config or baseline_config()
     if workload.num_cores != config.num_cores:
@@ -245,10 +256,12 @@ def run_workload(
             f"configuration has {config.num_cores} cores"
         )
     stage1 = stage1 or Stage1Cache()
-    results1 = [
-        stage1.get(app, config, seed=seed, n_instructions=n_instructions)
-        for app in workload.apps
-    ]
+    prof = telemetry.profiler if telemetry is not None else DISABLED_PROFILER
+    with prof.phase("stage1"):
+        results1 = [
+            stage1.get(app, config, seed=seed, n_instructions=n_instructions)
+            for app in workload.apps
+        ]
 
     mesh = Mesh(config.noc)
     memory = MainMemory(config.memory)
@@ -262,11 +275,20 @@ def run_workload(
     injector = (
         FaultInjector(config, fault_config, seed=seed) if inject else None
     )
-    llc = NucaLLC(config, policy, mesh, memory, wear, faults=injector)
-    _warm_llc(llc, workload, config, results1, seed=seed)
-    if injector is not None:
-        llc.apply_faults(wear.snapshot())
-    llc.reset_measurement()
+    if telemetry is not None:
+        wear.bind_telemetry(telemetry.registry)
+        mesh.bind_telemetry(telemetry.registry)
+        policy.attach_telemetry(telemetry)
+        if injector is not None:
+            injector.bind_telemetry(telemetry.registry, trace=telemetry.trace)
+    llc = NucaLLC(
+        config, policy, mesh, memory, wear, faults=injector, telemetry=telemetry
+    )
+    with prof.phase("warm-up"):
+        _warm_llc(llc, workload, config, results1, seed=seed)
+        if injector is not None:
+            llc.apply_faults(wear.snapshot())
+        llc.reset_measurement()
 
     merged = _merge_streams(results1)
 
@@ -282,6 +304,32 @@ def run_workload(
     block_cycles = config.criticality.block_cycles
     cpts = [CriticalityPredictor(config.criticality) for _ in results1] if uses_criticality else None
 
+    # Telemetry wiring for the measured phase.  Everything below stays
+    # None/0 without a telemetry handle, so the hot loop's added cost in
+    # the disabled case is a couple of short-circuited truth tests.
+    cpt_predicted = cpt_mispredicts = None
+    trace = telemetry.trace if telemetry is not None else None
+    intervals: IntervalSeries | None = None
+    interval_every = 0
+    total_instr = int(sum(r.instructions for r in results1))
+    if cpts is not None and telemetry is not None:
+        bind_cpt_telemetry(telemetry.registry, cpts)
+        cpt_predicted = telemetry.registry.counter("cpt.predictions")
+        cpt_mispredicts = telemetry.registry.counter("cpt.mispredicts")
+    if telemetry is not None and telemetry.interval_instructions > 0:
+        # The interval unit is committed instructions (gem5-style); the
+        # loop walks LLC accesses, so convert via the measured run's
+        # instructions-per-access ratio.
+        interval_every = max(
+            1,
+            round(
+                merged.total * telemetry.interval_instructions
+                / max(1, total_instr)
+            ),
+        )
+        intervals = IntervalSeries(telemetry.interval_instructions)
+        snapshot = telemetry.registry.snapshot
+
     scheme_lat_sorted = np.zeros(merged.total, dtype=np.float32)
     fetch = llc.fetch
     writeback = llc.writeback
@@ -296,54 +344,88 @@ def run_workload(
     mlp_l = merged.mlp.tolist()
     nominal_l = merged.nominal.tolist()
     lat_out = scheme_lat_sorted  # direct ndarray indexing is fine for writes
-    for i in range(merged.total):
-        core = core_l[i]
-        if wb_l[i]:
-            writeback(core, line_l[i], ts_l[i])
-            continue
-        if cpts is not None and load_l[i]:
-            ratio = cpts[core].ratio(pc_l[i])
-            predicted = ratio is not None and ratio >= threshold
-        else:
-            predicted = False
-        lat, _hit = fetch(core, line_l[i], ts_l[i], predicted)
-        lat_out[i] = lat
-        if cpts is not None and load_l[i]:
-            # Ground truth under this scheme's latency (exposure model).
-            diff = lat - nominal_l[i]
-            stall = stall_l[i]
-            if stall > 0:
-                stall2 = stall + diff / mlp_l[i]
+    measure_phase = prof.phase("measure")
+    with measure_phase:
+        for i in range(merged.total):
+            if interval_every and i and i % interval_every == 0:
+                intervals.record(
+                    accesses=i,
+                    instructions=(i * total_instr) // merged.total,
+                    cycles=ts_l[i],
+                    sample=snapshot(),
+                )
+                if trace is not None:
+                    trace.emit(
+                        "run.interval", ts=ts_l[i],
+                        index=len(intervals) - 1, accesses=i,
+                    )
+            core = core_l[i]
+            if wb_l[i]:
+                writeback(core, line_l[i], ts_l[i])
+                continue
+            if cpts is not None and load_l[i]:
+                ratio = cpts[core].ratio(pc_l[i])
+                predicted = ratio is not None and ratio >= threshold
             else:
-                stall2 = (diff - slack_l[i]) / mlp_l[i]
-            cpts[core].observe_commit(pc_l[i], stall2 >= block_cycles)
+                predicted = False
+            lat, _hit = fetch(core, line_l[i], ts_l[i], predicted)
+            lat_out[i] = lat
+            if cpts is not None and load_l[i]:
+                # Ground truth under this scheme's latency (exposure model).
+                diff = lat - nominal_l[i]
+                stall = stall_l[i]
+                if stall > 0:
+                    stall2 = stall + diff / mlp_l[i]
+                else:
+                    stall2 = (diff - slack_l[i]) / mlp_l[i]
+                blocked = stall2 >= block_cycles
+                cpts[core].observe_commit(pc_l[i], blocked)
+                if cpt_mispredicts is not None:
+                    if predicted:
+                        cpt_predicted.inc()
+                    if predicted != blocked:
+                        cpt_mispredicts.inc()
+                    if trace is not None:
+                        trace.emit(
+                            "cpt.predict", ts=ts_l[i], core=core,
+                            pc=pc_l[i], predicted=predicted, blocked=blocked,
+                        )
+    if intervals is not None:
+        # Close the series so delta sums always equal the run totals.
+        intervals.record(
+            accesses=merged.total,
+            instructions=total_instr,
+            cycles=ts_l[-1] if ts_l else 0.0,
+            sample=snapshot(),
+        )
 
-    # Un-sort latencies back to per-core record order.
-    scheme_lat = np.empty(merged.total, dtype=np.float32)
-    scheme_lat[merged.order] = scheme_lat_sorted
+    with prof.phase("reduce"):
+        # Un-sort latencies back to per-core record order.
+        scheme_lat = np.empty(merged.total, dtype=np.float32)
+        scheme_lat[merged.order] = scheme_lat_sorted
 
-    # Per-core IPC via the exposure model.
-    n_cores = len(results1)
-    ipc = np.zeros(n_cores)
-    instructions = np.zeros(n_cores, dtype=np.int64)
-    cycles = np.zeros(n_cores)
-    for core, result in enumerate(results1):
-        lo, hi = merged.measured_slices[core]
-        delta = float(result.stream.exposure_delta(scheme_lat[lo:hi]).sum())
-        core_cycles = max(1.0, result.cycles + delta)
-        cycles[core] = core_cycles
-        instructions[core] = result.instructions
-        ipc[core] = result.instructions / core_cycles
+        # Per-core IPC via the exposure model.
+        n_cores = len(results1)
+        ipc = np.zeros(n_cores)
+        instructions = np.zeros(n_cores, dtype=np.int64)
+        cycles = np.zeros(n_cores)
+        for core, result in enumerate(results1):
+            lo, hi = merged.measured_slices[core]
+            delta = float(result.stream.exposure_delta(scheme_lat[lo:hi]).sum())
+            core_cycles = max(1.0, result.cycles + delta)
+            cycles[core] = core_cycles
+            instructions[core] = result.instructions
+            ipc[core] = result.instructions / core_cycles
 
-    elapsed = float(cycles.max())
-    lifetimes = lifetimes_for_banks(
-        llc.wear.bank_writes,
-        elapsed,
-        config.core.clock_hz,
-        lines_per_bank=config.l3_bank.num_lines,
-        cell_endurance=config.reram.cell_endurance,
-        wear_spread=config.reram.intra_bank_wear_spread,
-    )
+        elapsed = float(cycles.max())
+        lifetimes = lifetimes_for_banks(
+            llc.wear.bank_writes,
+            elapsed,
+            config.core.clock_hz,
+            lines_per_bank=config.l3_bank.num_lines,
+            cell_endurance=config.reram.cell_endurance,
+            wear_spread=config.reram.intra_bank_wear_spread,
+        )
 
     critical_fraction = getattr(policy, "critical_fraction", 0.0)
     return WorkloadSchemeResult(
@@ -369,6 +451,7 @@ def run_workload(
         remap_traffic=llc.stats.remap_traffic,
         fills_skipped=llc.stats.fills_skipped,
         transient_faults=llc.stats.transient_faults,
+        intervals=intervals,
     )
 
 
@@ -382,6 +465,7 @@ def run_matrix(
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     stage1: Stage1Cache | None = None,
     fault_config: FaultConfig | None = None,
+    telemetry: Telemetry | None = None,
     progress=None,
 ) -> MatrixResult:
     """Run every workload under every scheme (the paper's result grid).
@@ -389,6 +473,8 @@ def run_matrix(
     ``progress`` is an optional callback ``(workload, scheme) -> None``
     invoked before each stage-2 run (the benches use it for narration).
     ``fault_config`` applies the same fault-injection point to every cell.
+    ``telemetry`` is shared by every cell: counters accumulate across the
+    grid while gauges always reflect the most recent run.
     """
     config = config or baseline_config()
     stage1 = stage1 or Stage1Cache()
@@ -410,6 +496,7 @@ def run_matrix(
                     n_instructions=n_instructions,
                     stage1=stage1,
                     fault_config=fault_config,
+                    telemetry=telemetry,
                 )
             )
     return matrix

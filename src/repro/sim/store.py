@@ -17,13 +17,14 @@ import numpy as np
 
 from repro.common.errors import ReproError
 from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+from repro.telemetry.intervals import IntervalSeries
 
 #: Format version written into every result file.
 FORMAT_VERSION = 1
 
 
 def _result_to_dict(result: WorkloadSchemeResult) -> dict:
-    return {
+    out = {
         "workload": result.workload,
         "scheme": result.scheme,
         "apps": list(result.apps),
@@ -47,6 +48,11 @@ def _result_to_dict(result: WorkloadSchemeResult) -> dict:
         "fills_skipped": result.fills_skipped,
         "transient_faults": result.transient_faults,
     }
+    # Interval-dump series are optional (telemetry runs only); the key is
+    # simply absent otherwise, keeping old files and new readers aligned.
+    if result.intervals is not None:
+        out["intervals"] = result.intervals.to_dict()
+    return out
 
 
 def _result_from_dict(data: dict) -> WorkloadSchemeResult:
@@ -73,6 +79,11 @@ def _result_from_dict(data: dict) -> WorkloadSchemeResult:
         remap_traffic=data.get("remap_traffic", 0),
         fills_skipped=data.get("fills_skipped", 0),
         transient_faults=data.get("transient_faults", 0),
+        intervals=(
+            IntervalSeries.from_dict(data["intervals"])
+            if "intervals" in data
+            else None
+        ),
     )
 
 

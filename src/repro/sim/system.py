@@ -18,6 +18,7 @@ from repro.config import SystemConfig, baseline_config
 from repro.cpu.core import Stage1Result
 from repro.sim.metrics import WorkloadSchemeResult
 from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache, run_workload
+from repro.telemetry import Telemetry
 from repro.trace.workloads import Workload, make_workloads
 
 #: Scheme set used by :meth:`System.compare` when none is given.
@@ -84,8 +85,14 @@ class System:
         scheme: str,
         *,
         n_instructions: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> WorkloadSchemeResult:
-        """One workload under one NUCA scheme."""
+        """One workload under one NUCA scheme.
+
+        ``telemetry`` opts the run into observability: counters, event
+        tracing, interval dumps and phase profiling (see
+        ``docs/OBSERVABILITY.md``).
+        """
         return run_workload(
             self.workload(which),
             scheme,
@@ -93,6 +100,7 @@ class System:
             seed=self.seed,
             n_instructions=n_instructions or self.n_instructions,
             stage1=self.stage1,
+            telemetry=telemetry,
         )
 
     def compare(
@@ -101,10 +109,19 @@ class System:
         schemes: tuple[str, ...] = DEFAULT_SCHEMES,
         *,
         n_instructions: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> dict[str, WorkloadSchemeResult]:
-        """One workload under several schemes (shared stage-1 state)."""
+        """One workload under several schemes (shared stage-1 state).
+
+        A shared ``telemetry`` handle sees every scheme: counters
+        accumulate over the comparison, gauges end up reflecting the
+        last scheme run.  Use one handle per scheme for isolated series.
+        """
         return {
-            scheme: self.run(which, scheme, n_instructions=n_instructions)
+            scheme: self.run(
+                which, scheme, n_instructions=n_instructions,
+                telemetry=telemetry,
+            )
             for scheme in schemes
         }
 

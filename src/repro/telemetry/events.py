@@ -1,0 +1,181 @@
+"""Structured event tracing with bounded retention and JSONL export.
+
+An :class:`EventTrace` is a ring buffer of :class:`TraceEvent` records.
+Components emit events with a dotted *kind* (``llc.hit``,
+``cpt.predict``, ``tlb.mbv_flip``, ``fault.remap``) plus arbitrary
+scalar fields; the buffer keeps the most recent ``capacity`` events and
+counts what it dropped, so tracing a long run is safe by construction.
+
+The on-disk format is JSON Lines — one JSON object per event with the
+reserved keys ``seq`` (emission order), ``kind`` and ``ts`` (simulated
+cycle, or null) and every other field inlined.  :func:`load_events`
+round-trips the file back to :class:`TraceEvent` objects and validates
+the schema, raising :class:`~repro.telemetry.registry.TelemetryError`
+on malformed input.
+
+Overhead discipline: an ``EventTrace`` only exists when the caller asked
+for tracing.  Instrumented components hold ``trace = None`` by default
+and guard every emission with ``if trace is not None`` — the disabled
+cost is one attribute test, never a call.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.registry import TelemetryError
+
+#: Reserved field names every serialised event carries.
+RESERVED_FIELDS = ("seq", "kind", "ts")
+
+#: Event kinds the instrumented simulator emits (emission is open —
+#: any dotted kind is legal — but these are the documented vocabulary).
+KNOWN_KINDS = frozenset({
+    "llc.hit",
+    "llc.miss",
+    "llc.writeback",
+    "llc.migration",
+    "llc.fill_skipped",
+    "cpt.predict",
+    "tlb.mbv_flip",
+    "fault.remap",
+    "fault.transient",
+    "fault.derived",
+    "run.interval",
+})
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    seq: int
+    kind: str
+    ts: float | None = None
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Flat JSON-able dict (reserved keys first, fields inlined)."""
+        out = {"seq": self.seq, "kind": self.kind, "ts": self.ts}
+        out.update(self.fields)
+        return out
+
+
+class EventTrace:
+    """Bounded, append-only event sink.
+
+    Args:
+        capacity: maximum retained events; older ones are dropped (and
+            counted in :attr:`dropped`) once the buffer is full.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise TelemetryError("event trace capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        #: Events discarded because the ring buffer was full.
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted (retained + dropped)."""
+        return self._seq
+
+    def emit(self, kind: str, ts: float | None = None, **fields) -> None:
+        """Append one event.
+
+        ``fields`` must be JSON scalars (numbers, strings, bools, None);
+        anything else would not round-trip through the JSONL export.
+        """
+        for key, value in fields.items():
+            if key in RESERVED_FIELDS:
+                raise TelemetryError(f"event field {key!r} is reserved")
+            if not isinstance(value, _SCALAR_TYPES):
+                raise TelemetryError(
+                    f"event field {key}={value!r} is not a JSON scalar"
+                )
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self._seq, kind, ts, fields))
+        self._seq += 1
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Retained events, optionally filtered by exact kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def clear(self) -> None:
+        """Drop retained events (sequence numbering continues)."""
+        self._events.clear()
+
+    def export_jsonl(
+        self,
+        path: str | Path,
+        *,
+        append: bool = False,
+        extra: dict | None = None,
+    ) -> int:
+        """Write retained events as JSON Lines; returns the event count.
+
+        ``extra`` fields (e.g. ``{"scheme": "Re-NUCA"}``) are stamped
+        onto every exported record, letting several runs share one file.
+        """
+        mode = "a" if append else "w"
+        count = 0
+        with open(path, mode, encoding="utf-8") as fh:
+            for event in self._events:
+                record = event.to_json()
+                if extra:
+                    for key, value in extra.items():
+                        record.setdefault(key, value)
+                fh.write(json.dumps(record) + "\n")
+                count += 1
+        return count
+
+
+def load_events(path: str | Path) -> list[TraceEvent]:
+    """Read a JSONL trace written by :meth:`EventTrace.export_jsonl`.
+
+    Raises:
+        TelemetryError: unreadable file, malformed JSON, or a record
+            violating the event schema (missing/ill-typed ``seq``,
+            ``kind`` or ``ts``).
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError(f"cannot read trace file {path}: {exc}") from exc
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"{path}:{lineno}: malformed JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise TelemetryError(f"{path}:{lineno}: event is not an object")
+        seq = record.pop("seq", None)
+        kind = record.pop("kind", None)
+        ts = record.pop("ts", None)
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise TelemetryError(f"{path}:{lineno}: bad or missing 'seq'")
+        if not isinstance(kind, str) or not kind:
+            raise TelemetryError(f"{path}:{lineno}: bad or missing 'kind'")
+        if ts is not None and not isinstance(ts, (int, float)):
+            raise TelemetryError(f"{path}:{lineno}: 'ts' must be a number or null")
+        events.append(TraceEvent(seq, kind, None if ts is None else float(ts), record))
+    return events

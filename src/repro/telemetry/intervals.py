@@ -1,0 +1,138 @@
+"""gem5-style interval dumps: periodic registry snapshots over a run.
+
+Every N instructions (``Telemetry.interval_instructions``) the runner
+snapshots the whole :class:`~repro.telemetry.registry.StatsRegistry`
+into an :class:`IntervalSeries` — the time-series view of a simulation:
+per-bank write counts, LLC hit/miss counters, degradation counters, all
+sampled on a common instruction axis.  Snapshots store *cumulative*
+values (exactly what the instruments hold); :meth:`IntervalSeries.deltas`
+and :meth:`IntervalSeries.bank_write_matrix` derive the per-interval
+view the wear heatmap wants.
+
+The series round-trips through plain dicts (:meth:`IntervalSeries.to_dict`
+/ :meth:`IntervalSeries.from_dict`) so :mod:`repro.sim.store` can persist
+it inside a result file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.registry import TelemetryError
+
+_BANK_WRITES_RE = re.compile(r"^llc\.bank(\d+)\.writes$")
+
+
+@dataclass
+class IntervalSeries:
+    """Registry snapshots taken every ``interval_instructions``."""
+
+    interval_instructions: int
+    #: Cumulative stage-2 LLC accesses replayed at each snapshot.
+    accesses: list[int] = field(default_factory=list)
+    #: Approximate cumulative committed instructions at each snapshot.
+    instructions: list[int] = field(default_factory=list)
+    #: Simulated cycle of each snapshot.
+    cycles: list[float] = field(default_factory=list)
+    #: One flat registry snapshot (cumulative scalars) per interval.
+    samples: list[dict[str, float]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def record(
+        self,
+        *,
+        accesses: int,
+        instructions: int,
+        cycles: float,
+        sample: dict[str, float],
+    ) -> None:
+        """Append one snapshot (the runner calls this on the hot loop)."""
+        self.accesses.append(int(accesses))
+        self.instructions.append(int(instructions))
+        self.cycles.append(float(cycles))
+        self.samples.append(dict(sample))
+
+    # -- derived views -------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Instrument names present in any snapshot, sorted."""
+        seen: set[str] = set()
+        for sample in self.samples:
+            seen.update(sample)
+        return sorted(seen)
+
+    def series(self, name: str) -> list[float]:
+        """Cumulative values of one instrument across intervals."""
+        if not self.samples:
+            raise TelemetryError("interval series is empty")
+        return [float(sample.get(name, 0.0)) for sample in self.samples]
+
+    def deltas(self, name: str) -> list[float]:
+        """Per-interval increments of one (cumulative) instrument."""
+        values = self.series(name)
+        return [b - a for a, b in zip([0.0, *values], values)]
+
+    def bank_write_names(self) -> list[str]:
+        """``llc.bankN.writes`` names in bank order."""
+        found: list[tuple[int, str]] = []
+        for name in self.names():
+            match = _BANK_WRITES_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), name))
+        return [name for _idx, name in sorted(found)]
+
+    def bank_write_matrix(self) -> np.ndarray:
+        """Per-interval per-bank write counts, shape (intervals, banks).
+
+        Raises:
+            TelemetryError: when no per-bank write gauges were sampled
+                (the run was not instrumented with a wear tracker).
+        """
+        names = self.bank_write_names()
+        if not names:
+            raise TelemetryError(
+                "no llc.bankN.writes series in the interval dump"
+            )
+        return np.column_stack([self.deltas(name) for name in names])
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (see :mod:`repro.sim.store`)."""
+        return {
+            "interval_instructions": self.interval_instructions,
+            "accesses": list(self.accesses),
+            "instructions": list(self.instructions),
+            "cycles": list(self.cycles),
+            "samples": [dict(sample) for sample in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntervalSeries":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            TelemetryError: for a malformed payload (ragged lists).
+        """
+        try:
+            series = cls(
+                interval_instructions=int(data["interval_instructions"]),
+                accesses=[int(v) for v in data["accesses"]],
+                instructions=[int(v) for v in data["instructions"]],
+                cycles=[float(v) for v in data["cycles"]],
+                samples=[dict(sample) for sample in data["samples"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed interval series: {exc}") from exc
+        lengths = {
+            len(series.accesses), len(series.instructions),
+            len(series.cycles), len(series.samples),
+        }
+        if len(lengths) != 1:
+            raise TelemetryError("malformed interval series: ragged columns")
+        return series

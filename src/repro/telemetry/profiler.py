@@ -1,0 +1,110 @@
+"""Nested wall-clock phase timers (the ``--profile`` machinery).
+
+A :class:`Profiler` accumulates ``perf_counter`` time under a stack of
+named phases (``stage1`` / ``warm-up`` / ``measure`` / ``reduce``), so a
+run can report where its wall time went::
+
+    with profiler.phase("measure"):
+        ...
+        with profiler.phase("cpt"):
+            ...
+
+Phases nest: the report shows each path with its inclusive time, call
+count and share of the root.  A disabled profiler short-circuits to a
+shared no-op context manager — entering a phase costs one attribute
+check, which is what lets the runner keep its ``with`` blocks in place
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.telemetry.registry import TelemetryError
+
+
+class _NullContext:
+    """Reusable no-op context manager (cheaper than contextlib.nullcontext)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL = _NullContext()
+
+
+class Profiler:
+    """Hierarchical phase timing keyed by dotted phase paths."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        # path tuple -> [calls, inclusive seconds]
+        self._acc: dict[tuple[str, ...], list] = {}
+        self._stack: list[str] = []
+
+    def phase(self, name: str):
+        """Context manager timing one (possibly nested) phase."""
+        if not self.enabled:
+            return _NULL
+        if not name or "/" in name:
+            raise TelemetryError(f"bad phase name {name!r}")
+        return self._timed(name)
+
+    @contextmanager
+    def _timed(self, name: str):
+        self._stack.append(name)
+        path = tuple(self._stack)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self._acc.get(path)
+            if entry is None:
+                self._acc[path] = [1, elapsed]
+            else:
+                entry[0] += 1
+                entry[1] += elapsed
+            self._stack.pop()
+
+    def totals(self) -> dict[str, float]:
+        """Inclusive seconds per phase path ("a/b" for nested phases)."""
+        return {"/".join(path): acc[1] for path, acc in sorted(self._acc.items())}
+
+    def calls(self) -> dict[str, int]:
+        """Invocation count per phase path."""
+        return {"/".join(path): acc[0] for path, acc in sorted(self._acc.items())}
+
+    def reset(self) -> None:
+        """Drop accumulated timings (must not be inside a phase)."""
+        if self._stack:
+            raise TelemetryError("cannot reset a profiler inside an open phase")
+        self._acc.clear()
+
+    def report(self) -> str:
+        """Indented text tree: time, calls and share of the total."""
+        if not self._acc:
+            return "(no phases recorded)"
+        root_total = sum(
+            seconds for path, (_c, seconds) in self._acc.items() if len(path) == 1
+        )
+        lines = [f"{'phase':<32} {'time':>10} {'calls':>7} {'share':>7}"]
+        for path in sorted(self._acc):
+            calls, seconds = self._acc[path]
+            label = "  " * (len(path) - 1) + path[-1]
+            share = seconds / root_total if root_total > 0 else 0.0
+            lines.append(
+                f"{label:<32} {seconds:>9.3f}s {calls:>7d} {share:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+#: Shared disabled profiler: components that were not handed a telemetry
+#: object time against this and pay only the ``enabled`` check.
+DISABLED_PROFILER = Profiler(enabled=False)

@@ -1,0 +1,203 @@
+"""The statistics registry: named counters, gauges and histograms.
+
+Components register instruments *lazily* under hierarchical dotted
+names (``llc.bank3.writes``, ``cpt.mispredicts``): the first
+``counter()``/``gauge()``/``histogram()`` call for a name creates the
+instrument, later calls return the same object, and a name can never
+change kind.  The registry itself is pure bookkeeping — the cost of an
+instrument is paid only by the component that increments it, so a
+simulation run that never asks for telemetry carries no registry at all.
+
+``snapshot()`` flattens everything to plain scalars (histograms expand
+to ``name.count`` / ``name.mean`` / ...), which is what the interval
+dumper records and the store persists.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+from repro.common.errors import ReproError
+from repro.common.stats import RunningStats
+
+#: Hierarchical instrument names: dotted lowercase segments, each
+#: starting with a letter (``llc.bank3.writes``).
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_-]*(\.[a-z][a-z0-9_-]*)*$")
+
+
+class TelemetryError(ReproError):
+    """A telemetry instrument or trace file was used inconsistently."""
+
+
+def check_name(name: str) -> str:
+    """Validate one hierarchical instrument name (returned unchanged)."""
+    if not _NAME_RE.match(name):
+        raise TelemetryError(
+            f"bad instrument name {name!r} (want dotted lowercase segments, "
+            "e.g. 'llc.bank3.writes')"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) occurrences."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value, either set directly or read via callback.
+
+    A callback gauge (``fn`` given) is evaluated at snapshot time — the
+    cheapest way to expose state a component already maintains (e.g. a
+    wear tracker's per-bank write counters) without double counting.
+    """
+
+    __slots__ = ("name", "value", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        """Record the current value (direct gauges only)."""
+        self.value = value
+
+    def read(self) -> float:
+        """Current value (evaluates the callback when one is bound)."""
+        if self.fn is not None:
+            return float(self.fn())
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.read()})"
+
+
+class Histogram:
+    """A :class:`~repro.common.stats.RunningStats`-backed distribution."""
+
+    __slots__ = ("name", "stats")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = RunningStats()
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the distribution."""
+        self.stats.add(value)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.stats.count})"
+
+
+class StatsRegistry:
+    """Name -> instrument map with lazy, kind-checked registration."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._instruments)
+
+    def _get(self, name: str, kind: type) -> Counter | Gauge | Histogram | None:
+        existing = self._instruments.get(name)
+        if existing is None:
+            return None
+        if not isinstance(existing, kind):
+            raise TelemetryError(
+                f"instrument {name!r} is a {type(existing).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        """Fetch (or lazily create) the counter called ``name``."""
+        existing = self._get(name, Counter)
+        if existing is None:
+            existing = self._instruments[check_name(name)] = Counter(name)
+        return existing
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        """Fetch (or lazily create) the gauge called ``name``.
+
+        Re-registering with a new callback rebinds it — a fresh component
+        instance (one LLC per stage-2 run) takes over the name.
+        """
+        existing = self._get(name, Gauge)
+        if existing is None:
+            existing = self._instruments[check_name(name)] = Gauge(name, fn)
+        elif fn is not None:
+            existing.fn = fn
+        return existing
+
+    def histogram(self, name: str) -> Histogram:
+        """Fetch (or lazily create) the histogram called ``name``."""
+        existing = self._get(name, Histogram)
+        if existing is None:
+            existing = self._instruments[check_name(name)] = Histogram(name)
+        return existing
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten every instrument to scalars (histograms expand)."""
+        out: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = float(instrument.value)
+            elif isinstance(instrument, Gauge):
+                out[name] = instrument.read()
+            else:
+                stats = instrument.stats
+                out[f"{name}.count"] = float(stats.count)
+                out[f"{name}.mean"] = stats.mean
+                out[f"{name}.stddev"] = stats.stddev
+                if stats.count:
+                    out[f"{name}.min"] = stats.min
+                    out[f"{name}.max"] = stats.max
+        return out
+
+    def subtree(self, prefix: str) -> dict[str, float]:
+        """Snapshot restricted to ``prefix`` and its descendants."""
+        check_name(prefix)
+        dotted = prefix + "."
+        return {
+            name: value
+            for name, value in self.snapshot().items()
+            if name == prefix or name.startswith(dotted)
+        }
+
+    def render(self) -> str:
+        """Human-readable dump (one ``name = value`` line per scalar)."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no instruments registered)"
+        width = max(len(name) for name in snap)
+        lines = []
+        for name, value in snap.items():
+            if float(value).is_integer():
+                lines.append(f"{name:<{width}} = {int(value)}")
+            else:
+                lines.append(f"{name:<{width}} = {value:.4f}")
+        return "\n".join(lines)

@@ -6,6 +6,7 @@ from repro.common.errors import ReproError
 from repro.experiments.ascii_plot import (
     bar_chart,
     grouped_bars,
+    interval_heatmap,
     scatter,
     wear_heatmap,
 )
@@ -86,3 +87,35 @@ class TestHeatmap:
     def test_bad_shape_rejected(self):
         with pytest.raises(ReproError):
             wear_heatmap([1, 2, 3], cols=4)
+
+
+class TestIntervalHeatmap:
+    def test_one_line_per_row_plus_axis(self):
+        out = interval_heatmap([[1, 2], [3, 4], [0, 8]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # 3 banks + axis footer
+        assert lines[0].startswith("bank0")
+        assert "3 intervals" not in out  # columns are intervals: 2 here
+        assert "2 intervals" in out
+
+    def test_peak_cell_full_shade_and_row_sums(self):
+        out = interval_heatmap([[0.0, 8.0], [1.0, 1.0]])
+        lines = out.splitlines()
+        assert "█" in lines[0]
+        assert lines[0].rstrip().endswith("8")
+        assert lines[1].rstrip().endswith("2")
+
+    def test_custom_row_label_and_title(self):
+        out = interval_heatmap([[1.0]], row_label="set", title="t")
+        assert out.splitlines()[0] == "t"
+        assert "set0" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            interval_heatmap([])
+        with pytest.raises(ReproError):
+            interval_heatmap([[]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ReproError):
+            interval_heatmap([[1, 2], [3]])

@@ -6,9 +6,36 @@ from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_parses_to_none(self):
+        assert build_parser().parse_args([]).command is None
+
+    def test_no_command_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage: repro" in err
+        assert "endoflife" in err  # full help, not just the usage line
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.workload == 1
+        assert args.interval == 50_000
+        assert "Re-NUCA" in args.schemes
+        assert args.trace_out is None and args.profile is False
+
+    def test_telemetry_flags_on_compare(self):
+        args = build_parser().parse_args(
+            ["compare", "--trace-out", "t.jsonl", "--profile"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.profile is True
 
     def test_compare_defaults(self):
         args = build_parser().parse_args(["compare"])
@@ -81,6 +108,38 @@ class TestCommands:
         trace, meta = load_trace(out_file)
         assert len(trace) > 0
         assert meta["extra"]["app"] == "milc"
+
+    def test_stats_small(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "stats", "--schemes", "R-NUCA", "Re-NUCA",
+            "--instructions", "8000", "--seed", "2",
+            "--interval", "20000", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-interval per-bank LLC writes" in out
+        assert "bank0" in out and "bank15" in out  # heatmap rows
+        assert "per-bank write CoV" in out
+        from repro.telemetry import load_events
+
+        events = load_events(trace)
+        assert events
+        assert {e.fields["scheme"] for e in events} == {"R-NUCA", "Re-NUCA"}
+
+    def test_compare_trace_and_profile(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "compare", "--schemes", "S-NUCA", "--instructions", "6000",
+            "--trace-out", str(trace), "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events to" in out
+        assert "measure" in out and "stage1" in out  # profiler report
+        from repro.telemetry import load_events
+
+        assert all(e.fields["scheme"] == "S-NUCA" for e in load_events(trace))
 
     def test_endoflife_small(self, capsys):
         code = main([

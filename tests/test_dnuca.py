@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import ConfigError, SimulationError
-from repro.config import baseline_config
 from repro.mem.model import MainMemory
 from repro.noc.mesh import Mesh
 from repro.nuca import NucaLLC, make_policy

@@ -1,6 +1,5 @@
 """Experiment drivers and report rendering (small-scale runs)."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError

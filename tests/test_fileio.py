@@ -179,6 +179,54 @@ class TestMatrixStore:
             matrix.raw_min_lifetime("S-NUCA")
         )
 
+    def test_interval_series_round_trip(self, tmp_path):
+        from repro.config import baseline_config
+        from repro.sim.metrics import MatrixResult
+        from repro.sim.runner import Stage1Cache, run_workload
+        from repro.sim.store import load_matrix, save_matrix
+        from repro.telemetry import Telemetry
+        from repro.trace.workloads import make_workloads
+
+        config = baseline_config()
+        workload = make_workloads(num_cores=16, count=1, seed=6)[0]
+        result = run_workload(
+            workload, "S-NUCA", config, seed=6,
+            n_instructions=6000, stage1=Stage1Cache(),
+            telemetry=Telemetry(interval_instructions=20_000),
+        )
+        assert result.intervals is not None
+        matrix = MatrixResult(label="t", schemes=("S-NUCA",),
+                              workloads=(workload.name,))
+        matrix.add(result)
+        path = tmp_path / "matrix.json"
+        save_matrix(path, matrix)
+        got = load_matrix(path).get(workload.name, "S-NUCA")
+        assert got.intervals is not None
+        assert got.intervals.to_dict() == result.intervals.to_dict()
+
+    def test_intervals_key_optional(self, tmp_path):
+        # Files written before (or without) telemetry lack "intervals";
+        # they must still load, with the field defaulting to None.
+        from repro.config import baseline_config
+        from repro.sim.metrics import MatrixResult
+        from repro.sim.runner import Stage1Cache, run_workload
+        from repro.sim.store import load_matrix, save_matrix
+        from repro.trace.workloads import make_workloads
+
+        config = baseline_config()
+        workload = make_workloads(num_cores=16, count=1, seed=6)[0]
+        result = run_workload(
+            workload, "S-NUCA", config, seed=6,
+            n_instructions=6000, stage1=Stage1Cache(),
+        )
+        matrix = MatrixResult(label="t", schemes=("S-NUCA",),
+                              workloads=(workload.name,))
+        matrix.add(result)
+        path = tmp_path / "matrix.json"
+        save_matrix(path, matrix)
+        assert "intervals" not in path.read_text()
+        assert load_matrix(path).get(workload.name, "S-NUCA").intervals is None
+
     def test_bad_file_rejected(self, tmp_path):
         from repro.sim.store import load_matrix
 

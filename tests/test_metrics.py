@@ -46,6 +46,35 @@ class TestWorkloadSchemeResult:
         assert result.min_lifetime == 1
 
 
+class TestDegraded:
+    """`degraded` reflects observed fault effects, not mere service age.
+
+    Regression: an aged run whose frames all survived used to be marked
+    degraded because ``age_fraction > 0``, even though it behaved
+    exactly like pristine hardware.
+    """
+
+    def test_pristine_not_degraded(self):
+        assert not make_result("WL1", "S").degraded
+
+    def test_aged_but_healthy_not_degraded(self):
+        result = make_result("WL1", "S")
+        result.age_fraction = 0.75  # below the endurance wall: no effects
+        assert not result.degraded
+
+    @pytest.mark.parametrize("field_name,value", [
+        ("effective_capacity", 0.9),
+        ("dead_banks", 1),
+        ("remap_traffic", 10),
+        ("fills_skipped", 3),
+        ("transient_faults", 1),
+    ])
+    def test_any_observed_effect_degrades(self, field_name, value):
+        result = make_result("WL1", "S")
+        setattr(result, field_name, value)
+        assert result.degraded
+
+
 class TestMatrixResult:
     def test_ipc_of(self, matrix):
         assert matrix.ipc_of("S-NUCA") == {"WL1": pytest.approx(4.0),

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.config import baseline_config
 from repro.core.renuca import ReNucaPolicy
 from repro.noc.mesh import Mesh
 

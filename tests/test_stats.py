@@ -92,3 +92,50 @@ class TestRunningStats:
 
     def test_empty_variance_zero(self):
         assert RunningStats().variance == 0.0
+
+
+class TestEdgeCases:
+    """Boundary behaviour the reductions must get right."""
+
+    def test_merge_both_sides_empty(self):
+        merged = RunningStats().merge(RunningStats())
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        assert merged.variance == 0.0
+        assert merged.stddev == 0.0
+
+    def test_merge_empty_preserves_extrema(self):
+        a = RunningStats()
+        a.add(-2.0)
+        a.add(7.0)
+        for merged in (a.merge(RunningStats()), RunningStats().merge(a)):
+            assert (merged.min, merged.max) == (-2.0, 7.0)
+            assert merged.count == 2
+
+    def test_merge_leaves_operands_untouched(self):
+        a, b = RunningStats(), RunningStats()
+        a.add(1.0)
+        a.add(3.0)
+        b.add(10.0)
+        before = (a.count, a.mean, a.variance, b.count, b.mean)
+        a.merge(b)
+        assert (a.count, a.mean, a.variance, b.count, b.mean) == before
+
+    def test_cov_of_empty_rejected(self):
+        with pytest.raises(ReproError):
+            coefficient_of_variation([])
+
+    def test_cov_of_long_constant_stream_exactly_zero(self):
+        assert coefficient_of_variation([2.5] * 1000) == 0.0
+
+    def test_harmonic_negative_rejected(self):
+        with pytest.raises(ReproError):
+            harmonic_mean([1.0, -2.0])
+
+    def test_geometric_empty_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_geometric_zero_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])

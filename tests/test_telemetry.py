@@ -1,0 +1,361 @@
+"""Telemetry subsystem: registry, event trace, profiler, intervals.
+
+Covers the observability contracts documented in docs/OBSERVABILITY.md:
+hierarchical instrument naming, JSONL event round-trips, ring-buffer
+retention, nested phase timing, interval series arithmetic — and the
+headline guarantee that a run without a telemetry handle behaves
+identically to one with it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.telemetry import (
+    DISABLED_PROFILER,
+    KNOWN_KINDS,
+    EventTrace,
+    IntervalSeries,
+    Profiler,
+    StatsRegistry,
+    Telemetry,
+    TelemetryError,
+    load_events,
+)
+from repro.telemetry.registry import check_name
+from repro.trace.workloads import make_workloads
+
+
+class TestNames:
+    @pytest.mark.parametrize("name", [
+        "llc.bank3.writes", "cpt.mispredicts", "a", "x9.y-z.w_v",
+    ])
+    def test_valid(self, name):
+        assert check_name(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "", "LLC.writes", "llc..writes", ".llc", "llc.", "3abc", "a b",
+    ])
+    def test_invalid(self, name):
+        with pytest.raises(TelemetryError):
+            check_name(name)
+
+
+class TestStatsRegistry:
+    def test_counter_lazy_and_shared(self):
+        reg = StatsRegistry()
+        c = reg.counter("llc.fetches")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("llc.fetches") is c
+        assert reg.snapshot()["llc.fetches"] == 5
+
+    def test_gauge_callback_evaluated_at_snapshot(self):
+        reg = StatsRegistry()
+        box = {"v": 1}
+        reg.gauge("llc.occupancy", lambda: box["v"])
+        box["v"] = 7
+        assert reg.snapshot()["llc.occupancy"] == 7
+
+    def test_gauge_set_value(self):
+        reg = StatsRegistry()
+        reg.gauge("run.age").set(0.9)
+        assert reg.snapshot()["run.age"] == pytest.approx(0.9)
+
+    def test_histogram_flattens_moments(self):
+        reg = StatsRegistry()
+        h = reg.histogram("llc.latency")
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["llc.latency.count"] == 3
+        assert snap["llc.latency.mean"] == pytest.approx(20.0)
+        assert snap["llc.latency.min"] == 10.0
+        assert snap["llc.latency.max"] == 30.0
+
+    def test_kind_mismatch_rejected(self):
+        reg = StatsRegistry()
+        reg.counter("llc.fetches")
+        with pytest.raises(TelemetryError):
+            reg.gauge("llc.fetches")
+        with pytest.raises(TelemetryError):
+            reg.histogram("llc.fetches")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            StatsRegistry().counter("LLC.Fetches")
+
+    def test_subtree(self):
+        reg = StatsRegistry()
+        reg.counter("llc.bank0.writes").inc(3)
+        reg.counter("llc.bank1.writes").inc(5)
+        reg.counter("cpt.lookups").inc()
+        sub = reg.subtree("llc")
+        assert set(sub) == {"llc.bank0.writes", "llc.bank1.writes"}
+
+    def test_render_mentions_instruments(self):
+        reg = StatsRegistry()
+        reg.counter("cpt.lookups").inc(2)
+        assert "cpt.lookups" in reg.render()
+
+
+class TestEventTrace:
+    def test_emit_and_filter(self):
+        trace = EventTrace()
+        trace.emit("llc.hit", ts=1.0, bank=3)
+        trace.emit("llc.miss", ts=2.0, bank=4)
+        hits = trace.events("llc.hit")
+        assert len(hits) == 1 and hits[0].fields["bank"] == 3
+        assert len(trace.events()) == 2
+
+    def test_reserved_field_rejected(self):
+        with pytest.raises(TelemetryError):
+            EventTrace().emit("llc.hit", seq=1)
+
+    def test_non_scalar_field_rejected(self):
+        with pytest.raises(TelemetryError):
+            EventTrace().emit("llc.hit", banks=[1, 2])
+
+    def test_ring_buffer_drops_oldest(self):
+        trace = EventTrace(capacity=3)
+        for i in range(5):
+            trace.emit("llc.hit", bank=i)
+        assert trace.dropped == 2
+        assert trace.emitted == 5
+        assert [e.fields["bank"] for e in trace.events()] == [2, 3, 4]
+
+    def test_clear_keeps_sequencing(self):
+        trace = EventTrace()
+        trace.emit("llc.hit")
+        trace.clear()
+        trace.emit("llc.miss")
+        assert trace.events()[0].seq == 1
+
+    def test_export_load_round_trip(self, tmp_path):
+        trace = EventTrace()
+        trace.emit("llc.hit", ts=3.5, bank=2, critical=True)
+        trace.emit("cpt.predict", core=0, critical=False)
+        path = tmp_path / "t.jsonl"
+        assert trace.export_jsonl(path) == 2
+        events = load_events(path)
+        assert [e.kind for e in events] == ["llc.hit", "cpt.predict"]
+        assert events[0].ts == 3.5
+        assert events[0].fields == {"bank": 2, "critical": True}
+        assert events[1].ts is None
+
+    def test_export_extra_stamps_and_appends(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace = EventTrace()
+        trace.emit("llc.hit")
+        trace.export_jsonl(path, extra={"scheme": "R-NUCA"})
+        trace.clear()
+        trace.emit("llc.miss")
+        trace.export_jsonl(path, append=True, extra={"scheme": "Re-NUCA"})
+        events = load_events(path)
+        assert [e.fields["scheme"] for e in events] == ["R-NUCA", "Re-NUCA"]
+
+    @pytest.mark.parametrize("record", [
+        {"kind": "llc.hit", "ts": 1.0},            # missing seq
+        {"seq": True, "kind": "llc.hit", "ts": 1},  # bool is not a seq
+        {"seq": -1, "kind": "llc.hit", "ts": 1},    # negative seq
+        {"seq": 0, "ts": 1.0},                      # missing kind
+        {"seq": 0, "kind": "", "ts": 1.0},          # empty kind
+        {"seq": 0, "kind": "llc.hit", "ts": "x"},   # non-numeric ts
+        [1, 2, 3],                                  # not an object
+    ])
+    def test_load_rejects_bad_records(self, tmp_path, record):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(TelemetryError):
+            load_events(path)
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TelemetryError):
+            load_events(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_events(tmp_path / "nope.jsonl")
+
+
+class TestProfiler:
+    def test_nested_paths_and_calls(self):
+        prof = Profiler()
+        with prof.phase("measure"):
+            with prof.phase("cpt"):
+                pass
+            with prof.phase("cpt"):
+                pass
+        assert prof.calls() == {"measure": 1, "measure/cpt": 2}
+        totals = prof.totals()
+        assert totals["measure"] >= totals["measure/cpt"] >= 0.0
+
+    def test_disabled_returns_shared_null_context(self):
+        prof = Profiler(enabled=False)
+        assert prof.phase("a") is prof.phase("b")
+        with prof.phase("a"):
+            pass
+        assert prof.totals() == {}
+        assert DISABLED_PROFILER.totals() == {}
+
+    def test_bad_phase_name(self):
+        with pytest.raises(TelemetryError):
+            Profiler().phase("a/b")
+
+    def test_reset_inside_phase_rejected(self):
+        prof = Profiler()
+        with prof.phase("outer"):
+            with pytest.raises(TelemetryError):
+                prof.reset()
+        prof.reset()
+        assert prof.totals() == {}
+
+    def test_report_lists_phases(self):
+        prof = Profiler()
+        with prof.phase("measure"):
+            pass
+        report = prof.report()
+        assert "measure" in report and "share" in report
+        assert Profiler().report() == "(no phases recorded)"
+
+
+class TestIntervalSeries:
+    def make_series(self):
+        series = IntervalSeries(interval_instructions=100)
+        series.record(accesses=10, instructions=100, cycles=50.0,
+                      sample={"llc.bank0.writes": 4, "llc.bank1.writes": 1})
+        series.record(accesses=20, instructions=200, cycles=90.0,
+                      sample={"llc.bank0.writes": 9, "llc.bank1.writes": 3})
+        return series
+
+    def test_series_and_deltas(self):
+        series = self.make_series()
+        assert series.series("llc.bank0.writes") == [4.0, 9.0]
+        assert series.deltas("llc.bank0.writes") == [4.0, 5.0]
+
+    def test_bank_write_matrix_ordering(self):
+        series = IntervalSeries(interval_instructions=1)
+        # bank10 must sort after bank2 numerically, not lexically
+        series.record(accesses=1, instructions=1, cycles=1.0, sample={
+            "llc.bank10.writes": 7, "llc.bank2.writes": 5, "cpt.lookups": 1,
+        })
+        assert series.bank_write_names() == [
+            "llc.bank2.writes", "llc.bank10.writes",
+        ]
+        matrix = series.bank_write_matrix()
+        assert matrix.shape == (1, 2)
+        assert matrix[0].tolist() == [5.0, 7.0]
+
+    def test_dict_round_trip(self):
+        series = self.make_series()
+        clone = IntervalSeries.from_dict(series.to_dict())
+        assert clone.to_dict() == series.to_dict()
+        assert clone.accesses == [10, 20]
+
+    def test_from_dict_rejects_ragged(self):
+        data = self.make_series().to_dict()
+        data["accesses"].append(30)
+        with pytest.raises(TelemetryError):
+            IntervalSeries.from_dict(data)
+
+
+class TestTelemetryHandle:
+    def test_defaults_are_cheap(self):
+        tel = Telemetry()
+        assert tel.trace is None
+        assert not tel.profiler.enabled
+        assert tel.interval_instructions == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(TelemetryError):
+            Telemetry(interval_instructions=-1)
+
+    def test_summary_mentions_trace_and_registry(self):
+        tel = Telemetry(trace=True, profile=True)
+        tel.counter("llc.fetches").inc()
+        tel.trace.emit("llc.hit")
+        with tel.phase("measure"):
+            pass
+        summary = tel.summary()
+        assert "llc.fetches" in summary
+        assert "1 events retained" in summary
+        assert "measure" in summary
+
+
+class TestRunnerIntegration:
+    """End-to-end behaviour of an instrumented run."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        config = baseline_config()
+        workload = make_workloads(num_cores=config.num_cores, seed=5)[0]
+        telemetry = Telemetry(
+            trace=True, interval_instructions=20_000, profile=True,
+        )
+        result = run_workload(
+            workload, "Re-NUCA", config, seed=5, n_instructions=6000,
+            stage1=Stage1Cache(), telemetry=telemetry,
+        )
+        return result, telemetry
+
+    def test_disabled_telemetry_changes_nothing(self):
+        config = baseline_config()
+        workload = make_workloads(num_cores=config.num_cores, seed=5)[0]
+        stage1 = Stage1Cache()
+        plain = run_workload(workload, "Re-NUCA", config, seed=5,
+                             n_instructions=6000, stage1=stage1)
+        tel = Telemetry(trace=True, interval_instructions=10_000, profile=True)
+        traced = run_workload(workload, "Re-NUCA", config, seed=5,
+                              n_instructions=6000, stage1=stage1,
+                              telemetry=tel)
+        np.testing.assert_array_equal(plain.per_core_ipc, traced.per_core_ipc)
+        np.testing.assert_array_equal(plain.bank_writes, traced.bank_writes)
+        assert plain.elapsed_cycles == traced.elapsed_cycles
+        assert plain.intervals is None
+        assert traced.intervals is not None
+
+    def test_counters_match_result(self, instrumented):
+        result, telemetry = instrumented
+        snap = telemetry.registry.snapshot()
+        assert snap["llc.fetches"] == result.llc_fetches
+        assert snap["llc.fetch_hit_rate"] == pytest.approx(
+            result.llc_fetch_hit_rate
+        )
+        assert snap["llc.total_writes"] == result.bank_writes.sum()
+
+    def test_interval_series_closed_and_consistent(self, instrumented):
+        result, _ = instrumented
+        series = result.intervals
+        assert len(series.accesses) >= 2
+        assert series.accesses == sorted(series.accesses)
+        matrix = series.bank_write_matrix()
+        assert matrix.shape[1] == result.bank_writes.size
+        # delta columns sum to the final per-bank write totals
+        np.testing.assert_allclose(
+            matrix.sum(axis=0), result.bank_writes.astype(float)
+        )
+
+    def test_trace_kinds_are_known(self, instrumented):
+        _, telemetry = instrumented
+        kinds = {event.kind for event in telemetry.trace.events()}
+        assert kinds
+        assert kinds <= KNOWN_KINDS
+
+    def test_profiler_saw_all_phases(self, instrumented):
+        _, telemetry = instrumented
+        totals = telemetry.profiler.totals()
+        assert {"stage1", "warm-up", "measure", "reduce"} <= set(totals)
+
+    def test_trace_round_trip_through_file(self, instrumented, tmp_path):
+        _, telemetry = instrumented
+        path = tmp_path / "run.jsonl"
+        count = telemetry.trace.export_jsonl(path)
+        events = load_events(path)
+        assert len(events) == count
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs)

@@ -27,8 +27,6 @@ from repro.trace.profiles import (
 )
 from repro.trace.synthetic import (
     CHASE_RES_BASE,
-    MID_BASE,
-    STREAM_BASE,
     derive_params,
     warm_sets,
 )

@@ -1,6 +1,5 @@
 """Warm-up prefill semantics (stage 1 and stage 2)."""
 
-import numpy as np
 import pytest
 
 from repro.config import baseline_config, sensitivity_l3_1m
