@@ -67,3 +67,10 @@ def matrices(stage1):
 def main_matrix(matrices):
     """The baseline-configuration grid (Figures 3/4/11/12)."""
     return matrices("Actual Results")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "quick: fast smoke benches runnable in CI (no full matrices)",
+    )

@@ -1,0 +1,95 @@
+"""Sweep-engine benches: parallel speedup and cache-warm replays.
+
+Two claims from ``docs/SWEEPS.md`` are checked here rather than in the
+unit suite because they are about wall-clock behaviour:
+
+* a warm :class:`~repro.jobs.cache.ResultCache` replays a whole grid
+  with **zero** stage-2 simulations (the ``quick``-marked smoke below
+  also runs in CI);
+* on a multi-core machine, four workers resolve a fresh grid at least
+  twice as fast as the serial path — while producing a byte-identical
+  result matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.config import baseline_config, scaled_config
+from repro.jobs.cache import ResultCache
+from repro.jobs.scheduler import matrix_jobs, run_jobs
+from repro.sim.store import result_to_dict
+from repro.trace.workloads import Workload
+
+CONFIG = scaled_config(baseline_config(), cores=4)
+
+#: Small overlapping app pool: per-worker stage-1 caches get real reuse.
+_POOL = ("hmmer", "namd", "povray", "dealII", "sjeng", "gromacs")
+
+
+def _workloads(n: int) -> list[Workload]:
+    return [
+        Workload(f"sweep{i}", tuple(_POOL[(i + j) % len(_POOL)]
+                                    for j in range(4)))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def flat_cpi(monkeypatch):
+    """Skip calibration probes; keeps the bench about scheduling."""
+    monkeypatch.setattr(
+        "repro.sim.runner.calibrated_base_cpi",
+        lambda app, config, seed=None: 1.0,
+    )
+
+
+@pytest.mark.quick
+def test_bench_sweep_cache_warm_rerun(flat_cpi, tmp_path):
+    """2x2 grid with --jobs 2: the rerun must simulate nothing."""
+    jobs = matrix_jobs(_workloads(2), ("S-NUCA", "Re-NUCA"), CONFIG,
+                       seed=3, n_instructions=4_000)
+    cache = ResultCache(tmp_path / "cache")
+
+    cold, cold_report = run_jobs(jobs, max_workers=2, cache=cache)
+    assert cold_report.executed == 4
+    assert cache.writes == 4
+
+    warm, warm_report = run_jobs(jobs, max_workers=2, cache=cache)
+    assert warm_report.executed == 0, "warm rerun must not simulate"
+    assert warm_report.cache_hits == 4
+    for a, b in zip(cold, warm):
+        assert result_to_dict(a) == result_to_dict(b)
+    print(f"\ncold: {cold_report.summary()}  warm: {warm_report.summary()}")
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup bench needs >= 4 CPUs")
+def test_bench_sweep_parallel_speedup(flat_cpi):
+    """8x4 grid: four workers must beat the serial path by >= 2x."""
+    schemes = ("S-NUCA", "R-NUCA", "Re-NUCA", "Private")
+    instructions = 12_000
+
+    def grid():
+        return matrix_jobs(_workloads(8), schemes, CONFIG,
+                           seed=3, n_instructions=instructions)
+
+    start = time.perf_counter()
+    serial, _ = run_jobs(grid(), max_workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel, _ = run_jobs(grid(), max_workers=4)
+    parallel_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"\nserial {serial_s:.2f}s  parallel(4) {parallel_s:.2f}s  "
+          f"speedup {speedup:.2f}x over {len(serial)} jobs")
+    for a, b in zip(serial, parallel):
+        assert result_to_dict(a) == result_to_dict(b)
+    assert speedup >= 2.0, (
+        f"expected >= 2x with 4 workers, measured {speedup:.2f}x"
+    )

@@ -5,6 +5,9 @@ Commands:
 * ``config``   — print the Table I machine description.
 * ``table2``   — characterise applications (Table II columns).
 * ``compare``  — run one workload under several NUCA schemes.
+* ``sweep``    — run a workloads x schemes grid through the parallel
+  sweep engine (process pool, result cache, resumable journal; see
+  ``docs/SWEEPS.md``).
 * ``workloads``— show the generated WL1..WL10 mixes.
 * ``trace``    — generate a synthetic application trace to a .npz file.
 * ``endoflife``— sweep cache age under fault injection (degradation study).
@@ -14,8 +17,9 @@ Commands:
 Every command takes ``--instructions`` and ``--seed``; results are
 printed as the same text tables the benchmark harness emits.
 ``compare`` and ``endoflife`` additionally accept ``--trace-out FILE``
-(JSONL event trace) and ``--profile`` (phase-timer report); invoking
-``repro`` with no subcommand prints the full help and exits 2.
+(JSONL event trace), ``--profile`` (phase-timer report) and
+``--jobs/-j`` (worker processes); invoking ``repro`` with no subcommand
+prints the full help and exits 2.
 
 User-facing failures (unknown application, malformed trace file,
 inconsistent configuration — anything deriving from
@@ -65,6 +69,12 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
                         help="print a phase-timer report after the run")
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep engine "
+                             "(default 1 = in-process serial)")
+
+
 def _make_telemetry(args, **kwargs) -> Telemetry | None:
     """A Telemetry handle when any observability flag is set, else None."""
     if not (args.trace_out or args.profile):
@@ -98,20 +108,38 @@ def _cmd_compare(args) -> int:
     telemetry = _make_telemetry(args)
     rows = []
     traced = 0
-    for number, scheme in enumerate(args.schemes):
-        result = run_workload(
-            workload, scheme, config, seed=args.seed,
-            n_instructions=args.instructions, stage1=stage1,
-            telemetry=telemetry,
+    if args.jobs > 1:
+        from repro.jobs.scheduler import matrix_jobs, run_jobs
+
+        jobs = matrix_jobs(
+            [workload], tuple(args.schemes), config,
+            seed=args.seed, n_instructions=args.instructions,
+        )
+        results, _report = run_jobs(
+            jobs, max_workers=args.jobs, telemetry=telemetry,
         )
         if telemetry is not None and telemetry.trace is not None:
-            traced += telemetry.trace.export_jsonl(
-                args.trace_out, append=number > 0, extra={"scheme": scheme},
-            )
-            telemetry.trace.clear()
+            # Merged worker events arrive stamped with their scheme, so
+            # one export replaces the serial per-scheme flush.
+            traced = telemetry.trace.export_jsonl(args.trace_out)
+    else:
+        results = []
+        for number, scheme in enumerate(args.schemes):
+            results.append(run_workload(
+                workload, scheme, config, seed=args.seed,
+                n_instructions=args.instructions, stage1=stage1,
+                telemetry=telemetry,
+            ))
+            if telemetry is not None and telemetry.trace is not None:
+                traced += telemetry.trace.export_jsonl(
+                    args.trace_out, append=number > 0,
+                    extra={"scheme": scheme},
+                )
+                telemetry.trace.clear()
+    for result in results:
         writes = result.bank_writes
         rows.append((
-            scheme, result.ipc, result.min_lifetime,
+            result.scheme, result.ipc, result.min_lifetime,
             float(writes.std() / writes.mean()) if writes.mean() else 0.0,
             result.llc_fetch_hit_rate,
         ))
@@ -150,6 +178,88 @@ def _cmd_trace(args) -> int:
                extra={"app": args.app, "seed": args.seed})
     print(f"wrote {len(trace)} records (~{args.instructions} instructions) "
           f"for {args.app} to {args.output}")
+    return 0
+
+
+def _parse_workloads(text: str) -> tuple[int, ...]:
+    """Parse the ``--workloads`` comma list (e.g. ``1,2,5``)."""
+    try:
+        numbers = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad workload list {text!r}") from None
+    if not numbers:
+        raise argparse.ArgumentTypeError("workload list is empty")
+    return numbers
+
+
+def _cmd_sweep(args) -> int:
+    from repro.jobs.scheduler import matrix_jobs, run_jobs
+    from repro.sim.metrics import MatrixResult
+    from repro.sim.store import save_matrix
+
+    config = baseline_config()
+    all_workloads = make_workloads(num_cores=config.num_cores, seed=args.seed)
+    numbers = args.workloads or tuple(range(1, len(all_workloads) + 1))
+    for number in numbers:
+        if not (1 <= number <= len(all_workloads)):
+            print(f"error: workload must be 1..{len(all_workloads)}",
+                  file=sys.stderr)
+            return 2
+    workloads = [all_workloads[number - 1] for number in numbers]
+    schemes = tuple(args.schemes)
+
+    # Always carry a Telemetry handle so the engine's ``jobs.*``
+    # accounting (cache hits, executions, resumes) can be reported.
+    telemetry = _make_telemetry(args) or Telemetry()
+
+    def _narrate(job) -> None:
+        print(f"  {job.spec.workload} / {job.spec.scheme} ...", file=sys.stderr)
+
+    jobs = matrix_jobs(workloads, schemes, config,
+                       seed=args.seed, n_instructions=args.instructions)
+    results, report = run_jobs(
+        jobs,
+        max_workers=args.jobs,
+        cache=args.cache_dir,
+        journal=args.journal,
+        resume=args.resume,
+        telemetry=telemetry,
+        progress=_narrate,
+    )
+    matrix = MatrixResult(
+        label=args.label,
+        schemes=schemes,
+        workloads=tuple(wl.name for wl in workloads),
+    )
+    for result in results:
+        matrix.add(result)
+
+    rows = []
+    for result in results:
+        writes = result.bank_writes
+        rows.append((
+            result.workload, result.scheme, result.ipc, result.min_lifetime,
+            float(writes.std() / writes.mean()) if writes.mean() else 0.0,
+            result.llc_fetch_hit_rate,
+        ))
+    print(format_table(
+        ["workload", "scheme", "IPC", "min life [y]", "wear CV", "LLC hit"],
+        rows,
+    ))
+    print(f"\n{report.summary()}")
+    accounting = telemetry.registry.subtree("jobs")
+    if accounting:
+        print("engine accounting:")
+        for name, value in accounting.items():
+            print(f"  {name} = {int(value)}")
+    if args.out:
+        save_matrix(args.out, matrix)
+        print(f"\nwrote matrix to {args.out}")
+    if args.trace_out and telemetry.trace is not None:
+        traced = telemetry.trace.export_jsonl(args.trace_out)
+        print(f"\nwrote {traced} events to {args.trace_out}")
+    if args.profile:
+        print("\n" + telemetry.profiler.report())
     return 0
 
 
@@ -199,7 +309,7 @@ def _cmd_endoflife(args) -> int:
 
     def _progress(scheme: str, age: float) -> None:
         print(f"  running {scheme} at age {age:.2f} ...", file=sys.stderr)
-        if telemetry is not None and telemetry.trace is not None:
+        if args.jobs == 1 and telemetry is not None and telemetry.trace is not None:
             if state["cell"] is not None:
                 _flush()
             state["cell"] = (scheme, age)
@@ -215,9 +325,13 @@ def _cmd_endoflife(args) -> int:
         transient_rate=args.transient_rate,
         progress=_progress,
         telemetry=telemetry,
+        max_workers=args.jobs,
     )
     if state["cell"] is not None:
         _flush()
+    elif args.jobs > 1 and telemetry is not None and telemetry.trace is not None:
+        # Parallel cells merge back stamped with scheme/age; one export.
+        state["events"] = telemetry.trace.export_jsonl(args.trace_out)
     print(render_endoflife(curves))
     if args.trace_out:
         print(f"\nwrote {state['events']} events to {args.trace_out}")
@@ -322,6 +436,32 @@ def build_parser() -> argparse.ArgumentParser:
                            help="NUCA schemes to compare")
     _add_common(p_compare)
     _add_telemetry(p_compare)
+    _add_jobs(p_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a workloads x schemes grid through the sweep engine",
+    )
+    p_sweep.add_argument("--workloads", type=_parse_workloads, default=None,
+                         metavar="N,N,...",
+                         help="comma list of workload numbers (default: all)")
+    p_sweep.add_argument("--schemes", nargs="+",
+                         default=["S-NUCA", "R-NUCA", "Re-NUCA"],
+                         help="NUCA schemes to sweep")
+    p_sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="content-addressed result cache directory; "
+                              "unchanged cells are served without simulating")
+    p_sweep.add_argument("--journal", metavar="FILE", default=None,
+                         help="append-only completion journal (JSONL)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="replay cells already recorded in --journal")
+    p_sweep.add_argument("--out", metavar="FILE", default=None,
+                         help="save the result matrix as JSON")
+    p_sweep.add_argument("--label", default="sweep",
+                         help="label stored in the result matrix")
+    _add_common(p_sweep)
+    _add_telemetry(p_sweep)
+    _add_jobs(p_sweep)
 
     p_stats = sub.add_parser(
         "stats",
@@ -365,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-read soft-fault probability (default 0)")
     _add_common(p_eol)
     _add_telemetry(p_eol)
+    _add_jobs(p_eol)
 
     return parser
 
@@ -373,6 +514,7 @@ _COMMANDS = {
     "config": _cmd_config,
     "table2": _cmd_table2,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "stats": _cmd_stats,
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,

@@ -31,7 +31,7 @@ from repro.common.errors import ReproError
 from repro.config import FaultConfig, SystemConfig, baseline_config
 from repro.experiments.report import format_table
 from repro.sim.metrics import WorkloadSchemeResult
-from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache, run_workload
+from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache
 from repro.trace.workloads import make_workloads
 
 #: Default service-age sweep (fractions of nominal cell endurance).
@@ -84,6 +84,10 @@ def run_endoflife(
     transient_rate: float = 0.0,
     progress=None,
     telemetry=None,
+    max_workers: int = 1,
+    cache_dir=None,
+    journal=None,
+    resume: bool = False,
 ) -> dict[str, list[AgePoint]]:
     """Sweep one workload over cache ages for several schemes.
 
@@ -99,7 +103,15 @@ def run_endoflife(
             handle; it sees every (scheme, age) cell, so counters
             accumulate over the sweep and the event ring retains the
             most recent cells.  ``progress`` fires before each cell —
-            callers that export traces per cell can flush there.
+            callers that export traces per cell can flush there (serial
+            runs only; with ``max_workers > 1`` the merged events carry
+            ``scheme``/``age`` stamps instead).
+        max_workers: worker processes for the (scheme, age) cells; 1
+            keeps the historical in-process sweep.  Results are
+            deterministic either way (see ``docs/SWEEPS.md``).
+        cache_dir: optional content-addressed result cache directory.
+        journal: optional completion-journal path enabling ``resume``.
+        resume: replay cells already recorded in ``journal``.
 
     Returns:
         ``{scheme: [AgePoint per age, in sweep order]}``.
@@ -107,6 +119,9 @@ def run_endoflife(
     Raises:
         ReproError: for an out-of-range workload number or empty sweep.
     """
+    from repro.jobs.scheduler import SweepJob, run_jobs
+    from repro.jobs.spec import JobSpec
+
     config = config or baseline_config()
     if not ages:
         raise ReproError("need at least one age to sweep")
@@ -118,29 +133,52 @@ def run_endoflife(
             f"workload number must be 1..{len(workloads)}, got {workload_number}"
         )
     workload = workloads[workload_number - 1]
-    stage1 = stage1 or Stage1Cache()
+
+    cells = [(scheme, age) for scheme in schemes for age in ages]
+    jobs = []
+    for scheme, age in cells:
+        fault_config = FaultConfig(
+            age_fraction=age,
+            transient_rate=transient_rate,
+            bank_failures=bank_failures,
+        )
+        jobs.append(SweepJob(
+            spec=JobSpec.for_run(
+                workload, scheme, config,
+                seed=seed, n_instructions=n_instructions,
+                fault_config=fault_config if fault_config.active else None,
+            ),
+            config=config,
+        ))
+
+    if progress is not None:
+        # Adapt the engine's per-job hook to the historical
+        # ``(scheme, age)`` narration signature.  An age>0 point always
+        # carries its fault config (age>0 implies an active fault), so a
+        # spec without one can only be the age-0.0 pristine cell.
+        def _narrate(job) -> None:
+            spec = job.spec
+            progress(
+                spec.scheme,
+                spec.fault.age_fraction if spec.fault is not None else 0.0,
+            )
+    else:
+        _narrate = None
+
+    results, _report = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache_dir,
+        journal=journal,
+        resume=resume,
+        stage1=stage1,
+        telemetry=telemetry,
+        progress=_narrate,
+    )
 
     curves: dict[str, list[AgePoint]] = {scheme: [] for scheme in schemes}
-    for scheme in schemes:
-        for age in ages:
-            if progress is not None:
-                progress(scheme, age)
-            fault_config = FaultConfig(
-                age_fraction=age,
-                transient_rate=transient_rate,
-                bank_failures=bank_failures,
-            )
-            result = run_workload(
-                workload,
-                scheme,
-                config,
-                seed=seed,
-                n_instructions=n_instructions,
-                stage1=stage1,
-                fault_config=fault_config if fault_config.active else None,
-                telemetry=telemetry,
-            )
-            curves[scheme].append(AgePoint.from_result(result))
+    for (scheme, _age), result in zip(cells, results):
+        curves[scheme].append(AgePoint.from_result(result))
     return curves
 
 

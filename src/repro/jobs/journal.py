@@ -1,0 +1,138 @@
+"""Append-only sweep journals: resume an interrupted grid where it died.
+
+A :class:`SweepJournal` is a JSONL file with one record per *completed*
+job — fingerprint, human-readable labels and the full result payload
+(the :mod:`repro.sim.store` layout).  Records are flushed and fsynced as
+they are appended, so after a crash or a ^C the journal holds exactly
+the finished cells; re-invoking the sweep with ``resume=True`` replays
+those from the journal and executes only the remainder.
+
+Robustness contract:
+
+* a torn final record (the interrupted append) is detected and ignored;
+* malformed records *before* the final one raise
+  :class:`~repro.common.errors.ReproError` — the file was damaged by
+  something other than an interrupted sweep, and silently skipping
+  completed work would be worse than asking the user to look;
+* records with an unknown ``v`` (format version) also raise, since
+  their embedded results may not mean what the current engine thinks.
+
+The journal is per-sweep bookkeeping; the cross-sweep store is the
+content-addressed :class:`~repro.jobs.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.jobs.spec import JobSpec
+from repro.sim.metrics import WorkloadSchemeResult
+from repro.sim.store import result_from_dict, result_to_dict
+
+#: Journal record layout version.
+JOURNAL_FORMAT_VERSION = 1
+
+
+class SweepJournal:
+    """Append-only JSONL record of completed sweep jobs."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> dict[str, WorkloadSchemeResult]:
+        """Completed results keyed by fingerprint (empty when no file).
+
+        Raises:
+            ReproError: for corruption other than a torn final record.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}
+        except OSError as exc:
+            raise ReproError(f"cannot read journal {self.path}: {exc}") from exc
+        completed: dict[str, WorkloadSchemeResult] = {}
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # Torn final append from an interrupted sweep: the
+                    # cell never finished journaling, so it reruns.
+                    break
+                raise ReproError(
+                    f"{self.path}:{lineno}: malformed journal record: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ReproError(
+                    f"{self.path}:{lineno}: journal record is not an object"
+                )
+            if record.get("v") != JOURNAL_FORMAT_VERSION:
+                raise ReproError(
+                    f"{self.path}:{lineno}: unsupported journal format "
+                    f"{record.get('v')!r} (expected {JOURNAL_FORMAT_VERSION})"
+                )
+            try:
+                fingerprint = record["fingerprint"]
+                result = result_from_dict(record["result"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ReproError(
+                    f"{self.path}:{lineno}: bad journal record: {exc}"
+                ) from exc
+            completed[fingerprint] = result
+        return completed
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self, *, truncate: bool = False) -> None:
+        """Open the backing file for appending (creating it if needed).
+
+        ``truncate=True`` starts a fresh journal — the scheduler does
+        this for non-resume sweeps so stale records from an earlier run
+        at the same path cannot leak into a later ``resume``.
+        """
+        if self._fh is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._fh = open(
+                self.path, "w" if truncate else "a", encoding="utf-8"
+            )
+        except OSError as exc:
+            raise ReproError(f"cannot open journal {self.path}: {exc}") from exc
+
+    def record(self, spec: JobSpec, result: WorkloadSchemeResult) -> None:
+        """Append one completed job (flushed and fsynced immediately)."""
+        if self._fh is None:
+            self.open()
+        line = json.dumps({
+            "v": JOURNAL_FORMAT_VERSION,
+            "fingerprint": spec.fingerprint(),
+            "workload": spec.workload,
+            "scheme": spec.scheme,
+            "result": result_to_dict(result),
+        })
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the backing file (reopened automatically on ``record``)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,453 @@
+"""The sweep scheduler: cache → journal → process pool → merge.
+
+:func:`run_jobs` resolves a list of :class:`SweepJob` cells in three
+tiers — journal replay (``resume=True``), content-addressed cache
+lookup, then actual simulation — and executes the remainder either
+in-process (``max_workers=1``, the exact legacy serial path: shared
+:class:`~repro.sim.runner.Stage1Cache`, parent telemetry threaded
+straight through) or on a ``ProcessPoolExecutor``.
+
+Determinism guarantee: per-job randomness derives from
+``(seed, workload, scheme)`` (see :mod:`repro.common.rng`), never from
+scheduling, so a parallel sweep's results are field-for-field equal to
+the serial ones and the output list always follows job-submission
+order regardless of completion order.  Worker telemetry (registry
+state + retained trace events) is merged into the parent handle in the
+same deterministic job order.
+
+Worker processes are reused across jobs and keep a process-global
+:class:`~repro.sim.runner.Stage1Cache`, so a worker that executes
+several cells of one workload pays its stage-1 cost once.  The pool
+uses the ``fork`` start method where the platform offers it (cheap,
+and inherits warmed module state); elsewhere it falls back to the
+platform default, which only requires the ``repro`` package to be
+importable in the child.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.config import FaultConfig, SystemConfig
+from repro.jobs.cache import ResultCache
+from repro.jobs.journal import SweepJournal
+from repro.jobs.spec import JobSpec
+from repro.sim.metrics import WorkloadSchemeResult
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.telemetry import Telemetry
+from repro.trace.workloads import Workload
+
+#: Default per-job retry budget for transient failures.
+DEFAULT_RETRIES = 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One schedulable cell: its identity plus the machine to run it on."""
+
+    spec: JobSpec
+    config: SystemConfig
+
+
+@dataclass
+class SweepReport:
+    """How a sweep's cells were resolved (mirrors the ``jobs.*`` counters)."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    retries: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable accounting."""
+        return (
+            f"{self.total} jobs: {self.executed} executed, "
+            f"{self.cache_hits} from cache, {self.resumed} resumed"
+            + (f", {self.retries} retried" if self.retries else "")
+        )
+
+
+def matrix_jobs(
+    workloads: list[Workload],
+    schemes: tuple[str, ...],
+    config: SystemConfig,
+    *,
+    seed: int | None,
+    n_instructions: int,
+    fault_config: FaultConfig | None = None,
+) -> list[SweepJob]:
+    """The grid's job list in canonical (workload-outer) order."""
+    return [
+        SweepJob(
+            spec=JobSpec.for_run(
+                workload, scheme, config,
+                seed=seed, n_instructions=n_instructions,
+                fault_config=fault_config,
+            ),
+            config=config,
+        )
+        for workload in workloads
+        for scheme in schemes
+    ]
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Process-global stage-1 memo, shared by every job one worker executes.
+_WORKER_STAGE1: Stage1Cache | None = None
+
+
+@dataclass(frozen=True)
+class _Payload:
+    """Everything a worker needs to execute one job."""
+
+    spec: JobSpec
+    config: SystemConfig
+    collect_telemetry: bool
+    trace: bool
+    trace_capacity: int
+    interval_instructions: int
+
+
+@dataclass
+class _Outcome:
+    """A worker's answer: the result plus its telemetry to merge."""
+
+    result: WorkloadSchemeResult
+    registry_state: dict | None = None
+    events: list = field(default_factory=list)
+
+
+def _execute_payload(payload: _Payload) -> _Outcome:
+    """Run one job inside a worker process (also usable in-process)."""
+    global _WORKER_STAGE1
+    if _WORKER_STAGE1 is None:
+        _WORKER_STAGE1 = Stage1Cache()
+    telemetry = None
+    if payload.collect_telemetry:
+        telemetry = Telemetry(
+            trace=payload.trace,
+            trace_capacity=payload.trace_capacity,
+            interval_instructions=payload.interval_instructions,
+        )
+    result = run_workload(
+        payload.spec.to_workload(),
+        payload.spec.scheme,
+        payload.config,
+        seed=payload.spec.seed,
+        n_instructions=payload.spec.n_instructions,
+        stage1=_WORKER_STAGE1,
+        fault_config=payload.spec.fault,
+        telemetry=telemetry,
+    )
+    if telemetry is None:
+        return _Outcome(result=result)
+    return _Outcome(
+        result=result,
+        registry_state=telemetry.registry.export_state(),
+        events=(
+            telemetry.trace.events() if telemetry.trace is not None else []
+        ),
+    )
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _as_cache(cache: ResultCache | str | Path | None) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _as_journal(
+    journal: SweepJournal | str | Path | None,
+) -> SweepJournal | None:
+    if journal is None or isinstance(journal, SweepJournal):
+        return journal
+    return SweepJournal(journal)
+
+
+def _merge_outcome(
+    telemetry: Telemetry | None, job: SweepJob, outcome: _Outcome
+) -> None:
+    """Fold one worker's telemetry into the parent handle."""
+    if telemetry is None:
+        return
+    if outcome.registry_state is not None:
+        telemetry.registry.merge_state(outcome.registry_state)
+    if telemetry.trace is not None and outcome.events:
+        extra = {"workload": job.spec.workload, "scheme": job.spec.scheme}
+        if job.spec.fault is not None:
+            extra["age"] = job.spec.fault.age_fraction
+        telemetry.trace.merge(outcome.events, extra=extra)
+
+
+def run_jobs(
+    jobs: list[SweepJob],
+    *,
+    max_workers: int = 1,
+    cache: ResultCache | str | Path | None = None,
+    journal: SweepJournal | str | Path | None = None,
+    resume: bool = False,
+    retries: int = DEFAULT_RETRIES,
+    stage1: Stage1Cache | None = None,
+    telemetry: Telemetry | None = None,
+    progress=None,
+) -> tuple[list[WorkloadSchemeResult], SweepReport]:
+    """Resolve every job; returns results in job order plus a report.
+
+    Args:
+        jobs: the cells to resolve (duplicate fingerprints are an error).
+        max_workers: 1 executes in-process — the exact serial path, with
+            ``stage1`` shared across cells and ``telemetry`` threaded
+            directly into the simulations; >1 fans out over a process
+            pool with per-worker stage-1 caches and post-hoc telemetry
+            merging.
+        cache: a :class:`~repro.jobs.cache.ResultCache` (or its root
+            directory) consulted before executing and updated after.
+        journal: a :class:`~repro.jobs.journal.SweepJournal` (or its
+            path) appended to as cells complete.  Without ``resume`` the
+            journal restarts empty.
+        resume: replay completed cells from the journal instead of
+            rerunning them; requires ``journal``.
+        retries: extra attempts per job after a transient (non-
+            :class:`~repro.common.errors.ReproError`) failure.
+        progress: optional ``(job: SweepJob) -> None`` narration hook,
+            fired once per job as it is dispatched or served.
+
+    Raises:
+        ReproError: invalid arguments, duplicate jobs, a deterministic
+            job failure, or a transient one that survived its retries.
+    """
+    if max_workers < 1:
+        raise ReproError("max_workers must be at least 1")
+    if retries < 0:
+        raise ReproError("retries cannot be negative")
+    if resume and journal is None:
+        raise ReproError("resume requires a journal")
+    fingerprints = [job.spec.fingerprint() for job in jobs]
+    if len(set(fingerprints)) != len(fingerprints):
+        seen: set[str] = set()
+        for job, fingerprint in zip(jobs, fingerprints):
+            if fingerprint in seen:
+                raise ReproError(
+                    f"duplicate sweep job {job.spec.label()}"
+                )
+            seen.add(fingerprint)
+
+    cache = _as_cache(cache)
+    journal = _as_journal(journal)
+    report = SweepReport(total=len(jobs))
+    if telemetry is not None:
+        telemetry.registry.counter("jobs.executed")
+        telemetry.registry.counter("jobs.retried")
+        telemetry.registry.counter("jobs.journal.resumed")
+        if cache is not None:
+            cache.bind_telemetry(telemetry.registry)
+
+    journaled: dict[str, WorkloadSchemeResult] = {}
+    if journal is not None:
+        if resume:
+            journaled = journal.load()
+            journal.open()
+        else:
+            journal.open(truncate=True)
+
+    # Tier 1+2: resolve what we already know; collect the remainder.
+    resolved: dict[int, WorkloadSchemeResult] = {}
+    pending: list[tuple[int, SweepJob]] = []
+    for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
+        if fingerprint in journaled:
+            if progress is not None:
+                progress(job)
+            resolved[index] = journaled[fingerprint]
+            report.resumed += 1
+            if telemetry is not None:
+                telemetry.registry.counter("jobs.journal.resumed").inc()
+            continue
+        if cache is not None:
+            cached = cache.get(job.spec)
+            if cached is not None:
+                if progress is not None:
+                    progress(job)
+                resolved[index] = cached
+                report.cache_hits += 1
+                if journal is not None:
+                    journal.record(job.spec, cached)
+                continue
+        pending.append((index, job))
+
+    # Tier 3: execute.
+    try:
+        if pending and max_workers == 1:
+            _run_serial(
+                pending, resolved, report,
+                retries=retries,
+                stage1=stage1 or Stage1Cache(),
+                cache=cache, journal=journal,
+                telemetry=telemetry, progress=progress,
+            )
+        elif pending:
+            _run_parallel(
+                pending, resolved, report,
+                max_workers=max_workers, retries=retries,
+                cache=cache, journal=journal,
+                telemetry=telemetry, progress=progress,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return [resolved[index] for index in range(len(jobs))], report
+
+
+def _count_executed(telemetry: Telemetry | None) -> None:
+    if telemetry is not None:
+        telemetry.registry.counter("jobs.executed").inc()
+
+
+def _count_retry(telemetry: Telemetry | None) -> None:
+    if telemetry is not None:
+        telemetry.registry.counter("jobs.retried").inc()
+
+
+def _complete(
+    job: SweepJob,
+    result: WorkloadSchemeResult,
+    cache: ResultCache | None,
+    journal: SweepJournal | None,
+) -> None:
+    if cache is not None:
+        cache.put(job.spec, result)
+    if journal is not None:
+        journal.record(job.spec, result)
+
+
+def _run_serial(
+    pending, resolved, report, *,
+    retries, stage1, cache, journal, telemetry, progress,
+) -> None:
+    """In-process execution: the legacy sequential sweep, plus retries."""
+    for index, job in pending:
+        if progress is not None:
+            progress(job)
+        attempts = 0
+        while True:
+            try:
+                result = run_workload(
+                    job.spec.to_workload(),
+                    job.spec.scheme,
+                    job.config,
+                    seed=job.spec.seed,
+                    n_instructions=job.spec.n_instructions,
+                    stage1=stage1,
+                    fault_config=job.spec.fault,
+                    telemetry=telemetry,
+                )
+                break
+            except ReproError:
+                raise
+            except Exception as exc:
+                attempts += 1
+                if attempts > retries:
+                    raise ReproError(
+                        f"sweep job {job.spec.label()} failed after "
+                        f"{attempts} attempt(s): {exc}"
+                    ) from exc
+                report.retries += 1
+                _count_retry(telemetry)
+        report.executed += 1
+        _count_executed(telemetry)
+        resolved[index] = result
+        _complete(job, result, cache, journal)
+
+
+def _pool_context():
+    """Prefer ``fork`` (fast, inherits warmed state) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _run_parallel(
+    pending, resolved, report, *,
+    max_workers, retries, cache, journal, telemetry, progress,
+) -> None:
+    """Process-pool execution with per-job retry and deterministic merge."""
+    want_trace = telemetry is not None and telemetry.trace is not None
+    payloads = {
+        index: _Payload(
+            spec=job.spec,
+            config=job.config,
+            collect_telemetry=telemetry is not None,
+            trace=want_trace,
+            trace_capacity=(
+                telemetry.trace.capacity if want_trace else 1
+            ),
+            interval_instructions=(
+                telemetry.interval_instructions if telemetry is not None else 0
+            ),
+        )
+        for index, job in pending
+    }
+    jobs_by_index = dict(pending)
+    outcomes: dict[int, _Outcome] = {}
+    workers = min(max_workers, len(pending))
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context()
+    ) as pool:
+        try:
+            futures = {}
+            for index, job in pending:
+                if progress is not None:
+                    progress(job)
+                futures[pool.submit(_execute_payload, payloads[index])] = (
+                    index, 0,
+                )
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, attempts = futures.pop(future)
+                    job = jobs_by_index[index]
+                    try:
+                        outcome = future.result()
+                    except ReproError as exc:
+                        raise ReproError(
+                            f"sweep job {job.spec.label()} failed: {exc}"
+                        ) from exc
+                    except BrokenProcessPool as exc:
+                        raise ReproError(
+                            "sweep worker pool died (out of memory?); "
+                            f"job {job.spec.label()} was in flight: {exc}"
+                        ) from exc
+                    except Exception as exc:
+                        if attempts >= retries:
+                            raise ReproError(
+                                f"sweep job {job.spec.label()} failed after "
+                                f"{attempts + 1} attempt(s): {exc}"
+                            ) from exc
+                        report.retries += 1
+                        _count_retry(telemetry)
+                        futures[
+                            pool.submit(_execute_payload, payloads[index])
+                        ] = (index, attempts + 1)
+                        continue
+                    outcomes[index] = outcome
+                    report.executed += 1
+                    _count_executed(telemetry)
+                    _complete(job, outcome.result, cache, journal)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    # Deterministic merge: job order, not completion order.
+    for index in sorted(outcomes):
+        outcome = outcomes[index]
+        resolved[index] = outcome.result
+        _merge_outcome(telemetry, jobs_by_index[index], outcome)

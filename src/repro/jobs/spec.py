@@ -1,0 +1,178 @@
+"""Job specifications: the identity of one schedulable stage-2 run.
+
+A :class:`JobSpec` is a frozen, JSON-serialisable description of
+everything that determines a :class:`~repro.sim.metrics.WorkloadSchemeResult`:
+the workload content (name *and* per-core app assignment), the NUCA
+scheme, the experiment seed, the instruction budget, the stage-relevant
+configuration signature and the fault-injection point.  Its
+:meth:`~JobSpec.fingerprint` is a stable content hash over exactly those
+fields — the key of the on-disk :class:`~repro.jobs.cache.ResultCache`
+and the unit of the resume :class:`~repro.jobs.journal.SweepJournal`.
+
+Two runs with equal fingerprints are the same experiment: per-job
+randomness derives from ``(seed, workload, scheme)`` via
+:func:`repro.common.rng.derive_rng`, so the hash needs no process- or
+host-dependent salt.  ``SPEC_FORMAT_VERSION`` is folded into the hash;
+bumping it (when the simulation's semantics change incompatibly)
+invalidates every cached result at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.config import FaultConfig, SystemConfig
+from repro.sim.calibrate import config_signature
+from repro.trace.workloads import Workload
+
+#: Version folded into every fingerprint; bump on semantic changes.
+SPEC_FORMAT_VERSION = 1
+
+
+def fault_to_dict(fault: FaultConfig) -> dict:
+    """Plain-JSON view of a fault configuration (stable key order)."""
+    return {
+        "age_fraction": fault.age_fraction,
+        "transient_rate": fault.transient_rate,
+        "bank_failures": [
+            [int(bank), float(age)] for bank, age in fault.bank_failures
+        ],
+        "remap_penalty_cycles": fault.remap_penalty_cycles,
+        "fault_seed": fault.fault_seed,
+    }
+
+
+def fault_from_dict(data: dict) -> FaultConfig:
+    """Inverse of :func:`fault_to_dict`."""
+    try:
+        return FaultConfig(
+            age_fraction=float(data["age_fraction"]),
+            transient_rate=float(data["transient_rate"]),
+            bank_failures=tuple(
+                (int(bank), float(age)) for bank, age in data["bank_failures"]
+            ),
+            remap_penalty_cycles=int(data["remap_penalty_cycles"]),
+            fault_seed=(
+                None if data["fault_seed"] is None else int(data["fault_seed"])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed fault payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Identity of one (workload, scheme) stage-2 simulation."""
+
+    workload: str
+    apps: tuple[str, ...]
+    scheme: str
+    seed: int | None
+    n_instructions: int
+    config_signature: tuple
+    fault: FaultConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ReproError(f"job {self.workload}/{self.scheme}: no apps")
+        if self.n_instructions <= 0:
+            raise ReproError(
+                f"job {self.workload}/{self.scheme}: instruction budget "
+                "must be positive"
+            )
+        if self.fault is not None and not self.fault.active:
+            # Normalise: an inactive fault point runs exactly like the
+            # pristine machine, so it must hash (and cache) identically.
+            object.__setattr__(self, "fault", None)
+
+    @classmethod
+    def for_run(
+        cls,
+        workload: Workload,
+        scheme: str,
+        config: SystemConfig,
+        *,
+        seed: int | None,
+        n_instructions: int,
+        fault_config: FaultConfig | None = None,
+    ) -> "JobSpec":
+        """Spec of the job :func:`repro.sim.runner.run_workload` would run."""
+        return cls(
+            workload=workload.name,
+            apps=tuple(workload.apps),
+            scheme=scheme,
+            seed=seed,
+            n_instructions=int(n_instructions),
+            config_signature=config_signature(config),
+            fault=fault_config,
+        )
+
+    def to_workload(self) -> Workload:
+        """Rebuild the workload object (validates the app names)."""
+        return Workload(name=self.workload, apps=self.apps)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (also the fingerprint pre-image)."""
+        return {
+            "format": SPEC_FORMAT_VERSION,
+            "workload": self.workload,
+            "apps": list(self.apps),
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "n_instructions": self.n_instructions,
+            "config_signature": list(self.config_signature),
+            "fault": None if self.fault is None else fault_to_dict(self.fault),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ReproError: for a missing field or an unsupported format
+                version (the spec layout is part of the cache contract).
+        """
+        try:
+            version = data["format"]
+            if version != SPEC_FORMAT_VERSION:
+                raise ReproError(
+                    f"unsupported job spec format {version!r} "
+                    f"(expected {SPEC_FORMAT_VERSION})"
+                )
+            return cls(
+                workload=str(data["workload"]),
+                apps=tuple(str(app) for app in data["apps"]),
+                scheme=str(data["scheme"]),
+                seed=None if data["seed"] is None else int(data["seed"]),
+                n_instructions=int(data["n_instructions"]),
+                config_signature=tuple(data["config_signature"]),
+                fault=(
+                    None if data["fault"] is None
+                    else fault_from_dict(data["fault"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed job spec payload: {exc}") from exc
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this job (hex SHA-256).
+
+        Canonical form: the :meth:`to_dict` payload serialised with
+        sorted keys and no whitespace.  Every field that can change the
+        simulation's outcome is in the payload, and nothing else is, so
+        equal fingerprints mean interchangeable results.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable job name for logs and errors."""
+        suffix = ""
+        if self.fault is not None:
+            suffix = f"@age{self.fault.age_fraction:g}"
+        return f"{self.workload}/{self.scheme}{suffix}"

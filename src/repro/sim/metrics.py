@@ -97,9 +97,25 @@ class MatrixResult:
     workloads: tuple[str, ...]
     results: dict[tuple[str, str], WorkloadSchemeResult] = field(default_factory=dict)
 
-    def add(self, result: WorkloadSchemeResult) -> None:
-        """Register one stage-2 result."""
-        self.results[(result.workload, result.scheme)] = result
+    def add(self, result: WorkloadSchemeResult, *, replace: bool = False) -> None:
+        """Register one stage-2 result.
+
+        A duplicate (workload, scheme) cell is rejected with
+        :class:`~repro.common.errors.ReproError` unless ``replace=True``:
+        the parallel sweep engine retries failed jobs, so a silent
+        second ``add`` could overwrite a good cell with a different
+        object and hide a scheduling bug.  Callers that *mean* to
+        refresh a cell (e.g. re-running one point of a loaded matrix)
+        must say so explicitly.
+        """
+        key = (result.workload, result.scheme)
+        if not replace and key in self.results:
+            raise ReproError(
+                f"duplicate result for workload={result.workload!r} "
+                f"scheme={result.scheme!r} in matrix {self.label!r} "
+                "(pass replace=True to overwrite)"
+            )
+        self.results[key] = result
 
     def get(self, workload: str, scheme: str) -> WorkloadSchemeResult:
         """Fetch one result, with a helpful error when missing."""

@@ -17,6 +17,7 @@ instructions per core reproduce the shapes at laptop scale.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,11 +58,30 @@ def _core_base(core: int) -> int:
     return ((core + 1) << CORE_ADDRESS_STRIDE_SHIFT) + core * 40_503_551
 
 
-class Stage1Cache:
-    """Memoised stage-1 runs keyed by (app, config, seed, budget)."""
+#: Default :class:`Stage1Cache` capacity.  A stage-1 result retains the
+#: full per-app L3 reference stream (several MB at paper-scale budgets),
+#: so long sweeps over many apps/configurations must not grow the memo
+#: without bound; 128 entries comfortably covers the 22-app pool across
+#: a handful of configurations while capping worst-case memory.
+DEFAULT_STAGE1_ENTRIES = 128
 
-    def __init__(self) -> None:
-        self._cache: dict[tuple, Stage1Result] = {}
+
+class Stage1Cache:
+    """Memoised stage-1 runs keyed by (app, config, seed, budget).
+
+    The memo is a bounded LRU: once ``max_entries`` distinct
+    (app, configuration, seed, budget) runs are held, the least recently
+    used one is evicted.  Size and eviction totals are observable as the
+    ``jobs.stage1.entries`` / ``jobs.stage1.evictions`` telemetry gauges
+    (bound by :func:`run_workload` whenever telemetry is attached).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_STAGE1_ENTRIES) -> None:
+        if max_entries <= 0:
+            raise ReproError("stage-1 cache needs at least one entry")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._cache: OrderedDict[tuple, Stage1Result] = OrderedDict()
 
     def get(
         self,
@@ -79,13 +99,23 @@ class Stage1Cache:
             sim = AppSimulator(app, config, seed=seed, base_cpi=base_cpi)
             result = sim.run(n_instructions)
             self._cache[key] = result
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._cache.move_to_end(key)
         return result
+
+    def bind_telemetry(self, registry) -> None:
+        """Expose occupancy/evictions as ``jobs.stage1.*`` gauges."""
+        registry.gauge("jobs.stage1.entries", fn=lambda: float(len(self._cache)))
+        registry.gauge("jobs.stage1.evictions", fn=lambda: float(self.evictions))
 
     def __len__(self) -> int:
         return len(self._cache)
 
     def clear(self) -> None:
-        """Drop all memoised runs."""
+        """Drop all memoised runs (eviction count persists)."""
         self._cache.clear()
 
 
@@ -256,6 +286,8 @@ def run_workload(
             f"configuration has {config.num_cores} cores"
         )
     stage1 = stage1 or Stage1Cache()
+    if telemetry is not None:
+        stage1.bind_telemetry(telemetry.registry)
     prof = telemetry.profiler if telemetry is not None else DISABLED_PROFILER
     with prof.phase("stage1"):
         results1 = [
@@ -467,6 +499,11 @@ def run_matrix(
     fault_config: FaultConfig | None = None,
     telemetry: Telemetry | None = None,
     progress=None,
+    parallel: int = 1,
+    cache_dir=None,
+    journal=None,
+    resume: bool = False,
+    retries: int = 1,
 ) -> MatrixResult:
     """Run every workload under every scheme (the paper's result grid).
 
@@ -475,28 +512,50 @@ def run_matrix(
     ``fault_config`` applies the same fault-injection point to every cell.
     ``telemetry`` is shared by every cell: counters accumulate across the
     grid while gauges always reflect the most recent run.
+
+    The grid is resolved by the sweep engine (see ``docs/SWEEPS.md``):
+
+    * ``parallel`` — worker processes; 1 (the default) runs in-process
+      with ``stage1`` shared across cells, exactly the historical serial
+      behaviour.  For the same seed a parallel run produces a matrix
+      field-for-field equal to the serial one (per-job randomness
+      derives from ``(seed, workload, scheme)``, never from scheduling).
+      With ``parallel > 1`` the per-cell telemetry of each worker is
+      merged back deterministically; a caller-supplied ``stage1`` is
+      not consulted (workers keep their own).
+    * ``cache_dir`` — content-addressed result cache directory; cells
+      whose inputs are unchanged are served without simulating.
+    * ``journal``/``resume`` — append-only completion journal enabling
+      resumption of an interrupted sweep.
+    * ``retries`` — per-cell retries on transient (non-``ReproError``)
+      failures.
     """
+    from repro.jobs.scheduler import matrix_jobs, run_jobs
+
     config = config or baseline_config()
-    stage1 = stage1 or Stage1Cache()
     matrix = MatrixResult(
         label=label,
         schemes=tuple(schemes),
         workloads=tuple(wl.name for wl in workloads),
     )
-    for workload in workloads:
-        for scheme in schemes:
-            if progress is not None:
-                progress(workload.name, scheme)
-            matrix.add(
-                run_workload(
-                    workload,
-                    scheme,
-                    config,
-                    seed=seed,
-                    n_instructions=n_instructions,
-                    stage1=stage1,
-                    fault_config=fault_config,
-                    telemetry=telemetry,
-                )
-            )
+    jobs = matrix_jobs(
+        workloads, tuple(schemes), config,
+        seed=seed, n_instructions=n_instructions, fault_config=fault_config,
+    )
+    results, _report = run_jobs(
+        jobs,
+        max_workers=parallel,
+        cache=cache_dir,
+        journal=journal,
+        resume=resume,
+        retries=retries,
+        stage1=stage1,
+        telemetry=telemetry,
+        progress=(
+            None if progress is None
+            else lambda job: progress(job.spec.workload, job.spec.scheme)
+        ),
+    )
+    for result in results:
+        matrix.add(result)
     return matrix

@@ -11,6 +11,8 @@ module round-trips them to a documented JSON layout so that
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -23,7 +25,32 @@ from repro.telemetry.intervals import IntervalSeries
 FORMAT_VERSION = 1
 
 
-def _result_to_dict(result: WorkloadSchemeResult) -> dict:
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content goes to a temporary file in the same directory first and
+    is moved into place with :func:`os.replace`, so a reader never sees
+    a truncated file and an interrupted writer never clobbers a previous
+    good version.  Used by :func:`save_matrix` and the sweep engine's
+    :class:`~repro.jobs.cache.ResultCache`.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def result_to_dict(result: WorkloadSchemeResult) -> dict:
     out = {
         "workload": result.workload,
         "scheme": result.scheme,
@@ -55,7 +82,7 @@ def _result_to_dict(result: WorkloadSchemeResult) -> dict:
     return out
 
 
-def _result_from_dict(data: dict) -> WorkloadSchemeResult:
+def result_from_dict(data: dict) -> WorkloadSchemeResult:
     return WorkloadSchemeResult(
         workload=data["workload"],
         scheme=data["scheme"],
@@ -95,10 +122,10 @@ def save_matrix(path: str | Path, matrix: MatrixResult) -> None:
         "schemes": list(matrix.schemes),
         "workloads": list(matrix.workloads),
         "results": [
-            _result_to_dict(result) for result in matrix.results.values()
+            result_to_dict(result) for result in matrix.results.values()
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_matrix(path: str | Path) -> MatrixResult:
@@ -122,5 +149,5 @@ def load_matrix(path: str | Path) -> MatrixResult:
         workloads=tuple(payload["workloads"]),
     )
     for raw in payload["results"]:
-        matrix.add(_result_from_dict(raw))
+        matrix.add(result_from_dict(raw))
     return matrix

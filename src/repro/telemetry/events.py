@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -118,6 +119,30 @@ class EventTrace:
     def clear(self) -> None:
         """Drop retained events (sequence numbering continues)."""
         self._events.clear()
+
+    def merge(
+        self,
+        events: Iterable[TraceEvent],
+        *,
+        extra: dict | None = None,
+    ) -> int:
+        """Re-emit events captured elsewhere (e.g. in a worker process).
+
+        Each event keeps its kind, timestamp and fields but is assigned a
+        fresh local sequence number; ``extra`` fields are added only
+        where the event does not already carry them (the sweep scheduler
+        stamps ``workload``/``scheme`` this way).  Returns the number of
+        events merged.
+        """
+        count = 0
+        for event in events:
+            fields = dict(event.fields)
+            if extra:
+                for key, value in extra.items():
+                    fields.setdefault(key, value)
+            self.emit(event.kind, ts=event.ts, **fields)
+            count += 1
+        return count
 
     def export_jsonl(
         self,

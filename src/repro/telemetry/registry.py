@@ -157,6 +157,65 @@ class StatsRegistry:
             existing = self._instruments[check_name(name)] = Histogram(name)
         return existing
 
+    # -- cross-process merging ----------------------------------------------
+
+    def export_state(self) -> dict[str, tuple[str, object]]:
+        """Kind-tagged instrument dump for cross-process merging.
+
+        Unlike :meth:`snapshot` (which flattens histograms into scalar
+        summaries), this keeps enough structure for a lossless
+        :meth:`merge_state` on another registry: counters carry their
+        count, gauges their current reading, histograms their full
+        Welford state.  Everything is plain picklable data, so a worker
+        process can ship its registry back to the parent sweep.
+        """
+        state: dict[str, tuple[str, object]] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                state[name] = ("counter", instrument.value)
+            elif isinstance(instrument, Gauge):
+                state[name] = ("gauge", instrument.read())
+            else:
+                stats = instrument.stats
+                state[name] = ("histogram", {
+                    "count": stats.count,
+                    "mean": stats.mean,
+                    "m2": stats._m2,
+                    "min": stats.min,
+                    "max": stats.max,
+                })
+        return state
+
+    def merge_state(self, state: dict[str, tuple[str, object]]) -> None:
+        """Fold another registry's :meth:`export_state` into this one.
+
+        Counters accumulate, gauges take the merged value (so repeated
+        merges behave like the serial "most recent run wins" contract as
+        long as states are merged in run order), histograms merge their
+        distributions.  Instruments are created lazily with the incoming
+        kind; merging into an existing instrument of a different kind
+        raises :class:`TelemetryError` (same rule as registration).
+        """
+        for name in sorted(state):
+            kind, value = state[name]
+            if kind == "counter":
+                self.counter(name).inc(value)
+            elif kind == "gauge":
+                self.gauge(name).set(float(value))
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                histogram.stats = histogram.stats.merge(RunningStats(
+                    count=value["count"],
+                    mean=value["mean"],
+                    _m2=value["m2"],
+                    min=value["min"],
+                    max=value["max"],
+                ))
+            else:
+                raise TelemetryError(
+                    f"unknown instrument kind {kind!r} for {name!r}"
+                )
+
     # -- reading ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, float]:

@@ -122,3 +122,25 @@ class TestMatrixResult:
         bad.per_core_ipc[:] = 0.0
         with pytest.raises(ReproError):
             m.ipc_improvement_over("X")
+
+
+class TestDuplicateAdd:
+    """`add` refuses to silently overwrite a cell (sweep-retry safety)."""
+
+    def test_duplicate_cell_rejected(self, matrix):
+        with pytest.raises(ReproError, match="duplicate result"):
+            matrix.add(make_result("WL1", "S-NUCA", ipc_per_core=9.0))
+        # The original cell is untouched.
+        assert matrix.get("WL1", "S-NUCA").ipc == pytest.approx(4.0)
+
+    def test_replace_overwrites_explicitly(self, matrix):
+        matrix.add(make_result("WL1", "S-NUCA", ipc_per_core=9.0),
+                   replace=True)
+        assert matrix.get("WL1", "S-NUCA").ipc == pytest.approx(36.0)
+
+    def test_distinct_cells_unaffected(self):
+        m = MatrixResult(label="t", schemes=("S-NUCA",),
+                         workloads=("WL1", "WL2"))
+        m.add(make_result("WL1", "S-NUCA"))
+        m.add(make_result("WL2", "S-NUCA"))
+        assert len(m.results) == 2

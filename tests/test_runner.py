@@ -185,3 +185,61 @@ class TestMatrixMetrics:
         matrix = MatrixResult(label="x", schemes=("S-NUCA",), workloads=("WL1",))
         with pytest.raises(ReproError):
             matrix.get("WL1", "S-NUCA")
+
+
+class TestStage1Lru:
+    """The stage-1 memo is a bounded LRU with observable occupancy."""
+
+    @pytest.fixture
+    def flat_cpi(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.sim.runner.calibrated_base_cpi",
+            lambda app, config, seed=None: 1.0,
+        )
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ReproError, match="at least one entry"):
+            Stage1Cache(max_entries=0)
+
+    def test_evicts_least_recently_used(self, flat_cpi):
+        cfg = baseline_config()
+        cache = Stage1Cache(max_entries=2)
+        a = cache.get("hmmer", cfg, seed=2, n_instructions=4_000)
+        cache.get("namd", cfg, seed=2, n_instructions=4_000)
+        cache.get("povray", cfg, seed=2, n_instructions=4_000)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # "hmmer" was the LRU entry; refetching recomputes it.
+        assert cache.get("hmmer", cfg, seed=2, n_instructions=4_000) is not a
+
+    def test_hit_refreshes_recency(self, flat_cpi):
+        cfg = baseline_config()
+        cache = Stage1Cache(max_entries=2)
+        a = cache.get("hmmer", cfg, seed=2, n_instructions=4_000)
+        cache.get("namd", cfg, seed=2, n_instructions=4_000)
+        cache.get("hmmer", cfg, seed=2, n_instructions=4_000)  # touch
+        cache.get("povray", cfg, seed=2, n_instructions=4_000)  # evicts namd
+        assert cache.get("hmmer", cfg, seed=2, n_instructions=4_000) is a
+        assert cache.evictions == 1
+
+    def test_clear_keeps_eviction_total(self, flat_cpi):
+        cfg = baseline_config()
+        cache = Stage1Cache(max_entries=1)
+        cache.get("hmmer", cfg, seed=2, n_instructions=4_000)
+        cache.get("namd", cfg, seed=2, n_instructions=4_000)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.evictions == 1
+
+    def test_bind_telemetry_gauges(self, flat_cpi):
+        from repro.telemetry import StatsRegistry
+
+        cfg = baseline_config()
+        cache = Stage1Cache(max_entries=4)
+        registry = StatsRegistry()
+        cache.bind_telemetry(registry)
+        assert registry.snapshot()["jobs.stage1.entries"] == 0.0
+        cache.get("hmmer", cfg, seed=2, n_instructions=4_000)
+        snap = registry.snapshot()
+        assert snap["jobs.stage1.entries"] == 1.0
+        assert snap["jobs.stage1.evictions"] == 0.0

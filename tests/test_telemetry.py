@@ -359,3 +359,116 @@ class TestRunnerIntegration:
         assert len(events) == count
         seqs = [event.seq for event in events]
         assert seqs == sorted(seqs)
+
+
+class TestStateMerging:
+    """`export_state`/`merge_state`: the sweep engine's worker hand-off."""
+
+    def test_counters_accumulate(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.counter("llc.hits").inc(3)
+        b.counter("llc.hits").inc(4)
+        b.counter("llc.misses").inc(1)
+        a.merge_state(b.export_state())
+        snap = a.snapshot()
+        assert snap["llc.hits"] == 7
+        assert snap["llc.misses"] == 1
+
+    def test_gauges_take_merged_value(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.gauge("llc.occupancy").set(1.0)
+        b.gauge("llc.occupancy").set(5.0)
+        a.merge_state(b.export_state())
+        assert a.snapshot()["llc.occupancy"] == 5.0
+
+    def test_callback_gauge_exports_its_reading(self):
+        b = StatsRegistry()
+        b.gauge("jobs.stage1.entries", fn=lambda: 42.0)
+        a = StatsRegistry()
+        a.merge_state(b.export_state())
+        assert a.snapshot()["jobs.stage1.entries"] == 42.0
+
+    def test_histograms_merge_distributions(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            a.histogram("llc.latency").observe(v)
+        for v in (10.0, 20.0):
+            b.histogram("llc.latency").observe(v)
+        a.merge_state(b.export_state())
+        merged = a.histogram("llc.latency").stats
+        from repro.common.stats import RunningStats
+
+        reference = RunningStats()
+        for v in (1.0, 2.0, 3.0, 10.0, 20.0):
+            reference.add(v)
+        assert merged.count == 5
+        assert merged.mean == pytest.approx(reference.mean)
+        assert merged.stddev == pytest.approx(reference.stddev)
+        assert (merged.min, merged.max) == (1.0, 20.0)
+
+    def test_merge_creates_missing_instruments(self):
+        b = StatsRegistry()
+        b.counter("x.c").inc()
+        b.gauge("x.g").set(2.0)
+        b.histogram("x.h").observe(1.0)
+        a = StatsRegistry()
+        a.merge_state(b.export_state())
+        assert a.snapshot()["x.c"] == 1
+
+    def test_kind_conflict_raises(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.gauge("x").set(1.0)
+        b.counter("x").inc()
+        with pytest.raises(TelemetryError):
+            a.merge_state(b.export_state())
+
+    def test_unknown_kind_raises(self):
+        a = StatsRegistry()
+        with pytest.raises(TelemetryError, match="unknown instrument kind"):
+            a.merge_state({"x": ("sparkline", 1)})
+
+    def test_state_is_plain_data(self):
+        import pickle
+
+        b = StatsRegistry()
+        b.counter("x.c").inc()
+        b.gauge("x.g", fn=lambda: 3.0)
+        b.histogram("x.h").observe(2.0)
+        state = pickle.loads(pickle.dumps(b.export_state()))
+        a = StatsRegistry()
+        a.merge_state(state)
+        assert a.snapshot()["x.g"] == 3.0
+
+
+class TestEventTraceMerge:
+    def test_merge_preserves_and_stamps(self):
+        worker = EventTrace()
+        worker.emit("llc.hit", ts=1.0, bank=3)
+        worker.emit("llc.miss", ts=2.0, bank=1, scheme="already-set")
+        parent = EventTrace()
+        merged = parent.merge(
+            worker.events(), extra={"scheme": "S-NUCA", "workload": "WL1"}
+        )
+        assert merged == 2
+        events = parent.events()
+        assert [e.kind for e in events] == ["llc.hit", "llc.miss"]
+        assert events[0].ts == 1.0
+        assert events[0].fields["scheme"] == "S-NUCA"
+        assert events[0].fields["workload"] == "WL1"
+        # setdefault semantics: the worker's own stamp wins.
+        assert events[1].fields["scheme"] == "already-set"
+
+    def test_merge_assigns_fresh_sequence_numbers(self):
+        parent = EventTrace()
+        parent.emit("llc.hit", ts=0.0)
+        worker = EventTrace()
+        worker.emit("llc.miss", ts=5.0)
+        parent.merge(worker.events())
+        seqs = [e.seq for e in parent.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_merge_empty_is_noop(self):
+        parent = EventTrace()
+        assert parent.merge([]) == 0
+        assert len(parent) == 0
