@@ -13,19 +13,29 @@ Commands:
 * ``endoflife``— sweep cache age under fault injection (degradation study).
 * ``stats``    — telemetry deep-dive: registry summary, interval series
   and a per-bank write heatmap over time (see ``docs/OBSERVABILITY.md``).
+* ``diff``     — metric regression gate: compare two result sets (saved
+  matrices or run ledgers) under per-metric tolerance rules; exits 1 on
+  any violation, which is what CI gates on.
+* ``report``   — render a saved matrix (plus optionally its run ledger)
+  as one self-contained HTML file: inline SVG/CSS, no external refs.
+* ``bench-record`` — append a timing/IPC point to a machine-readable
+  ``BENCH_*.json`` trajectory.
 
-Every command takes ``--instructions`` and ``--seed``; results are
-printed as the same text tables the benchmark harness emits.
-``compare`` and ``endoflife`` additionally accept ``--trace-out FILE``
-(JSONL event trace), ``--profile`` (phase-timer report) and
-``--jobs/-j`` (worker processes); invoking ``repro`` with no subcommand
-prints the full help and exits 2.
+Every simulation command takes ``--instructions`` and ``--seed``;
+results are printed as the same text tables the benchmark harness
+emits.  ``compare``, ``sweep``, ``stats`` and ``endoflife`` additionally
+accept ``--trace-out FILE`` (JSONL event trace), ``--profile``
+(phase-timer report) and ``--ledger FILE`` (append run-provenance
+records); the sweep-engine commands take ``--jobs/-j`` (worker
+processes) and ``--progress`` (live single-line status with ETA);
+invoking ``repro`` with no subcommand prints the full help and exits 2.
 
 User-facing failures (unknown application, malformed trace file,
 inconsistent configuration — anything deriving from
 :class:`~repro.common.errors.ReproError`) print a one-line
 ``error: ...`` to stderr and exit with status 2; tracebacks are reserved
-for actual bugs.
+for actual bugs.  ``diff`` reserves exit status 1 for tolerance
+violations, keeping it distinct from usage errors.
 """
 
 from __future__ import annotations
@@ -73,6 +83,15 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the sweep engine "
                              "(default 1 = in-process serial)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live single-line progress with ETA "
+                             "(replaces per-cell narration)")
+
+
+def _add_ledger(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="append run-provenance records (JSONL ledger; "
+                             "see docs/OBSERVABILITY.md)")
 
 
 def _make_telemetry(args, **kwargs) -> Telemetry | None:
@@ -80,6 +99,15 @@ def _make_telemetry(args, **kwargs) -> Telemetry | None:
     if not (args.trace_out or args.profile):
         return None
     return Telemetry(trace=bool(args.trace_out), profile=args.profile, **kwargs)
+
+
+def _make_progress(args, total: int):
+    """A live :class:`~repro.obs.progress.SweepProgress`, or None."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs.progress import SweepProgress
+
+    return SweepProgress(total=total, workers=max(1, args.jobs))
 
 
 def _cmd_config(_args) -> int:
@@ -106,6 +134,7 @@ def _cmd_compare(args) -> int:
     print(f"{workload.name}: {', '.join(workload.apps)}\n")
     stage1 = Stage1Cache()
     telemetry = _make_telemetry(args)
+    observer = _make_progress(args, total=len(args.schemes))
     rows = []
     traced = 0
     if args.jobs > 1:
@@ -117,30 +146,48 @@ def _cmd_compare(args) -> int:
         )
         results, _report = run_jobs(
             jobs, max_workers=args.jobs, telemetry=telemetry,
+            observer=observer, ledger=args.ledger,
         )
+        if observer is not None:
+            observer.close()
         if telemetry is not None and telemetry.trace is not None:
             # Merged worker events arrive stamped with their scheme, so
             # one export replaces the serial per-scheme flush.
             traced = telemetry.trace.export_jsonl(args.trace_out)
     else:
+        import time as _time
+
+        from repro.obs.progress import JobEvent
+
         results = []
         for number, scheme in enumerate(args.schemes):
+            if observer is not None:
+                observer(JobEvent(
+                    "dispatch", f"{workload.name}/{scheme}", number,
+                ))
+            started = _time.perf_counter()
             results.append(run_workload(
                 workload, scheme, config, seed=args.seed,
                 n_instructions=args.instructions, stage1=stage1,
-                telemetry=telemetry,
+                telemetry=telemetry, ledger=args.ledger,
             ))
+            if observer is not None:
+                observer(JobEvent(
+                    "done", f"{workload.name}/{scheme}", number,
+                    wall_time_s=_time.perf_counter() - started,
+                ))
             if telemetry is not None and telemetry.trace is not None:
                 traced += telemetry.trace.export_jsonl(
                     args.trace_out, append=number > 0,
                     extra={"scheme": scheme},
                 )
                 telemetry.trace.clear()
+        if observer is not None:
+            observer.close()
     for result in results:
-        writes = result.bank_writes
         rows.append((
             result.scheme, result.ipc, result.min_lifetime,
-            float(writes.std() / writes.mean()) if writes.mean() else 0.0,
+            result.wear_cov,
             result.llc_fetch_hit_rate,
         ))
     print(format_table(
@@ -217,6 +264,7 @@ def _cmd_sweep(args) -> int:
 
     jobs = matrix_jobs(workloads, schemes, config,
                        seed=args.seed, n_instructions=args.instructions)
+    observer = _make_progress(args, total=len(jobs))
     results, report = run_jobs(
         jobs,
         max_workers=args.jobs,
@@ -224,8 +272,13 @@ def _cmd_sweep(args) -> int:
         journal=args.journal,
         resume=args.resume,
         telemetry=telemetry,
-        progress=_narrate,
+        # The live status line owns stderr; per-cell narration yields.
+        progress=None if observer is not None else _narrate,
+        observer=observer,
+        ledger=args.ledger,
     )
+    if observer is not None:
+        observer.close()
     matrix = MatrixResult(
         label=args.label,
         schemes=schemes,
@@ -236,10 +289,9 @@ def _cmd_sweep(args) -> int:
 
     rows = []
     for result in results:
-        writes = result.bank_writes
         rows.append((
             result.workload, result.scheme, result.ipc, result.min_lifetime,
-            float(writes.std() / writes.mean()) if writes.mean() else 0.0,
+            result.wear_cov,
             result.llc_fetch_hit_rate,
         ))
     print(format_table(
@@ -308,17 +360,21 @@ def _cmd_endoflife(args) -> int:
         telemetry.trace.clear()
 
     def _progress(scheme: str, age: float) -> None:
-        print(f"  running {scheme} at age {age:.2f} ...", file=sys.stderr)
+        if observer is None:
+            print(f"  running {scheme} at age {age:.2f} ...", file=sys.stderr)
         if args.jobs == 1 and telemetry is not None and telemetry.trace is not None:
             if state["cell"] is not None:
                 _flush()
             state["cell"] = (scheme, age)
 
     ages = tuple(sorted(set(args.ages)))
+    swept_ages = (0.0, *[a for a in ages if a > 0])
+    schemes = tuple(args.schemes or DEFAULT_SCHEMES)
+    observer = _make_progress(args, total=len(schemes) * len(swept_ages))
     curves = run_endoflife(
         workload_number=args.workload,
-        ages=(0.0, *[a for a in ages if a > 0]),
-        schemes=tuple(args.schemes or DEFAULT_SCHEMES),
+        ages=swept_ages,
+        schemes=schemes,
         seed=args.seed,
         n_instructions=args.instructions,
         bank_failures=tuple(args.fail_bank),
@@ -326,7 +382,11 @@ def _cmd_endoflife(args) -> int:
         progress=_progress,
         telemetry=telemetry,
         max_workers=args.jobs,
+        observer=observer,
+        ledger=args.ledger,
     )
+    if observer is not None:
+        observer.close()
     if state["cell"] is not None:
         _flush()
     elif args.jobs > 1 and telemetry is not None and telemetry.trace is not None:
@@ -366,7 +426,7 @@ def _cmd_stats(args) -> int:
         result = run_workload(
             workload, scheme, config, seed=args.seed,
             n_instructions=args.instructions, stage1=stage1,
-            telemetry=telemetry,
+            telemetry=telemetry, ledger=args.ledger,
         )
         if telemetry.trace is not None:
             traced += telemetry.trace.export_jsonl(
@@ -375,30 +435,35 @@ def _cmd_stats(args) -> int:
         print(f"\n=== {scheme} ===")
         print(telemetry.registry.render())
         series = result.intervals
-        matrix = series.bank_write_matrix()
-        if matrix.size:
-            banks = matrix.shape[1]
-            rows = [
-                (i + 1, series.instructions[i], series.accesses[i],
-                 *(int(v) for v in matrix[i]))
-                for i in range(matrix.shape[0])
-            ]
-            print("\nper-interval per-bank LLC writes "
-                  f"(every ~{series.interval_instructions} instructions):")
-            print(format_table(
-                ["#", "instrs", "accesses", *[f"b{b}" for b in range(banks)]],
-                rows,
-            ))
-            print()
-            print(interval_heatmap(
-                matrix.T,
-                title=f"{scheme}: per-bank writes over intervals "
-                      "(shade = relative write pressure)",
-            ))
-        writes = result.bank_writes
-        covs[scheme] = (
-            float(writes.std() / writes.mean()) if writes.mean() else 0.0
-        )
+        if series is None or len(series) == 0:
+            # Interval dumps were disabled (--interval 0) or the run was
+            # too short to cross a single interval boundary: fall back
+            # to the registry-only view rather than erroring out.
+            print("\n(no interval series recorded; registry-only view. "
+                  "Pass --interval N>0 to sample the run over time.)")
+        else:
+            matrix = series.bank_write_matrix()
+            if matrix.size:
+                banks = matrix.shape[1]
+                rows = [
+                    (i + 1, series.instructions[i], series.accesses[i],
+                     *(int(v) for v in matrix[i]))
+                    for i in range(matrix.shape[0])
+                ]
+                print("\nper-interval per-bank LLC writes "
+                      f"(every ~{series.interval_instructions} instructions):")
+                print(format_table(
+                    ["#", "instrs", "accesses",
+                     *[f"b{b}" for b in range(banks)]],
+                    rows,
+                ))
+                print()
+                print(interval_heatmap(
+                    matrix.T,
+                    title=f"{scheme}: per-bank writes over intervals "
+                          "(shade = relative write pressure)",
+                ))
+        covs[scheme] = result.wear_cov
         if args.profile:
             print("\n" + telemetry.profiler.report())
     print("\nper-bank write CoV (lower = more even wear):")
@@ -406,6 +471,58 @@ def _cmd_stats(args) -> int:
         print(f"  {scheme:>8s}  {cov:.3f}")
     if args.trace_out:
         print(f"\nwrote {traced} events to {args.trace_out}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import (
+        diff_metric_maps,
+        load_comparable,
+        load_rules,
+        render_findings,
+    )
+
+    rules = load_rules(args.tolerances) if args.tolerances else None
+    baseline = load_comparable(args.baseline)
+    current = load_comparable(args.current)
+    findings = diff_metric_maps(baseline, current, rules)
+    print(render_findings(findings, verbose=args.verbose))
+    return 1 if any(not finding.ok for finding in findings) else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.html_report import render_html_report
+    from repro.obs.ledger import RunLedger
+    from repro.sim.store import atomic_write_text, load_matrix
+
+    matrix = load_matrix(args.matrix)
+    records = RunLedger(args.ledger).load() if args.ledger else None
+    html = render_html_report(
+        matrix,
+        ledger_records=records,
+        title=args.title or f"Re-NUCA report: {matrix.label}",
+    )
+    atomic_write_text(args.html, html)
+    print(f"wrote report for {len(matrix.results)} cells"
+          + (f" and {len(records)} ledger records" if records else "")
+          + f" to {args.html}")
+    return 0
+
+
+def _cmd_bench_record(args) -> int:
+    from repro.obs.bench import append_bench_point, bench_point
+    from repro.obs.ledger import RunLedger
+    from repro.sim.store import load_matrix
+
+    matrix = load_matrix(args.matrix)
+    wall_time_s = None
+    if args.ledger:
+        records = RunLedger(args.ledger).load()
+        if records:
+            wall_time_s = sum(record.wall_time_s for record in records)
+    point = bench_point(matrix, label=args.label, wall_time_s=wall_time_s)
+    count = append_bench_point(args.out, point)
+    print(f"recorded point #{count} ({point['label']}) in {args.out}")
     return 0
 
 
@@ -437,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_compare)
     _add_telemetry(p_compare)
     _add_jobs(p_compare)
+    _add_ledger(p_compare)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -462,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sweep)
     _add_telemetry(p_sweep)
     _add_jobs(p_sweep)
+    _add_ledger(p_sweep)
 
     p_stats = sub.add_parser(
         "stats",
@@ -477,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "instructions (default 50000)")
     _add_common(p_stats)
     _add_telemetry(p_stats)
+    _add_ledger(p_stats)
 
     p_wl = sub.add_parser("workloads", help="show the WL1..WL10 mixes")
     _add_common(p_wl)
@@ -506,6 +626,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_eol)
     _add_telemetry(p_eol)
     _add_jobs(p_eol)
+    _add_ledger(p_eol)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="regression gate: compare two result sets under tolerances",
+    )
+    p_diff.add_argument("baseline",
+                        help="baseline matrix JSON or run-ledger JSONL")
+    p_diff.add_argument("current",
+                        help="current matrix JSON or run-ledger JSONL")
+    p_diff.add_argument("--tolerances", metavar="FILE", default=None,
+                        help="tolerance-rule JSON (default: built-in rules; "
+                             "see baselines/tolerances.json)")
+    p_diff.add_argument("--verbose", "-v", action="store_true",
+                        help="also list comparisons that passed")
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a result matrix as one self-contained HTML file",
+    )
+    p_report.add_argument("--matrix", metavar="FILE", required=True,
+                          help="saved result matrix (repro sweep --out)")
+    p_report.add_argument("--html", metavar="FILE", required=True,
+                          help="output HTML path (single file, no "
+                               "external references)")
+    p_report.add_argument("--ledger", metavar="FILE", default=None,
+                          help="run ledger for the history and profiler "
+                               "sections")
+    p_report.add_argument("--title", default=None, help="report title")
+
+    p_bench = sub.add_parser(
+        "bench-record",
+        help="append a timing/IPC point to a BENCH_*.json trajectory",
+    )
+    p_bench.add_argument("--matrix", metavar="FILE", required=True,
+                         help="saved result matrix to summarise")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_sweep.json",
+                         help="trajectory file (default BENCH_sweep.json)")
+    p_bench.add_argument("--ledger", metavar="FILE", default=None,
+                         help="run ledger; its wall times sum into the point")
+    p_bench.add_argument("--label", default="",
+                         help="point label (default: the matrix label)")
 
     return parser
 
@@ -519,6 +681,9 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
     "endoflife": _cmd_endoflife,
+    "diff": _cmd_diff,
+    "report": _cmd_report,
+    "bench-record": _cmd_bench_record,
 }
 
 

@@ -88,6 +88,8 @@ def run_endoflife(
     cache_dir=None,
     journal=None,
     resume: bool = False,
+    observer=None,
+    ledger=None,
 ) -> dict[str, list[AgePoint]]:
     """Sweep one workload over cache ages for several schemes.
 
@@ -112,6 +114,10 @@ def run_endoflife(
         cache_dir: optional content-addressed result cache directory.
         journal: optional completion-journal path enabling ``resume``.
         resume: replay cells already recorded in ``journal``.
+        observer: optional live :class:`~repro.obs.progress.JobEvent`
+            hook (see ``repro endoflife --progress``).
+        ledger: optional :class:`~repro.obs.ledger.RunLedger` (or path)
+            receiving one provenance record per resolved cell.
 
     Returns:
         ``{scheme: [AgePoint per age, in sweep order]}``.
@@ -174,6 +180,8 @@ def run_endoflife(
         stage1=stage1,
         telemetry=telemetry,
         progress=_narrate,
+        observer=observer,
+        ledger=ledger,
     )
 
     curves: dict[str, list[AgePoint]] = {scheme: [] for scheme in schemes}

@@ -27,6 +27,7 @@ importable in the child.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -37,6 +38,8 @@ from repro.config import FaultConfig, SystemConfig
 from repro.jobs.cache import ResultCache
 from repro.jobs.journal import SweepJournal
 from repro.jobs.spec import JobSpec
+from repro.obs.ledger import RunLedger, RunRecord, as_ledger
+from repro.obs.progress import JobEvent
 from repro.sim.metrics import WorkloadSchemeResult
 from repro.sim.runner import Stage1Cache, run_workload
 from repro.telemetry import Telemetry
@@ -113,6 +116,7 @@ class _Payload:
     trace: bool
     trace_capacity: int
     interval_instructions: int
+    profile: bool = False
 
 
 @dataclass
@@ -122,6 +126,8 @@ class _Outcome:
     result: WorkloadSchemeResult
     registry_state: dict | None = None
     events: list = field(default_factory=list)
+    profiler_state: list | None = None
+    wall_time_s: float = 0.0
 
 
 def _execute_payload(payload: _Payload) -> _Outcome:
@@ -135,7 +141,9 @@ def _execute_payload(payload: _Payload) -> _Outcome:
             trace=payload.trace,
             trace_capacity=payload.trace_capacity,
             interval_instructions=payload.interval_instructions,
+            profile=payload.profile,
         )
+    started = time.perf_counter()
     result = run_workload(
         payload.spec.to_workload(),
         payload.spec.scheme,
@@ -146,14 +154,20 @@ def _execute_payload(payload: _Payload) -> _Outcome:
         fault_config=payload.spec.fault,
         telemetry=telemetry,
     )
+    wall_time_s = time.perf_counter() - started
     if telemetry is None:
-        return _Outcome(result=result)
+        return _Outcome(result=result, wall_time_s=wall_time_s)
     return _Outcome(
         result=result,
         registry_state=telemetry.registry.export_state(),
         events=(
             telemetry.trace.events() if telemetry.trace is not None else []
         ),
+        profiler_state=(
+            telemetry.profiler.export_state()
+            if telemetry.profiler.enabled else None
+        ),
+        wall_time_s=wall_time_s,
     )
 
 
@@ -182,6 +196,10 @@ def _merge_outcome(
         return
     if outcome.registry_state is not None:
         telemetry.registry.merge_state(outcome.registry_state)
+    # Never merge into the shared DISABLED_PROFILER singleton: a parent
+    # that did not ask for profiling drops the worker's phase totals.
+    if telemetry.profiler.enabled and outcome.profiler_state:
+        telemetry.profiler.merge_state(outcome.profiler_state)
     if telemetry.trace is not None and outcome.events:
         extra = {"workload": job.spec.workload, "scheme": job.spec.scheme}
         if job.spec.fault is not None:
@@ -200,6 +218,8 @@ def run_jobs(
     stage1: Stage1Cache | None = None,
     telemetry: Telemetry | None = None,
     progress=None,
+    observer=None,
+    ledger: RunLedger | str | Path | None = None,
 ) -> tuple[list[WorkloadSchemeResult], SweepReport]:
     """Resolve every job; returns results in job order plus a report.
 
@@ -221,6 +241,13 @@ def run_jobs(
             :class:`~repro.common.errors.ReproError`) failure.
         progress: optional ``(job: SweepJob) -> None`` narration hook,
             fired once per job as it is dispatched or served.
+        observer: optional ``(event: JobEvent) -> None`` hook receiving
+            the live event stream (``dispatch``/``done``/``cache``/
+            ``resumed``/``retry``) — what
+            :class:`~repro.obs.progress.SweepProgress` renders.
+        ledger: a :class:`~repro.obs.ledger.RunLedger` (or its path);
+            one provenance record per job is appended in job order after
+            the sweep resolves, stamped with how each cell was obtained.
 
     Raises:
         ReproError: invalid arguments, duplicate jobs, a deterministic
@@ -244,6 +271,7 @@ def run_jobs(
 
     cache = _as_cache(cache)
     journal = _as_journal(journal)
+    ledger = as_ledger(ledger)
     report = SweepReport(total=len(jobs))
     if telemetry is not None:
         telemetry.registry.counter("jobs.executed")
@@ -263,11 +291,16 @@ def run_jobs(
     # Tier 1+2: resolve what we already know; collect the remainder.
     resolved: dict[int, WorkloadSchemeResult] = {}
     pending: list[tuple[int, SweepJob]] = []
+    #: Per-index ledger provenance: (source, wall seconds, phase totals).
+    provenance: dict[int, tuple[str, float, dict[str, float]]] = {}
     for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
         if fingerprint in journaled:
             if progress is not None:
                 progress(job)
+            if observer is not None:
+                observer(JobEvent("resumed", job.spec.label(), index))
             resolved[index] = journaled[fingerprint]
+            provenance[index] = ("journal", 0.0, {})
             report.resumed += 1
             if telemetry is not None:
                 telemetry.registry.counter("jobs.journal.resumed").inc()
@@ -277,7 +310,10 @@ def run_jobs(
             if cached is not None:
                 if progress is not None:
                     progress(job)
+                if observer is not None:
+                    observer(JobEvent("cache", job.spec.label(), index))
                 resolved[index] = cached
+                provenance[index] = ("cache", 0.0, {})
                 report.cache_hits += 1
                 if journal is not None:
                     journal.record(job.spec, cached)
@@ -293,6 +329,7 @@ def run_jobs(
                 stage1=stage1 or Stage1Cache(),
                 cache=cache, journal=journal,
                 telemetry=telemetry, progress=progress,
+                observer=observer, provenance=provenance,
             )
         elif pending:
             _run_parallel(
@@ -300,10 +337,33 @@ def run_jobs(
                 max_workers=max_workers, retries=retries,
                 cache=cache, journal=journal,
                 telemetry=telemetry, progress=progress,
+                observer=observer, provenance=provenance,
             )
     finally:
         if journal is not None:
             journal.close()
+
+    if ledger is not None:
+        engine = {
+            "total": report.total,
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+            "resumed": report.resumed,
+            "retries": report.retries,
+        }
+        with ledger:
+            for index, job in enumerate(jobs):
+                source, wall_time_s, profile = provenance[index]
+                ledger.append(RunRecord.for_result(
+                    resolved[index],
+                    seed=job.spec.seed,
+                    n_instructions=job.spec.n_instructions,
+                    wall_time_s=wall_time_s,
+                    source=source,
+                    fingerprint=fingerprints[index],
+                    profile=profile,
+                    engine=engine,
+                ))
 
     return [resolved[index] for index in range(len(jobs))], report
 
@@ -333,12 +393,22 @@ def _complete(
 def _run_serial(
     pending, resolved, report, *,
     retries, stage1, cache, journal, telemetry, progress,
+    observer=None, provenance=None,
 ) -> None:
-    """In-process execution: the legacy sequential sweep, plus retries."""
+    """In-process execution: the legacy sequential sweep, plus retries.
+
+    Serial runs thread the parent telemetry (and so its profiler)
+    straight through, so per-job phase totals are not separable; ledger
+    records get an empty ``profile`` and the parent profiler keeps the
+    whole picture.
+    """
     for index, job in pending:
         if progress is not None:
             progress(job)
+        if observer is not None:
+            observer(JobEvent("dispatch", job.spec.label(), index))
         attempts = 0
+        started = time.perf_counter()
         while True:
             try:
                 result = run_workload(
@@ -363,9 +433,18 @@ def _run_serial(
                     ) from exc
                 report.retries += 1
                 _count_retry(telemetry)
+                if observer is not None:
+                    observer(JobEvent("retry", job.spec.label(), index))
+        wall_time_s = time.perf_counter() - started
         report.executed += 1
         _count_executed(telemetry)
         resolved[index] = result
+        if provenance is not None:
+            provenance[index] = ("executed", wall_time_s, {})
+        if observer is not None:
+            observer(JobEvent(
+                "done", job.spec.label(), index, wall_time_s=wall_time_s,
+            ))
         _complete(job, result, cache, journal)
 
 
@@ -376,9 +455,20 @@ def _pool_context():
     return None
 
 
+def _phase_totals(profiler_state: list | None) -> dict[str, float]:
+    """Flatten exported profiler state into ``{"a/b": seconds}`` totals."""
+    if not profiler_state:
+        return {}
+    return {
+        "/".join(path): float(seconds)
+        for path, _calls, seconds in profiler_state
+    }
+
+
 def _run_parallel(
     pending, resolved, report, *,
     max_workers, retries, cache, journal, telemetry, progress,
+    observer=None, provenance=None,
 ) -> None:
     """Process-pool execution with per-job retry and deterministic merge."""
     want_trace = telemetry is not None and telemetry.trace is not None
@@ -394,6 +484,7 @@ def _run_parallel(
             interval_instructions=(
                 telemetry.interval_instructions if telemetry is not None else 0
             ),
+            profile=telemetry is not None and telemetry.profiler.enabled,
         )
         for index, job in pending
     }
@@ -408,6 +499,8 @@ def _run_parallel(
             for index, job in pending:
                 if progress is not None:
                     progress(job)
+                if observer is not None:
+                    observer(JobEvent("dispatch", job.spec.label(), index))
                 futures[pool.submit(_execute_payload, payloads[index])] = (
                     index, 0,
                 )
@@ -435,6 +528,10 @@ def _run_parallel(
                             ) from exc
                         report.retries += 1
                         _count_retry(telemetry)
+                        if observer is not None:
+                            observer(JobEvent(
+                                "retry", job.spec.label(), index,
+                            ))
                         futures[
                             pool.submit(_execute_payload, payloads[index])
                         ] = (index, attempts + 1)
@@ -442,6 +539,17 @@ def _run_parallel(
                     outcomes[index] = outcome
                     report.executed += 1
                     _count_executed(telemetry)
+                    if provenance is not None:
+                        provenance[index] = (
+                            "executed",
+                            outcome.wall_time_s,
+                            _phase_totals(outcome.profiler_state),
+                        )
+                    if observer is not None:
+                        observer(JobEvent(
+                            "done", job.spec.label(), index,
+                            wall_time_s=outcome.wall_time_s,
+                        ))
                     _complete(job, outcome.result, cache, journal)
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)

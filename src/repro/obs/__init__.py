@@ -1,0 +1,60 @@
+"""Run provenance, regression gating, HTML reporting and live progress.
+
+``repro.obs`` is the layer that remembers what the simulator did and
+notices when it changes:
+
+* :mod:`repro.obs.ledger` — the append-only :class:`RunLedger` of
+  per-run provenance records (what ran, under which inputs, what it
+  measured, how long it took);
+* :mod:`repro.obs.diff` — per-metric tolerance rules and the
+  ``repro diff`` regression gate built on them;
+* :mod:`repro.obs.html_report` — the self-contained single-file HTML
+  report behind ``repro report --html``;
+* :mod:`repro.obs.progress` — the single-line live progress renderer
+  behind ``repro sweep --progress``;
+* :mod:`repro.obs.bench` — machine-readable ``BENCH_*.json`` timing/IPC
+  trajectories (``repro bench-record``).
+
+See ``docs/OBSERVABILITY.md`` for the schemas and the CLI surface.
+"""
+
+from __future__ import annotations
+
+from repro.obs.bench import append_bench_point, load_bench_trajectory
+from repro.obs.diff import (
+    DEFAULT_RULES,
+    DiffFinding,
+    ToleranceRule,
+    diff_metric_maps,
+    load_comparable,
+    load_rules,
+    render_findings,
+)
+from repro.obs.html_report import render_html_report
+from repro.obs.ledger import (
+    LEDGER_FORMAT_VERSION,
+    RunLedger,
+    RunRecord,
+    current_git_sha,
+    new_run_id,
+)
+from repro.obs.progress import SweepProgress
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DiffFinding",
+    "LEDGER_FORMAT_VERSION",
+    "RunLedger",
+    "RunRecord",
+    "SweepProgress",
+    "ToleranceRule",
+    "append_bench_point",
+    "current_git_sha",
+    "diff_metric_maps",
+    "load_bench_trajectory",
+    "load_comparable",
+    "load_rules",
+    "new_run_id",
+    "render_findings",
+    "render_html_report",
+]

@@ -1,0 +1,95 @@
+"""Machine-readable benchmark trajectories (``repro bench-record``).
+
+A trajectory file (``BENCH_sweep.json`` by convention) is the repo's
+performance memory: one JSON document holding an append-only list of
+**points**, each stamping the commit, the timestamp, a label and the
+headline numbers of one recorded run — per-scheme mean IPC and raw
+minimum lifetime out of a result matrix, plus total simulation wall
+time when a run ledger is supplied.  Plotting the list over commits
+shows whether the simulator is getting faster or slower and whether the
+paper's comparative claims are drifting.
+
+The file is rewritten atomically on every append
+(:func:`repro.sim.store.atomic_write_text`), so a crashed recorder
+never leaves a torn trajectory behind.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.obs.ledger import current_git_sha
+from repro.sim.metrics import MatrixResult
+from repro.sim.store import atomic_write_text
+
+#: Trajectory file layout version.
+BENCH_FORMAT_VERSION = 1
+
+
+def load_bench_trajectory(path: str | Path) -> list[dict]:
+    """The recorded points of one trajectory file (empty when missing).
+
+    Raises:
+        ReproError: for an unreadable or malformed file — a damaged
+            trajectory must not be silently restarted from empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read trajectory {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format_version") != BENCH_FORMAT_VERSION
+        or not isinstance(payload.get("points"), list)
+    ):
+        raise ReproError(
+            f"{path}: unsupported trajectory layout "
+            f"(expected format_version {BENCH_FORMAT_VERSION})"
+        )
+    return payload["points"]
+
+
+def bench_point(
+    matrix: MatrixResult,
+    *,
+    label: str = "",
+    wall_time_s: float | None = None,
+) -> dict:
+    """Build one trajectory point from a result matrix.
+
+    ``wall_time_s`` is the total simulation time behind the matrix —
+    usually the sum of the matching ledger records' wall times.
+    """
+    schemes = {}
+    for scheme in matrix.schemes:
+        ipcs = [matrix.get(wl, scheme).ipc for wl in matrix.workloads]
+        schemes[scheme] = {
+            "mean_ipc": sum(ipcs) / len(ipcs) if ipcs else 0.0,
+            "raw_min_lifetime": matrix.raw_min_lifetime(scheme),
+        }
+    return {
+        "timestamp": time.time(),
+        "git_sha": current_git_sha(),
+        "label": label or matrix.label,
+        "workloads": len(matrix.workloads),
+        "cells": len(matrix.results),
+        "wall_time_s": wall_time_s,
+        "schemes": schemes,
+    }
+
+
+def append_bench_point(path: str | Path, point: dict) -> int:
+    """Append one point to a trajectory file; returns the new length."""
+    points = load_bench_trajectory(path)
+    points.append(point)
+    atomic_write_text(path, json.dumps(
+        {"format_version": BENCH_FORMAT_VERSION, "points": points},
+        indent=1,
+    ))
+    return len(points)

@@ -1,0 +1,324 @@
+"""The metric regression gate behind ``repro diff``.
+
+Two result sets — saved :class:`~repro.sim.metrics.MatrixResult` files
+or :class:`~repro.obs.ledger.RunLedger` JSONL files, in any combination
+— are reduced to ``{(workload, scheme): {metric: value}}`` maps and
+compared cell by cell under per-metric :class:`ToleranceRule`\\ s.  Any
+violated rule is a **failure finding**; ``repro diff`` prints the table
+and exits non-zero, which is what lets CI gate on "the headline numbers
+did not silently move".
+
+Rules live in a checked-in JSON file (``baselines/tolerances.json``)
+so the thresholds are versioned next to the baseline they guard::
+
+    {
+      "format_version": 1,
+      "rules": {
+        "ipc":          {"rel_tol": 0.005},
+        "min_lifetime": {"rel_tol": 0.01, "direction": "decrease"},
+        ...
+      }
+    }
+
+``direction`` limits which way a drift counts as a regression:
+``"any"`` (default) flags both ways, ``"decrease"`` only drops below
+baseline (good for lifetimes and hit rates), ``"increase"`` only rises
+(good for wall time and wear imbalance).  A metric absent from either
+side is skipped — ledger records and matrix files carry overlapping but
+not identical metric sets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.obs.ledger import RunLedger
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+
+#: Tolerance-file layout version.
+RULES_FORMAT_VERSION = 1
+
+#: Cell key: (workload, scheme).
+CellKey = tuple[str, str]
+
+#: Per-cell metric map.
+MetricMap = dict[CellKey, dict[str, float]]
+
+
+@dataclass(frozen=True)
+class ToleranceRule:
+    """Allowed drift for one metric.
+
+    ``rel_tol`` is relative to the baseline magnitude, ``abs_tol`` is an
+    absolute band; a deviation must exceed *both* to fire (so a metric
+    near zero can carry a small absolute floor under a tight relative
+    rule).  ``direction`` selects which sign of drift is a regression.
+    """
+
+    metric: str
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    direction: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("any", "increase", "decrease"):
+            raise ReproError(
+                f"tolerance rule {self.metric!r}: direction must be "
+                f"'any', 'increase' or 'decrease', got {self.direction!r}"
+            )
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ReproError(
+                f"tolerance rule {self.metric!r}: tolerances must be >= 0"
+            )
+
+    def violated_by(self, baseline: float, current: float) -> bool:
+        """True when ``current`` drifts out of tolerance from ``baseline``."""
+        delta = current - baseline
+        if self.direction == "increase" and delta <= 0:
+            return False
+        if self.direction == "decrease" and delta >= 0:
+            return False
+        allowed = max(self.abs_tol, self.rel_tol * abs(baseline))
+        return abs(delta) > allowed
+
+
+#: The built-in rules, used when no tolerance file is given.  IPC holds
+#: the paper's "within 0.5%" bar; lifetime/hit-rate/capacity only gate
+#: on losses; wear CoV and wall time only gate on growth.
+DEFAULT_RULES: dict[str, ToleranceRule] = {
+    rule.metric: rule
+    for rule in (
+        ToleranceRule("ipc", rel_tol=0.005),
+        ToleranceRule("min_lifetime", rel_tol=0.01, direction="decrease"),
+        ToleranceRule("wear_cov", rel_tol=0.02, abs_tol=0.005,
+                      direction="increase"),
+        ToleranceRule("llc_hit_rate", abs_tol=0.005, direction="decrease"),
+        ToleranceRule("effective_capacity", abs_tol=0.001,
+                      direction="decrease"),
+        ToleranceRule("wall_time_s", rel_tol=0.75, abs_tol=2.0,
+                      direction="increase"),
+    )
+}
+
+
+def load_rules(path: str | Path) -> dict[str, ToleranceRule]:
+    """Read a tolerance-rule file (see the module docstring for layout).
+
+    Raises:
+        ReproError: unreadable file, wrong version or malformed rules.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read tolerance file {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format_version") != RULES_FORMAT_VERSION
+    ):
+        raise ReproError(
+            f"{path}: unsupported tolerance file format "
+            f"(expected format_version {RULES_FORMAT_VERSION})"
+        )
+    rules_raw = payload.get("rules")
+    if not isinstance(rules_raw, dict) or not rules_raw:
+        raise ReproError(f"{path}: tolerance file has no rules")
+    rules: dict[str, ToleranceRule] = {}
+    for metric, spec in rules_raw.items():
+        if not isinstance(spec, dict):
+            raise ReproError(f"{path}: rule {metric!r} is not an object")
+        try:
+            rules[metric] = ToleranceRule(
+                metric=metric,
+                rel_tol=float(spec.get("rel_tol", 0.0)),
+                abs_tol=float(spec.get("abs_tol", 0.0)),
+                direction=str(spec.get("direction", "any")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"{path}: bad rule {metric!r}: {exc}") from exc
+    return rules
+
+
+# -- loading comparable metric maps ------------------------------------------
+
+
+def metrics_of(result: WorkloadSchemeResult) -> dict[str, float]:
+    """The gated headline metrics of one stage-2 result."""
+    return {
+        "ipc": result.ipc,
+        "min_lifetime": result.min_lifetime,
+        "wear_cov": result.wear_cov,
+        "llc_hit_rate": result.llc_fetch_hit_rate,
+        "effective_capacity": result.effective_capacity,
+    }
+
+
+def matrix_metric_map(matrix: MatrixResult) -> MetricMap:
+    """Metric map of every cell in a result matrix."""
+    return {
+        key: metrics_of(result) for key, result in matrix.results.items()
+    }
+
+
+def ledger_metric_map(records) -> MetricMap:
+    """Metric map of ledger records (last record per cell wins).
+
+    Wall time is comparable across ledger entries, so it joins the
+    metric set here (matrix files do not carry it).
+    """
+    out: MetricMap = {}
+    for record in records:
+        metrics = dict(record.metrics)
+        metrics["wall_time_s"] = record.wall_time_s
+        out[(record.workload, record.scheme)] = metrics
+    return out
+
+
+def load_comparable(path: str | Path) -> MetricMap:
+    """Load a matrix JSON or ledger JSONL file into a metric map.
+
+    The format is sniffed from the content: a JSON object with a
+    ``results`` list is a :func:`~repro.sim.store.save_matrix` file;
+    anything else is treated as a ledger.
+
+    Raises:
+        ReproError: unreadable or unrecognisable file, or an empty
+            result set (diffing nothing is a usage error, not a pass).
+    """
+    from repro.sim.store import load_matrix
+
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    if not text.strip():
+        raise ReproError(f"{path}: empty result file")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None  # not one JSON document: treat as ledger JSONL
+    if isinstance(payload, dict) and "results" in payload:
+        cells = matrix_metric_map(load_matrix(path))
+        if not cells:
+            raise ReproError(f"{path}: matrix holds no results")
+        return cells
+    cells = ledger_metric_map(RunLedger(path).load())
+    if not cells:
+        raise ReproError(f"{path}: no ledger run records found")
+    return cells
+
+
+# -- the comparison ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffFinding:
+    """One compared (cell, metric) line of a diff."""
+
+    workload: str
+    scheme: str
+    metric: str
+    baseline: float | None
+    current: float | None
+    ok: bool
+    note: str = ""
+
+    @property
+    def delta_pct(self) -> float | None:
+        """Relative drift in percent (None when undefined)."""
+        if self.baseline in (None, 0.0) or self.current is None:
+            return None
+        return 100.0 * (self.current - self.baseline) / abs(self.baseline)
+
+
+def diff_metric_maps(
+    baseline: MetricMap,
+    current: MetricMap,
+    rules: dict[str, ToleranceRule] | None = None,
+) -> list[DiffFinding]:
+    """Compare two metric maps cell by cell under the tolerance rules.
+
+    Only metrics with a rule are gated; a baseline cell missing from
+    ``current`` is a failure (a silently dropped experiment is a
+    regression too), while an extra current cell is an informational
+    pass.  Findings come back in (workload, scheme, metric) order,
+    failures and passes alike, so callers can render the full table.
+    """
+    rules = DEFAULT_RULES if rules is None else rules
+    findings: list[DiffFinding] = []
+    for key in sorted(set(baseline) | set(current)):
+        workload, scheme = key
+        if key not in current:
+            findings.append(DiffFinding(
+                workload, scheme, "*", None, None,
+                ok=False, note="cell missing from current results",
+            ))
+            continue
+        if key not in baseline:
+            findings.append(DiffFinding(
+                workload, scheme, "*", None, None,
+                ok=True, note="new cell (not in baseline)",
+            ))
+            continue
+        base_metrics, cur_metrics = baseline[key], current[key]
+        for metric in sorted(set(base_metrics) & set(cur_metrics)):
+            rule = rules.get(metric)
+            if rule is None:
+                continue
+            base_value = base_metrics[metric]
+            cur_value = cur_metrics[metric]
+            bad = rule.violated_by(base_value, cur_value)
+            findings.append(DiffFinding(
+                workload, scheme, metric, base_value, cur_value,
+                ok=not bad,
+                note="" if not bad else _limit_text(rule),
+            ))
+    return findings
+
+
+def _limit_text(rule: ToleranceRule) -> str:
+    parts = []
+    if rule.rel_tol:
+        parts.append(f"±{100 * rule.rel_tol:g}%")
+    if rule.abs_tol:
+        parts.append(f"±{rule.abs_tol:g} abs")
+    limit = " or ".join(parts) if parts else "exact"
+    if rule.direction != "any":
+        limit += f" ({rule.direction} only)"
+    return f"exceeds {limit}"
+
+
+def render_findings(findings: list[DiffFinding], *, verbose: bool = False) -> str:
+    """Human-readable diff table (failures always; passes when verbose)."""
+    from repro.experiments.report import format_table
+
+    shown = findings if verbose else [f for f in findings if not f.ok]
+    failures = sum(1 for f in findings if not f.ok)
+    compared = sum(1 for f in findings if f.metric != "*")
+    lines = []
+    if shown:
+        rows = []
+        for f in shown:
+            delta = f.delta_pct
+            rows.append((
+                "ok" if f.ok else "FAIL",
+                f.workload, f.scheme, f.metric,
+                "-" if f.baseline is None else f"{f.baseline:.4f}",
+                "-" if f.current is None else f"{f.current:.4f}",
+                "-" if delta is None else f"{delta:+.2f}%",
+                f.note,
+            ))
+        lines.append(format_table(
+            ["", "workload", "scheme", "metric", "baseline", "current",
+             "drift", "note"],
+            rows,
+        ))
+    lines.append(
+        f"{compared} metric comparisons, {failures} violation(s)"
+        if failures else
+        f"{compared} metric comparisons, all within tolerance"
+    )
+    return "\n".join(lines)

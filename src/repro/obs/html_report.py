@@ -1,0 +1,575 @@
+"""Self-contained HTML reports (``repro report --html``).
+
+One call — :func:`render_html_report` — turns a
+:class:`~repro.sim.metrics.MatrixResult` (plus, optionally, the run
+ledger behind it) into a **single HTML file with zero external
+references**: styles are one inline ``<style>`` block, every chart is
+inline SVG, there are no scripts, no fonts, no images and no URLs to
+fetch.  The file can be archived as a CI artifact or mailed around and
+will render identically forever.
+
+Sections, in order: headline stat tiles, scheme-comparison bars against
+the paper's targets (Re-NUCA: +42 % raw minimum lifetime over R-NUCA at
+within-0.5 % IPC), per-cell wear heatmaps over time (interval series
+when recorded, end-of-run totals otherwise), interval write timelines,
+the profiler phase table and the ledger run history.  Every chart has a
+table twin in the markup, so the numbers are never color-alone.
+
+Colors follow the dataviz palette contract: categorical slots in fixed
+order for schemes (identity), a single-hue blue ramp for the heatmap
+(magnitude), text in ink tokens — with a selected dark mode via
+``prefers-color-scheme``, not an automatic flip.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from collections.abc import Sequence
+
+from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
+
+#: Fixed categorical slot order (light, dark) — identity colors for
+#: schemes, assigned by first appearance, never cycled.  Slots 1-3
+#: (blue/orange/aqua) validate all-pairs; past slot 3 the report leans
+#: on direct labels and the table twins.
+_SERIES = (
+    ("#2a78d6", "#3987e5"),   # 1 blue
+    ("#eb6834", "#d95926"),   # 2 orange
+    ("#1baf7a", "#199e70"),   # 3 aqua
+    ("#eda100", "#c98500"),   # 4 yellow
+    ("#e87ba4", "#d55181"),   # 5 magenta
+    ("#008300", "#008300"),   # 6 green
+    ("#4a3aa7", "#9085e9"),   # 7 violet
+    ("#e34948", "#e66767"),   # 8 red
+)
+
+#: Single-hue sequential ramp (blue 100..700) for the wear heatmap.
+_HEAT_LIGHT = ("#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5",
+               "#2a78d6", "#1c5cab", "#104281", "#0d366b")
+_HEAT_DARK = ("#0d366b", "#104281", "#184f95", "#1c5cab",
+              "#256abf", "#2a78d6", "#3987e5", "#5598e7")
+
+#: Wear heatmaps rendered at most (the grid grows as workloads x schemes).
+MAX_HEATMAPS = 6
+
+#: Ledger rows shown in the history table.
+MAX_LEDGER_ROWS = 30
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+# -- SVG building blocks -----------------------------------------------------
+
+
+def _svg_open(width: int, height: int, label: str) -> str:
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'style="max-width:{width}px" role="img" '
+        f'aria-label="{_esc(label)}">'
+    )
+
+
+def _hbar_chart(
+    rows: Sequence[tuple[str, float, int]],
+    *,
+    label: str,
+    unit: str = "",
+    targets: Sequence[tuple[float, str]] = (),
+    digits: int = 2,
+) -> str:
+    """Horizontal bar chart: (label, value, series slot) rows.
+
+    Values may be negative (the zero baseline is drawn where it falls);
+    ``targets`` draws labelled reference ticks at given values.
+    """
+    if not rows:
+        return '<p class="note">(no data)</p>'
+    bar_h, gap, left, right, top = 18, 8, 150, 70, 8
+    width = 640
+    plot_w = width - left - right
+    height = top * 2 + len(rows) * (bar_h + gap)
+    values = [v for _, v, _ in rows]
+    lo = min(0.0, min(values), *(t for t, _ in targets)) if targets else min(0.0, min(values))
+    hi = max(0.0, max(values), *(t for t, _ in targets)) if targets else max(0.0, max(values))
+    span = (hi - lo) or 1.0
+
+    def x_of(value: float) -> float:
+        return left + (value - lo) / span * plot_w
+
+    parts = [_svg_open(width, height, label)]
+    zero_x = x_of(0.0)
+    parts.append(
+        f'<line class="baseline" x1="{zero_x:.1f}" y1="{top}" '
+        f'x2="{zero_x:.1f}" y2="{height - top}"/>'
+    )
+    for i, (name, value, slot) in enumerate(rows):
+        y = top + i * (bar_h + gap)
+        x0, x1 = sorted((zero_x, x_of(value)))
+        bar_w = max(1.0, x1 - x0)
+        mid = y + bar_h / 2 + 4
+        parts.append(
+            f'<text class="lbl" x="{left - 8}" y="{mid:.1f}" '
+            f'text-anchor="end">{_esc(name)}</text>'
+        )
+        parts.append(
+            f'<rect class="s{slot % len(_SERIES)}" x="{x0:.1f}" y="{y}" '
+            f'width="{bar_w:.1f}" height="{bar_h}" rx="4">'
+            f"<title>{_esc(name)}: {_fmt(value, digits)}{_esc(unit)}</title>"
+            f"</rect>"
+        )
+        anchor_x = x1 + 6 if value >= 0 else x0 - 6
+        anchor = "start" if value >= 0 else "end"
+        parts.append(
+            f'<text class="val" x="{anchor_x:.1f}" y="{mid:.1f}" '
+            f'text-anchor="{anchor}">{_fmt(value, digits)}{_esc(unit)}</text>'
+        )
+    for t_value, t_label in targets:
+        tx = x_of(t_value)
+        parts.append(
+            f'<line class="target" x1="{tx:.1f}" y1="{top - 4}" '
+            f'x2="{tx:.1f}" y2="{height - top}"/>'
+            f'<text class="lbl" x="{tx:.1f}" y="{top - 8}" '
+            f'text-anchor="middle">{_esc(t_label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _heatmap(
+    matrix: Sequence[Sequence[float]],
+    *,
+    label: str,
+    row_name: str = "bank",
+    col_name: str = "interval",
+) -> str:
+    """Banks x intervals heat grid on the sequential ramp."""
+    rows = [list(row) for row in matrix]
+    if not rows or not rows[0]:
+        return '<p class="note">(no data)</p>'
+    n_rows, n_cols = len(rows), len(rows[0])
+    cell_w = max(6, min(22, 440 // n_cols))
+    cell_h = 12
+    left, top, pad = 54, 6, 2
+    width = left + n_cols * cell_w + 10
+    height = top + n_rows * cell_h + 24
+    peak = max((v for row in rows for v in row), default=0.0) or 1.0
+    parts = [_svg_open(width, height, label)]
+    for r, row in enumerate(rows):
+        y = top + r * cell_h
+        if n_rows <= 16 or r % 2 == 0:
+            parts.append(
+                f'<text class="lbl" x="{left - 6}" y="{y + cell_h - 2}" '
+                f'text-anchor="end">{_esc(row_name)}{r}</text>'
+            )
+        for c, value in enumerate(row):
+            shade = min(7, int(value / peak * 7.999))
+            parts.append(
+                f'<rect class="h{shade}" x="{left + c * cell_w}" y="{y}" '
+                f'width="{cell_w - pad}" height="{cell_h - pad}">'
+                f"<title>{_esc(row_name)}{r}, {_esc(col_name)}{c}: "
+                f"{value:.0f}</title></rect>"
+            )
+    parts.append(
+        f'<text class="lbl" x="{left}" y="{height - 6}">'
+        f"{n_cols} {_esc(col_name)}s &#8594; (peak {peak:.0f} writes/cell)</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _timeline(
+    series: dict[str, list[float]],
+    slots: dict[str, int],
+    *,
+    label: str,
+    y_label: str,
+) -> str:
+    """Multi-series line chart on a shared x (interval index) axis."""
+    series = {k: v for k, v in series.items() if v}
+    if not series:
+        return '<p class="note">(no data)</p>'
+    width, height, left, top = 640, 200, 56, 14
+    plot_w, plot_h = width - left - 16, height - top - 30
+    n = max(len(v) for v in series.values())
+    peak = max((v for vals in series.values() for v in vals), default=0.0) or 1.0
+    parts = [_svg_open(width, height, label)]
+    for frac in (0.0, 0.5, 1.0):
+        gy = top + plot_h * (1 - frac)
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{gy:.1f}" '
+            f'x2="{left + plot_w}" y2="{gy:.1f}"/>'
+            f'<text class="lbl" x="{left - 6}" y="{gy + 4:.1f}" '
+            f'text-anchor="end">{frac * peak:.0f}</text>'
+        )
+    for name, values in series.items():
+        slot = slots.get(name, 0) % len(_SERIES)
+        points = []
+        for i, value in enumerate(values):
+            x = left + (i / max(1, n - 1)) * plot_w
+            y = top + plot_h * (1 - value / peak)
+            points.append(f"{x:.1f},{y:.1f}")
+        parts.append(
+            f'<polyline class="l{slot}" points="{" ".join(points)}">'
+            f"<title>{_esc(name)}</title></polyline>"
+        )
+        end_x, end_y = points[-1].split(",")
+        parts.append(
+            f'<circle class="s{slot}" cx="{end_x}" cy="{end_y}" r="3"/>'
+            f'<text class="lbl" x="{float(end_x) - 4:.1f}" '
+            f'y="{float(end_y) - 7:.1f}" text-anchor="end">{_esc(name)}</text>'
+        )
+    parts.append(
+        f'<text class="lbl" x="{left}" y="{height - 6}">'
+        f"{_esc(y_label)} per interval &#8594; {n} intervals</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(slots: dict[str, int]) -> str:
+    chips = "".join(
+        f'<span class="chip"><span class="swatch s{slot % len(_SERIES)}">'
+        f"</span>{_esc(name)}</span>"
+        for name, slot in slots.items()
+    )
+    return f'<div class="legend">{chips}</div>'
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+# -- the report --------------------------------------------------------------
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+body { margin: 0 auto; max-width: 980px; padding: 24px 20px 60px;
+       background: var(--page); color: var(--ink);
+       font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 22px; margin: 0 0 2px; }
+h2 { font-size: 16px; margin: 34px 0 10px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.note { color: var(--muted); font-size: 13px; }
+section.card { background: var(--surface); border: 1px solid var(--border);
+               border-radius: 8px; padding: 14px 16px; margin: 14px 0; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile { background: var(--surface); border: 1px solid var(--border);
+        border-radius: 8px; padding: 10px 16px; min-width: 150px; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+.tile .v { font-size: 24px; }
+.tile .d { color: var(--muted); font-size: 12px; }
+table { border-collapse: collapse; margin: 8px 0; font-size: 13px; }
+th, td { text-align: right; padding: 3px 10px;
+         font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600;
+     border-bottom: 1px solid var(--axis); }
+th:first-child, td:first-child { text-align: left; }
+tbody tr:nth-child(even) { background: color-mix(in srgb, var(--grid) 35%, transparent); }
+.legend { margin: 4px 0 8px; }
+.chip { margin-right: 14px; color: var(--ink-2); font-size: 13px; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          border-radius: 2px; margin-right: 5px; }
+svg { display: block; margin: 6px 0; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+svg .lbl { fill: var(--muted); }
+svg .val { fill: var(--ink-2); }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .baseline { stroke: var(--axis); stroke-width: 1; }
+svg .target { stroke: var(--ink-2); stroke-width: 1;
+              stroke-dasharray: 3 3; }
+svg polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
+details summary { cursor: pointer; color: var(--ink-2); font-size: 13px; }
+"""
+
+
+def _series_css() -> str:
+    lines = []
+    for i, (light, dark) in enumerate(_SERIES):
+        lines.append(f"svg .s{i}, .swatch.s{i} {{ fill: {light}; background: {light}; }}")
+        lines.append(f"svg .l{i} {{ stroke: {light}; }}")
+    for i, shade in enumerate(_HEAT_LIGHT):
+        lines.append(f"svg .h{i} {{ fill: {shade}; }}")
+    dark_lines = []
+    for i, (light, dark) in enumerate(_SERIES):
+        dark_lines.append(
+            f"svg .s{i}, .swatch.s{i} {{ fill: {dark}; background: {dark}; }}"
+        )
+        dark_lines.append(f"svg .l{i} {{ stroke: {dark}; }}")
+    for i, shade in enumerate(_HEAT_DARK):
+        dark_lines.append(f"svg .h{i} {{ fill: {shade}; }}")
+    return (
+        "\n".join(lines)
+        + "\n@media (prefers-color-scheme: dark) {\n"
+        + "\n".join(dark_lines)
+        + "\n}"
+    )
+
+
+def _first_intervals(
+    matrix: MatrixResult,
+) -> list[tuple[str, str, WorkloadSchemeResult]]:
+    """Cells that carry an interval series, in matrix order."""
+    out = []
+    for workload in matrix.workloads:
+        for scheme in matrix.schemes:
+            result = matrix.results.get((workload, scheme))
+            if result is not None and result.intervals is not None \
+                    and len(result.intervals):
+                out.append((workload, scheme, result))
+    return out
+
+
+def render_html_report(
+    matrix: MatrixResult,
+    *,
+    ledger_records: Sequence | None = None,
+    title: str = "Re-NUCA result report",
+) -> str:
+    """Render the full single-file report; returns the HTML text."""
+    slots = {scheme: i for i, scheme in enumerate(matrix.schemes)}
+    chunks: list[str] = []
+    generated = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime())
+    sha = None
+    if ledger_records:
+        for record in reversed(list(ledger_records)):
+            if record.git_sha:
+                sha = record.git_sha
+                break
+    chunks.append(f"<h1>{_esc(title)}</h1>")
+    chunks.append(
+        f'<p class="sub">matrix <b>{_esc(matrix.label)}</b> &#183; '
+        f"{len(matrix.workloads)} workloads &#215; "
+        f"{len(matrix.schemes)} schemes &#183; generated {generated} UTC"
+        + (f" &#183; commit {_esc(sha[:12])}" if sha else "")
+        + "</p>"
+    )
+
+    # Headline tiles.
+    tiles = []
+    for scheme in matrix.schemes:
+        ipcs = [matrix.get(wl, scheme).ipc for wl in matrix.workloads]
+        mean_ipc = sum(ipcs) / len(ipcs)
+        tiles.append(
+            '<div class="tile">'
+            f'<div class="k">{_esc(scheme)}</div>'
+            f'<div class="v">{mean_ipc:.2f}</div>'
+            f'<div class="d">mean IPC &#183; raw min life '
+            f"{matrix.raw_min_lifetime(scheme):.2f} y</div></div>"
+        )
+    chunks.append(f'<div class="tiles">{"".join(tiles)}</div>')
+
+    # Scheme comparison vs paper targets.
+    chunks.append('<section class="card"><h2>Scheme comparison vs paper targets</h2>')
+    baseline = "S-NUCA" if "S-NUCA" in matrix.schemes else matrix.schemes[0]
+    others = [s for s in matrix.schemes if s != baseline]
+    if others:
+        rows = []
+        for scheme in others:
+            rows.append((
+                f"{scheme} IPC vs {baseline}",
+                matrix.mean_ipc_improvement(scheme, baseline),
+                slots[scheme],
+            ))
+        chunks.append(_legend({s: slots[s] for s in others}))
+        chunks.append(_hbar_chart(
+            rows, label="Mean IPC improvement", unit="%",
+        ))
+        chunks.append(
+            '<p class="note">Paper bar: Re-NUCA holds IPC within '
+            "&#177;0.5 % of R-NUCA.</p>"
+        )
+    life_rows = [
+        (scheme, matrix.raw_min_lifetime(scheme), slots[scheme])
+        for scheme in matrix.schemes
+    ]
+    life_targets = []
+    if "R-NUCA" in matrix.schemes:
+        life_targets.append(
+            (1.42 * matrix.raw_min_lifetime("R-NUCA"), "+42% vs R-NUCA")
+        )
+    chunks.append(_hbar_chart(
+        life_rows, label="Raw minimum lifetime", unit=" y",
+        targets=life_targets,
+    ))
+    metric_rows = []
+    for workload in matrix.workloads:
+        for scheme in matrix.schemes:
+            r = matrix.get(workload, scheme)
+            metric_rows.append((
+                workload, scheme, _fmt(r.ipc), _fmt(r.min_lifetime),
+                _fmt(r.wear_cov, 3), _fmt(100 * r.llc_fetch_hit_rate, 1) + "%",
+            ))
+    chunks.append("<details><summary>table view: all cells</summary>")
+    chunks.append(_table(
+        ["workload", "scheme", "IPC", "min life [y]", "wear CoV", "LLC hit"],
+        metric_rows,
+    ))
+    chunks.append("</details></section>")
+
+    # Wear heatmaps over time.
+    chunks.append('<section class="card"><h2>Wear heatmaps</h2>')
+    with_intervals = _first_intervals(matrix)
+    if with_intervals:
+        shown = with_intervals[:MAX_HEATMAPS]
+        for workload, scheme, result in shown:
+            try:
+                grid = result.intervals.bank_write_matrix().T
+            except Exception:
+                continue
+            chunks.append(f"<h3>{_esc(workload)} / {_esc(scheme)}</h3>")
+            chunks.append(_heatmap(
+                grid.tolist(),
+                label=f"bank writes over intervals, {workload}/{scheme}",
+            ))
+        if len(with_intervals) > len(shown):
+            chunks.append(
+                f'<p class="note">showing {len(shown)} of '
+                f"{len(with_intervals)} cells with interval series.</p>"
+            )
+    else:
+        chunks.append(
+            '<p class="note">No interval series recorded (run with '
+            "telemetry interval dumps for the over-time view); showing "
+            "end-of-run totals.</p>"
+        )
+        for scheme in matrix.schemes:
+            totals = [
+                [float(matrix.get(wl, scheme).bank_writes[b])
+                 for wl in matrix.workloads]
+                for b in range(len(matrix.get(
+                    matrix.workloads[0], scheme).bank_writes))
+            ]
+            chunks.append(f"<h3>{_esc(scheme)}</h3>")
+            chunks.append(_heatmap(
+                totals, col_name="workload",
+                label=f"total bank writes per workload, {scheme}",
+            ))
+    chunks.append("</section>")
+
+    # Interval timelines.
+    chunks.append('<section class="card"><h2>Interval write timelines</h2>')
+    if with_intervals:
+        workload = with_intervals[0][0]
+        lines: dict[str, list[float]] = {}
+        for wl, scheme, result in with_intervals:
+            if wl != workload or scheme in lines:
+                continue
+            try:
+                lines[scheme] = [
+                    float(v)
+                    for v in result.intervals.bank_write_matrix().sum(axis=1)
+                ]
+            except Exception:
+                continue
+        chunks.append(_legend({s: slots.get(s, 0) for s in lines}))
+        chunks.append(_timeline(
+            lines, slots,
+            label=f"LLC writes per interval, {workload}",
+            y_label=f"{workload}: LLC writes",
+        ))
+    else:
+        chunks.append('<p class="note">(needs interval series)</p>')
+    chunks.append("</section>")
+
+    # Profiler phases (from the ledger).
+    chunks.append('<section class="card"><h2>Profiler phases</h2>')
+    phase_totals: dict[str, float] = {}
+    profiled = 0
+    for record in ledger_records or ():
+        if record.profile:
+            profiled += 1
+            for phase, seconds in record.profile.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+    if phase_totals:
+        total = sum(v for k, v in phase_totals.items() if "/" not in k) or 1.0
+        chunks.append(_table(
+            ["phase", "seconds", "share"],
+            [
+                (phase, _fmt(seconds, 3),
+                 _fmt(100 * seconds / total, 1) + "%")
+                for phase, seconds in sorted(phase_totals.items())
+            ],
+        ))
+        chunks.append(
+            f'<p class="note">aggregated over {profiled} profiled '
+            "ledger runs.</p>"
+        )
+    else:
+        chunks.append(
+            '<p class="note">No profiled runs in the ledger '
+            "(run with --profile --ledger).</p>"
+        )
+    chunks.append("</section>")
+
+    # Ledger history.
+    chunks.append('<section class="card"><h2>Run ledger history</h2>')
+    records = list(ledger_records or ())
+    if records:
+        recent = records[-MAX_LEDGER_ROWS:]
+        rows = []
+        for record in reversed(recent):
+            when = time.strftime(
+                "%Y-%m-%d %H:%M", time.gmtime(record.timestamp)
+            ) if record.timestamp else "-"
+            rows.append((
+                record.run_id, when,
+                f"{record.workload}/{record.scheme}", record.source,
+                _fmt(record.metrics.get("ipc", 0.0)),
+                _fmt(record.metrics.get("min_lifetime", 0.0)),
+                f"{record.wall_time_s:.2f}s",
+                (record.git_sha or "-")[:10],
+            ))
+        chunks.append(_table(
+            ["run", "when (UTC)", "cell", "source", "IPC",
+             "min life [y]", "wall", "commit"],
+            rows,
+        ))
+        if len(records) > len(recent):
+            chunks.append(
+                f'<p class="note">showing the most recent {len(recent)} '
+                f"of {len(records)} ledger records.</p>"
+            )
+    else:
+        chunks.append(
+            '<p class="note">No ledger supplied (pass --ledger to include '
+            "run history).</p>"
+        )
+    chunks.append("</section>")
+
+    body = "\n".join(chunks)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}\n{_series_css()}</style>\n"
+        "</head>\n<body>\n"
+        f"{body}\n"
+        "</body>\n</html>\n"
+    )

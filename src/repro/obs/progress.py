@@ -1,0 +1,165 @@
+"""Live sweep progress: one rewriting status line over a job stream.
+
+The sweep scheduler (:func:`repro.jobs.scheduler.run_jobs`) emits
+:class:`JobEvent` notifications through its ``observer`` hook as cells
+are dispatched, served from the cache or journal, retried and
+completed.  :class:`SweepProgress` folds that stream into a single
+``\\r``-rewritten status line::
+
+    [#########...........]  5/12 cells | 2 cached, 1 resumed | 4 running: WL1/Re-NUCA … | ETA 18s
+
+The ETA is a running mean: completed-execution wall times are averaged
+and scaled by the remaining cell count over the worker count.  Cells
+served from the cache or journal are free and never pollute the mean.
+
+The renderer writes to any text stream (stderr by default) and keeps
+redraws at most one per ``min_redraw_s`` except for terminal events, so
+a thousand-cell sweep does not melt a slow console.  ``close()`` ends
+the line with a newline and a final summary so the last state stays in
+the scrollback.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+#: Observer event kinds emitted by the scheduler.
+EVENT_KINDS = ("dispatch", "done", "cache", "resumed", "retry")
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One scheduler notification: what just happened to which cell."""
+
+    kind: str
+    #: Short human-readable cell label (``WL1/Re-NUCA``).
+    label: str
+    #: Job index in submission order.
+    index: int
+    #: Wall seconds the execution took (``done`` events only).
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class SweepProgress:
+    """Single-line live renderer for a sweep's :class:`JobEvent` stream."""
+
+    total: int
+    workers: int = 1
+    stream: object = None
+    bar_width: int = 20
+    min_redraw_s: float = 0.1
+    _done: int = 0
+    _cached: int = 0
+    _resumed: int = 0
+    _retries: int = 0
+    _in_flight: dict[int, str] = field(default_factory=dict)
+    _durations: list[float] = field(default_factory=list)
+    _started: float = field(default_factory=time.monotonic)
+    _last_draw: float = 0.0
+    _last_width: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stream is None:
+            self.stream = sys.stderr
+
+    # -- event folding -------------------------------------------------------
+
+    def __call__(self, event: JobEvent) -> None:
+        """The scheduler's ``observer`` hook."""
+        force = False
+        if event.kind == "dispatch":
+            self._in_flight[event.index] = event.label
+        elif event.kind == "done":
+            self._in_flight.pop(event.index, None)
+            self._done += 1
+            self._durations.append(event.wall_time_s)
+            force = self.completed == self.total
+        elif event.kind == "cache":
+            self._cached += 1
+            force = self.completed == self.total
+        elif event.kind == "resumed":
+            self._resumed += 1
+            force = self.completed == self.total
+        elif event.kind == "retry":
+            self._retries += 1
+        self._draw(force=force)
+
+    @property
+    def completed(self) -> int:
+        """Cells resolved so far, by any tier."""
+        return self._done + self._cached + self._resumed
+
+    def eta_seconds(self) -> float | None:
+        """Running-mean ETA over the remaining cells (None before data)."""
+        remaining = self.total - self.completed
+        if remaining <= 0:
+            return 0.0
+        if not self._durations:
+            return None
+        mean = sum(self._durations) / len(self._durations)
+        return remaining * mean / max(1, self.workers)
+
+    # -- rendering -----------------------------------------------------------
+
+    def status_line(self) -> str:
+        """The current one-line status (without the carriage return)."""
+        filled = (
+            round(self.bar_width * self.completed / self.total)
+            if self.total else self.bar_width
+        )
+        bar = "#" * filled + "." * (self.bar_width - filled)
+        parts = [f"[{bar}] {self.completed}/{self.total} cells"]
+        served = []
+        if self._cached:
+            served.append(f"{self._cached} cached")
+        if self._resumed:
+            served.append(f"{self._resumed} resumed")
+        if self._retries:
+            served.append(f"{self._retries} retried")
+        if served:
+            parts.append(", ".join(served))
+        if self._in_flight:
+            labels = [self._in_flight[i] for i in sorted(self._in_flight)]
+            shown = labels[0] if len(labels) == 1 else f"{labels[0]} …"
+            parts.append(f"{len(labels)} running: {shown}")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append("done" if eta == 0.0 else f"ETA {_fmt_secs(eta)}")
+        return " | ".join(parts)
+
+    def _draw(self, *, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_draw < self.min_redraw_s:
+            return
+        self._last_draw = now
+        line = self.status_line()
+        pad = max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Finish the line: redraw the final state and append a newline."""
+        self._draw(force=True)
+        elapsed = time.monotonic() - self._started
+        self.stream.write(f"\n({_fmt_secs(elapsed)} elapsed)\n")
+        self.stream.flush()
+
+    def __enter__(self) -> "SweepProgress":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _fmt_secs(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

@@ -70,6 +70,15 @@ class WorkloadSchemeResult:
         return float(self.bank_lifetimes.min())
 
     @property
+    def wear_cov(self) -> float:
+        """Per-bank write coefficient of variation (lower = more even wear)."""
+        writes = self.bank_writes
+        mean = float(writes.mean()) if writes.size else 0.0
+        if mean == 0.0:
+            return 0.0
+        return float(writes.std() / mean)
+
+    @property
     def degraded(self) -> bool:
         """True when faults actually affected this run.
 

@@ -17,6 +17,7 @@ instructions per core reproduce the shapes at laptop scale.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -261,6 +262,7 @@ def run_workload(
     stage1: Stage1Cache | None = None,
     fault_config: FaultConfig | None = None,
     telemetry: Telemetry | None = None,
+    ledger=None,
 ) -> WorkloadSchemeResult:
     """Stage-2 simulation of one workload under one NUCA scheme.
 
@@ -278,6 +280,13 @@ def run_workload(
     phase periodically snapshots the registry into the result's
     ``intervals`` series.  Passing ``None`` (the default) leaves the
     simulation on its un-instrumented fast path.
+
+    ``ledger`` — a :class:`~repro.obs.ledger.RunLedger` or its path —
+    appends one provenance record for this run (identity, fingerprint,
+    wall time, headline metrics, and — when the telemetry profiler is
+    enabled — this run's phase totals).  Sweeps should pass the ledger
+    to :func:`run_matrix`/``run_jobs`` instead, which also stamp how
+    each cell was resolved.
     """
     config = config or baseline_config()
     if workload.num_cores != config.num_cores:
@@ -289,6 +298,10 @@ def run_workload(
     if telemetry is not None:
         stage1.bind_telemetry(telemetry.registry)
     prof = telemetry.profiler if telemetry is not None else DISABLED_PROFILER
+    # Ledger provenance: wall time from here; profiler phase totals as a
+    # delta, so a handle reused across runs records only this run's share.
+    run_started = time.perf_counter()
+    prof_before = prof.export_state() if prof.enabled else []
     with prof.phase("stage1"):
         results1 = [
             stage1.get(app, config, seed=seed, n_instructions=n_instructions)
@@ -460,7 +473,7 @@ def run_workload(
         )
 
     critical_fraction = getattr(policy, "critical_fraction", 0.0)
-    return WorkloadSchemeResult(
+    result = WorkloadSchemeResult(
         workload=workload.name,
         scheme=scheme,
         apps=workload.apps,
@@ -486,6 +499,34 @@ def run_workload(
         intervals=intervals,
     )
 
+    if ledger is not None:
+        from repro.jobs.spec import JobSpec
+        from repro.obs.ledger import RunRecord, as_ledger
+
+        profile: dict[str, float] = {}
+        if prof.enabled:
+            before = {tuple(p): s for p, _calls, s in prof_before}
+            for path, _calls, seconds in prof.export_state():
+                share = seconds - before.get(tuple(path), 0.0)
+                if share > 0.0:
+                    profile["/".join(path)] = share
+        fingerprint = JobSpec.for_run(
+            workload, scheme, config,
+            seed=seed, n_instructions=n_instructions,
+            fault_config=fault_config,
+        ).fingerprint()
+        with as_ledger(ledger) as run_ledger:
+            run_ledger.append(RunRecord.for_result(
+                result,
+                seed=seed,
+                n_instructions=n_instructions,
+                wall_time_s=time.perf_counter() - run_started,
+                fingerprint=fingerprint,
+                profile=profile,
+            ))
+
+    return result
+
 
 def run_matrix(
     workloads: list[Workload],
@@ -504,6 +545,8 @@ def run_matrix(
     journal=None,
     resume: bool = False,
     retries: int = 1,
+    observer=None,
+    ledger=None,
 ) -> MatrixResult:
     """Run every workload under every scheme (the paper's result grid).
 
@@ -529,6 +572,10 @@ def run_matrix(
       resumption of an interrupted sweep.
     * ``retries`` — per-cell retries on transient (non-``ReproError``)
       failures.
+    * ``observer`` — live :class:`~repro.obs.progress.JobEvent` hook
+      (what ``repro sweep --progress`` renders).
+    * ``ledger`` — :class:`~repro.obs.ledger.RunLedger` (or path); one
+      provenance record per cell, appended after the grid resolves.
     """
     from repro.jobs.scheduler import matrix_jobs, run_jobs
 
@@ -555,6 +602,8 @@ def run_matrix(
             None if progress is None
             else lambda job: progress(job.spec.workload, job.spec.scheme)
         ),
+        observer=observer,
+        ledger=ledger,
     )
     for result in results:
         matrix.add(result)

@@ -73,6 +73,37 @@ class Profiler:
                 entry[1] += elapsed
             self._stack.pop()
 
+    # -- cross-process merging ----------------------------------------------
+
+    def export_state(self) -> list[tuple[list[str], int, float]]:
+        """Picklable ``(path, calls, seconds)`` dump for cross-process merging.
+
+        A sweep worker exports its profiler this way so the parent can
+        fold the timings in with :meth:`merge_state` — without it,
+        parallel runs would silently drop every phase timed inside the
+        worker processes.
+        """
+        return [
+            [list(path), acc[0], acc[1]]
+            for path, acc in sorted(self._acc.items())
+        ]
+
+    def merge_state(self, state: list[tuple[list[str], int, float]]) -> None:
+        """Accumulate another profiler's :meth:`export_state` into this one.
+
+        Call counts and inclusive seconds add up per phase path, so the
+        merged report reads as total worker-side wall time (which can
+        exceed the parent's elapsed time when workers run concurrently).
+        """
+        for path, calls, seconds in state:
+            key = tuple(path)
+            entry = self._acc.get(key)
+            if entry is None:
+                self._acc[key] = [int(calls), float(seconds)]
+            else:
+                entry[0] += int(calls)
+                entry[1] += float(seconds)
+
     def totals(self) -> dict[str, float]:
         """Inclusive seconds per phase path ("a/b" for nested phases)."""
         return {"/".join(path): acc[1] for path, acc in sorted(self._acc.items())}

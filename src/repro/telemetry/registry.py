@@ -16,10 +16,22 @@ dumper records and the store persists.
 from __future__ import annotations
 
 import re
+from collections import deque
 from collections.abc import Callable
+
+import numpy as np
 
 from repro.common.errors import ReproError
 from repro.common.stats import RunningStats
+
+#: Observations retained per histogram for percentile summaries.  The
+#: Welford moments are exact over the whole stream; percentiles are
+#: computed over a sliding window of the most recent observations so a
+#: histogram's memory stays bounded on arbitrarily long runs.
+PERCENTILE_WINDOW = 4096
+
+#: Percentiles exposed by :meth:`StatsRegistry.snapshot` (as ``name.pNN``).
+PERCENTILES = (50, 90, 99)
 
 #: Hierarchical instrument names: dotted lowercase segments, each
 #: starting with a letter (``llc.bank3.writes``).
@@ -87,17 +99,32 @@ class Gauge:
 
 
 class Histogram:
-    """A :class:`~repro.common.stats.RunningStats`-backed distribution."""
+    """A :class:`~repro.common.stats.RunningStats`-backed distribution.
 
-    __slots__ = ("name", "stats")
+    Besides the exact streaming moments, the most recent
+    :data:`PERCENTILE_WINDOW` observations are retained so snapshots can
+    report p50/p90/p99 summaries with bounded memory.
+    """
+
+    __slots__ = ("name", "stats", "recent")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.stats = RunningStats()
+        self.recent: deque[float] = deque(maxlen=PERCENTILE_WINDOW)
 
     def observe(self, value: float) -> None:
         """Fold one observation into the distribution."""
         self.stats.add(value)
+        self.recent.append(value)
+
+    def percentiles(self) -> dict[int, float]:
+        """p50/p90/p99 over the retained window (empty when no samples)."""
+        if not self.recent:
+            return {}
+        values = np.fromiter(self.recent, dtype=np.float64)
+        levels = np.percentile(values, PERCENTILES)
+        return {p: float(v) for p, v in zip(PERCENTILES, levels)}
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.stats.count})"
@@ -183,6 +210,7 @@ class StatsRegistry:
                     "m2": stats._m2,
                     "min": stats.min,
                     "max": stats.max,
+                    "recent": list(instrument.recent),
                 })
         return state
 
@@ -211,6 +239,9 @@ class StatsRegistry:
                     min=value["min"],
                     max=value["max"],
                 ))
+                # Older exports lack the sample window; percentile
+                # summaries then cover only locally observed values.
+                histogram.recent.extend(value.get("recent", ()))
             else:
                 raise TelemetryError(
                     f"unknown instrument kind {kind!r} for {name!r}"
@@ -235,6 +266,8 @@ class StatsRegistry:
                 if stats.count:
                     out[f"{name}.min"] = stats.min
                     out[f"{name}.max"] = stats.max
+                for level, value in instrument.percentiles().items():
+                    out[f"{name}.p{level}"] = value
         return out
 
     def subtree(self, prefix: str) -> dict[str, float]:

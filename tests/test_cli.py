@@ -185,3 +185,96 @@ class TestErrorReporting:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "workload" in err
+
+
+class TestObservabilityCommands:
+    """repro diff / report / bench-record and the --ledger/--progress flags."""
+
+    def _sweep(self, tmp_path, out_name="matrix.json", extra=()):
+        out = tmp_path / out_name
+        ledger = tmp_path / "ledger.jsonl"
+        code = main([
+            "sweep", "--workloads", "1", "--schemes", "S-NUCA", "Re-NUCA",
+            "--instructions", "6000", "--seed", "1",
+            "--ledger", str(ledger), "--out", str(out), *extra,
+        ])
+        assert code == 0
+        return out, ledger
+
+    def test_diff_unchanged_rerun_exits_zero(self, tmp_path, capsys):
+        base, _ = self._sweep(tmp_path, "base.json")
+        cur, _ = self._sweep(tmp_path, "cur.json")
+        assert main(["diff", str(base), str(cur)]) == 0
+        assert "all within tolerance" in capsys.readouterr().out
+
+    def test_diff_drift_exits_one(self, tmp_path, capsys):
+        import json
+
+        base, _ = self._sweep(tmp_path, "base.json")
+        drifted = json.loads(base.read_text())
+        for cell in drifted["results"]:
+            cell["per_core_ipc"] = [v * 1.2 for v in cell["per_core_ipc"]]
+        cur = tmp_path / "drifted.json"
+        cur.write_text(json.dumps(drifted))
+        assert main(["diff", str(base), str(cur)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "violation" in out
+
+    def test_diff_missing_file_exits_two(self, tmp_path, capsys):
+        base, _ = self._sweep(tmp_path)
+        assert main(["diff", str(base), str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_against_ledger(self, tmp_path, capsys):
+        base, ledger = self._sweep(tmp_path)
+        assert main(["diff", str(base), str(ledger)]) == 0
+
+    def test_report_self_contained_html(self, tmp_path, capsys):
+        matrix, ledger = self._sweep(tmp_path)
+        html = tmp_path / "report.html"
+        code = main([
+            "report", "--matrix", str(matrix), "--ledger", str(ledger),
+            "--html", str(html), "--title", "smoke",
+        ])
+        assert code == 0
+        text = html.read_text()
+        assert text.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in text and "smoke" in text
+        for banned in ("http://", "https://", "<script", "<link"):
+            assert banned not in text
+
+    def test_bench_record_appends_points(self, tmp_path, capsys):
+        matrix, ledger = self._sweep(tmp_path)
+        out = tmp_path / "BENCH_sweep.json"
+        for expected in (1, 2):
+            code = main([
+                "bench-record", "--matrix", str(matrix),
+                "--ledger", str(ledger), "--out", str(out),
+            ])
+            assert code == 0
+        from repro.obs.bench import load_bench_trajectory
+
+        points = load_bench_trajectory(out)
+        assert len(points) == 2
+        assert "S-NUCA" in points[0]["schemes"]
+
+    def test_sweep_progress_live_line(self, tmp_path, capsys):
+        self._sweep(tmp_path, extra=("--progress",))
+        err = capsys.readouterr().err
+        assert "2/2 cells" in err
+        assert "running" not in err.rsplit("\r", 1)[-1]  # final line settled
+
+    def test_stats_registry_only_without_intervals(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        code = main([
+            "stats", "--schemes", "Re-NUCA", "--instructions", "6000",
+            "--seed", "2", "--interval", "0", "--ledger", str(ledger),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registry-only view" in out
+        assert "per-interval per-bank LLC writes" not in out
+        from repro.obs.ledger import RunLedger
+
+        records = RunLedger(ledger).load()
+        assert len(records) == 1 and records[0].scheme == "Re-NUCA"

@@ -456,3 +456,101 @@ class TestEndOfLifeParallel:
         parallel = run_endoflife(max_workers=4, **kwargs)
         assert serial == parallel
         assert [p.age for p in serial["S-NUCA"]] == [0.0, 0.9]
+
+
+class TestObserverEvents:
+    """The scheduler's live JobEvent stream (repro sweep --progress)."""
+
+    def test_three_tier_event_stream(self, flat_cpi, tmp_path):
+        from repro.jobs.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "sweep.jsonl"
+        jobs = grid_jobs()[:3]
+        run_jobs(jobs[:1], cache=cache)            # warm one cell
+        run_jobs(jobs[1:2], journal=journal)       # journal another
+        events = []
+        _, report = run_jobs(
+            jobs, cache=cache, journal=journal, resume=True,
+            observer=events.append,
+        )
+        assert report.cache_hits == 1 and report.resumed == 1
+        kinds = [e.kind for e in events]
+        assert kinds.count("cache") == 1
+        assert kinds.count("resumed") == 1
+        assert kinds.count("dispatch") == kinds.count("done") == 1
+        done = [e for e in events if e.kind == "done"]
+        assert done[0].wall_time_s > 0
+        assert all("/" in e.label for e in events)
+
+    def test_parallel_emits_dispatch_and_done(self, flat_cpi):
+        events = []
+        run_jobs(grid_jobs()[:2], max_workers=2, observer=events.append)
+        kinds = [e.kind for e in events]
+        assert kinds.count("dispatch") == kinds.count("done") == 2
+        indices = sorted(e.index for e in events if e.kind == "done")
+        assert indices == [0, 1]
+
+
+class TestRunJobsLedger:
+    """One provenance record per job, in job order, source-stamped."""
+
+    def test_sources_and_engine_counts(self, flat_cpi, tmp_path):
+        from repro.jobs.cache import ResultCache
+        from repro.obs.ledger import RunLedger
+
+        cache = ResultCache(tmp_path / "cache")
+        jobs = grid_jobs()[:2]
+        run_jobs(jobs[:1], cache=cache)
+        path = tmp_path / "ledger.jsonl"
+        run_jobs(jobs, cache=cache, ledger=path)
+        records = RunLedger(path).load()
+        assert [r.source for r in records] == ["cache", "executed"]
+        assert [r.fingerprint for r in records] == [
+            job.spec.fingerprint() for job in jobs
+        ]
+        assert records[0].wall_time_s == 0.0      # served, not simulated
+        assert records[1].wall_time_s > 0.0
+        assert all(
+            r.engine == {"total": 2, "executed": 1, "cache_hits": 1,
+                         "resumed": 0, "retries": 0}
+            for r in records
+        )
+
+    def test_ledger_metrics_match_results(self, flat_cpi, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        path = tmp_path / "ledger.jsonl"
+        jobs = grid_jobs()[:2]
+        results, _ = run_jobs(jobs, max_workers=2, ledger=path)
+        records = RunLedger(path).load()
+        for record, result in zip(records, results):
+            assert record.workload == result.workload
+            assert record.scheme == result.scheme
+            assert record.metrics["ipc"] == pytest.approx(result.ipc)
+            assert record.n_instructions == INSTR
+
+
+class TestParallelProfilerMerge:
+    """Worker profiler timings must land in the parent handle."""
+
+    def test_parent_profiler_sees_worker_phases(self, flat_cpi, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        telemetry = Telemetry(profile=True)
+        path = tmp_path / "ledger.jsonl"
+        run_jobs(grid_jobs()[:2], max_workers=2, telemetry=telemetry,
+                 ledger=path)
+        phases = {tuple(p) for p, _c, _s in telemetry.profiler.export_state()}
+        assert {("stage1",), ("measure",), ("reduce",)} <= phases
+        # And the per-job phase split is in the ledger records.
+        records = RunLedger(path).load()
+        assert all("measure" in r.profile for r in records)
+
+    def test_disabled_profiler_not_polluted(self, flat_cpi):
+        from repro.telemetry import DISABLED_PROFILER
+
+        telemetry = Telemetry()          # profiler disabled
+        assert telemetry.profiler is not DISABLED_PROFILER or True
+        run_jobs(grid_jobs()[:2], max_workers=2, telemetry=telemetry)
+        assert DISABLED_PROFILER.export_state() == []

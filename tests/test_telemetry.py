@@ -472,3 +472,103 @@ class TestEventTraceMerge:
         parent = EventTrace()
         assert parent.merge([]) == 0
         assert len(parent) == 0
+
+
+class TestHistogramPercentiles:
+    """Sliding-window p50/p90/p99 on histograms (see docs/OBSERVABILITY.md)."""
+
+    def test_empty_histogram_has_no_percentile_keys(self):
+        reg = StatsRegistry()
+        reg.histogram("llc.latency")
+        snap = reg.snapshot()
+        assert "llc.latency.count" in snap
+        assert not any(".p" in k for k in snap)
+
+    def test_single_sample_collapses_all_levels(self):
+        reg = StatsRegistry()
+        reg.histogram("llc.latency").observe(42.0)
+        snap = reg.snapshot()
+        for level in (50, 90, 99):
+            assert snap[f"llc.latency.p{level}"] == pytest.approx(42.0)
+
+    def test_levels_are_ordered_on_a_spread(self):
+        reg = StatsRegistry()
+        h = reg.histogram("llc.latency")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = reg.snapshot()
+        p50, p90, p99 = (snap[f"llc.latency.p{p}"] for p in (50, 90, 99))
+        assert p50 < p90 < p99
+        assert p50 == pytest.approx(50.5)
+
+    def test_window_is_bounded(self):
+        from repro.telemetry.registry import PERCENTILE_WINDOW
+
+        reg = StatsRegistry()
+        h = reg.histogram("llc.latency")
+        for v in range(PERCENTILE_WINDOW + 500):
+            h.observe(float(v))
+        assert len(h.recent) == PERCENTILE_WINDOW
+        # Early observations fell out of the window; the floor moved up.
+        assert min(h.recent) == 500.0
+
+    def test_merge_carries_recent_samples(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.histogram("llc.latency").observe(1.0)
+        b.histogram("llc.latency").observe(99.0)
+        a.merge_state(b.export_state())
+        assert sorted(a.histogram("llc.latency").recent) == [1.0, 99.0]
+
+    def test_merge_tolerates_state_without_recent(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        b.histogram("llc.latency").observe(5.0)
+        state = b.export_state()
+        kind, payload = state["llc.latency"]
+        state["llc.latency"] = (
+            kind, {k: v for k, v in payload.items() if k != "recent"},
+        )
+        a.merge_state(state)
+        assert a.histogram("llc.latency").stats.count == 1
+        assert list(a.histogram("llc.latency").recent) == []
+
+
+class TestProfilerStateMerge:
+    """`Profiler.export_state`/`merge_state`: the worker hand-off."""
+
+    def test_export_round_trip(self):
+        worker = Profiler()
+        with worker.phase("stage1"):
+            pass
+        with worker.phase("measure"), worker.phase("inner"):
+            pass
+        parent = Profiler()
+        parent.merge_state(worker.export_state())
+        assert parent.export_state() == worker.export_state()
+
+    def test_merge_accumulates_calls_and_seconds(self):
+        a, b = Profiler(), Profiler()
+        for prof in (a, b):
+            with prof.phase("measure"):
+                pass
+        a.merge_state(b.export_state())
+        paths = {tuple(p): calls for p, calls, _s in a.export_state()}
+        assert paths[("measure",)] == 2
+
+    def test_state_survives_pickling(self):
+        import pickle
+
+        worker = Profiler()
+        with worker.phase("reduce"):
+            pass
+        state = pickle.loads(pickle.dumps(worker.export_state()))
+        parent = Profiler()
+        parent.merge_state(state)
+        assert "reduce" in parent.report()
+
+    def test_report_includes_merged_phases(self):
+        worker = Profiler()
+        with worker.phase("stage1"):
+            pass
+        parent = Profiler()
+        parent.merge_state(worker.export_state())
+        assert "stage1" in parent.report()
