@@ -1,16 +1,54 @@
 """Simulator-throughput benchmarks (true timing benches).
 
-These measure the two hot loops of the library itself — useful for
-tracking performance regressions of the simulator, independent of the
-paper figures.
+These measure the hot loops of the library itself — useful for tracking
+performance regressions of the simulator, independent of the paper
+figures:
+
+* stage 1: the core+L1/L2 interval model,
+* stage 2: one full workload replay under S-NUCA,
+* the vectorized replay kernel against the reference object-graph loop
+  (same warmed state, replay phase only), which must stay >= 3x faster.
+
+Set ``REPRO_BENCH_RECORD=<path>`` to append each bench's best time to a
+trajectory file via :mod:`repro.obs.bench` (CI uploads it as an
+artifact; the committed ``BENCH_throughput.json`` holds the historical
+points).
 """
+
+import os
+import time
 
 from repro.config import baseline_config
 from repro.cpu.core import AppSimulator
-from repro.sim.runner import Stage1Cache, run_workload
+from repro.nuca.kernel import replay as kernel_replay
+from repro.sim.runner import (
+    Stage1Cache,
+    _replay_reference,
+    prepare_replay,
+    run_workload,
+)
 from repro.trace.workloads import make_workloads
 
 _INSTRUCTIONS = 40_000
+#: Budget of the kernel-vs-reference bench.  The kernel pays a fixed
+#: snapshot cost per replay, so the assertion is calibrated to this
+#: budget (the speedup keeps growing with it) rather than to the
+#: session-wide ``REPRO_INSTRUCTIONS``.
+_KERNEL_INSTRUCTIONS = 150_000
+_KERNEL_MIN_SPEEDUP = 3.0
+
+
+def _record(name: str, *, count: int, seconds: float, unit: str,
+            details: dict | None = None) -> None:
+    """Append one throughput point when ``REPRO_BENCH_RECORD`` is set."""
+    out = os.environ.get("REPRO_BENCH_RECORD")
+    if not out:
+        return
+    from repro.obs.bench import append_bench_point, throughput_point
+
+    append_bench_point(out, throughput_point(
+        name, count=count, seconds=seconds, unit=unit, details=details,
+    ))
 
 
 def test_bench_stage1_throughput(benchmark):
@@ -20,8 +58,12 @@ def test_bench_stage1_throughput(benchmark):
         return AppSimulator("milc", baseline_config(), seed=9).run(_INSTRUCTIONS)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    best = benchmark.stats.stats.min
     print(f"\nstage-1: {result.instructions} instructions, "
-          f"{len(result.stream)} L3 records per run")
+          f"{len(result.stream)} L3 records per run, "
+          f"{result.instructions / best / 1e6:.2f} Minstr/s")
+    _record("stage1", count=result.instructions, seconds=best,
+            unit="instructions")
     assert result.instructions > 0
 
 
@@ -41,5 +83,57 @@ def test_bench_stage2_throughput(benchmark):
         )
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    best = benchmark.stats.stats.min
     print(f"\nstage-2: {int(result.bank_writes.sum())} bank writes replayed")
+    _record("stage2_workload", count=_INSTRUCTIONS, seconds=best,
+            unit="instructions/core")
     assert result.ipc > 0
+
+
+def test_bench_kernel_vs_reference():
+    """The replay kernel must beat the reference loop by >= 3x.
+
+    Both paths replay the identical warmed state (fresh ``prepare_replay``
+    per measurement — the replay mutates the LLC); only the measured
+    loop is timed, which is exactly what the kernel accelerates.
+    """
+    config = baseline_config()
+    stage1 = Stage1Cache()
+    workload = make_workloads(num_cores=16, seed=9)[0]
+    for app in workload.apps:
+        stage1.get(app, config, seed=9, n_instructions=_KERNEL_INSTRUCTIONS)
+
+    def measure(replay_fn):
+        best = float("inf")
+        for _ in range(3):
+            prep = prepare_replay(
+                workload, "S-NUCA", config, seed=9,
+                n_instructions=_KERNEL_INSTRUCTIONS, stage1=stage1,
+            )
+            t0 = time.perf_counter()
+            replay_fn(prep)
+            best = min(best, time.perf_counter() - t0)
+        return best, prep.merged.total
+
+    kernel_s, records = measure(lambda p: kernel_replay(
+        p.llc, p.merged, cpts=p.cpts, threshold=p.threshold,
+        block_cycles=p.block_cycles,
+    ))
+    reference_s, _ = measure(lambda p: _replay_reference(
+        p.llc, p.merged, cpts=p.cpts, threshold=p.threshold,
+        block_cycles=p.block_cycles,
+    ))
+    speedup = reference_s / kernel_s
+    print(f"\nkernel: {records} records in {kernel_s:.3f}s "
+          f"({records / kernel_s / 1e6:.2f} Mrec/s), "
+          f"reference {reference_s:.3f}s "
+          f"({records / reference_s / 1e6:.2f} Mrec/s), "
+          f"speedup {speedup:.2f}x")
+    _record("kernel_replay", count=records, seconds=kernel_s, unit="records",
+            details={"reference_seconds": reference_s,
+                     "speedup": round(speedup, 3)})
+    assert speedup >= _KERNEL_MIN_SPEEDUP, (
+        f"replay kernel is only {speedup:.2f}x the reference loop "
+        f"(floor {_KERNEL_MIN_SPEEDUP}x at {_KERNEL_INSTRUCTIONS} "
+        "instructions/core)"
+    )

@@ -1,15 +1,19 @@
 """Raw set-associative tag array with true-LRU replacement.
 
 This is the innermost data structure of the simulator — every memory
-reference at every cache level lands here — so it is built on
-``collections.OrderedDict`` (hash lookup + C-implemented recency moves)
-rather than per-way objects.  Recency order within a set is the dict
-order: least-recently-used first, most-recently-used last.
+reference at every cache level lands here — so each set is a plain
+``dict`` whose *insertion order* is the recency order: least-recently-
+used first, most-recently-used last.  A hit re-inserts its tag (one
+``pop`` + one store, both C-level hash operations), which moves it to
+the end exactly like ``OrderedDict.move_to_end`` but keeps the sets as
+ordinary dicts — whose C-level iteration is several times faster, which
+is what makes whole-array snapshots (:meth:`SetAssocArray.bulk_export`,
+the replay kernel's warm-state import) cheap.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from itertools import chain
 from typing import Any, Iterator
 
 from repro.common.errors import ConfigError, SimulationError
@@ -33,9 +37,7 @@ class SetAssocArray:
             raise ConfigError(f"associativity must be positive, got {assoc}")
         self.num_sets = num_sets
         self.assoc = assoc
-        self._sets: list[OrderedDict[int, Any]] = [
-            OrderedDict() for _ in range(num_sets)
-        ]
+        self._sets: list[dict[int, Any]] = [dict() for _ in range(num_sets)]
 
     def lookup(self, set_idx: int, tag: int, *, touch: bool = True) -> Any | None:
         """Return the payload stored under ``tag`` or None on miss.
@@ -44,10 +46,12 @@ class SetAssocArray:
         must not disturb recency — e.g. a coherence snoop — passes False).
         """
         ways = self._sets[set_idx]
-        entry = ways.get(tag)
-        if entry is not None and touch:
-            ways.move_to_end(tag)
-        return entry
+        if touch:
+            entry = ways.pop(tag, None)
+            if entry is not None:
+                ways[tag] = entry
+            return entry
+        return ways.get(tag)
 
     def insert(
         self, set_idx: int, tag: int, payload: Any
@@ -66,7 +70,8 @@ class SetAssocArray:
             )
         victim: tuple[int, Any] | None = None
         if len(ways) >= self.assoc:
-            victim = ways.popitem(last=False)
+            lru_tag = next(iter(ways))
+            victim = (lru_tag, ways.pop(lru_tag))
         ways[tag] = payload
         return victim
 
@@ -89,7 +94,7 @@ class SetAssocArray:
         """Number of valid lines currently in the set."""
         return len(self._sets[set_idx])
 
-    def ways(self, set_idx: int) -> OrderedDict[int, Any]:
+    def ways(self, set_idx: int) -> dict[int, Any]:
         """The live tag->payload mapping of one set, LRU->MRU order.
 
         Exposed for replacement policies (package-internal); mutating it
@@ -107,6 +112,40 @@ class SetAssocArray:
         for set_idx, ways in enumerate(self._sets):
             for tag, payload in ways.items():
                 yield set_idx, tag, payload
+
+    def bulk_export(
+        self, *, lazy_payloads: bool = False
+    ) -> tuple[list[int], list[int], Any]:
+        """Whole-array snapshot as three flat columns (the kernel's bulk path).
+
+        Returns ``(counts, tags, payloads)``: per-set occupancy, then all
+        tags and their payloads concatenated in set order (LRU -> MRU
+        within each set) — the same traversal as :meth:`iter_all`, but
+        built entirely from C-level iterators so snapshotting a full LLC
+        costs milliseconds instead of a per-line Python loop.  With
+        ``lazy_payloads`` the payload column is a single-use iterator
+        (valid only until the array is next mutated), sparing callers
+        that stream-reduce it the cost of materialising half a million
+        entries.
+        """
+        sets = self._sets
+        payloads = chain.from_iterable(map(dict.values, sets))
+        return (
+            list(map(len, sets)),
+            list(chain.from_iterable(sets)),
+            payloads if lazy_payloads else list(payloads),
+        )
+
+    def set_views(self) -> list[dict[int, Any]]:
+        """The live per-set dicts, in set order (package-internal).
+
+        Bulk counterpart of :meth:`ways` for snapshot consumers that
+        resolve payloads lazily (the replay kernel): ``views[s]`` is set
+        ``s``'s tag->payload dict in LRU -> MRU order, valid until the
+        array is next mutated.  Callers must treat the dicts as
+        read-only.
+        """
+        return self._sets
 
     def total_occupancy(self) -> int:
         """Total valid lines across all sets."""

@@ -1,8 +1,8 @@
 """Pluggable replacement policies for :class:`~repro.cache.cache.Cache`.
 
 True LRU (the default, and what the paper's gem5 configuration uses) is
-implemented natively by the OrderedDict recency order; this module adds
-alternatives used by the ablation studies:
+implemented natively by the set dicts' insertion (= recency) order; this
+module adds alternatives used by the ablation studies:
 
 * ``random``   — deterministic pseudo-random victims (the classic cheap
   hardware baseline; an LCG keeps runs reproducible);
@@ -22,7 +22,6 @@ payload layout.
 from __future__ import annotations
 
 import abc
-from collections import OrderedDict
 from typing import Any
 
 from repro.common.errors import ConfigError, SimulationError
@@ -45,7 +44,7 @@ class ReplacementPolicy(abc.ABC):
         """A line left the cache (eviction or invalidation)."""
 
     @abc.abstractmethod
-    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+    def choose_victim(self, set_idx: int, ways: dict[int, Any]) -> int:
         """Pick the victim tag from a full set (LRU->MRU iteration order)."""
 
 
@@ -57,7 +56,7 @@ class RandomReplacement(ReplacementPolicy):
     def __init__(self, seed: int = 0x9E3779B9) -> None:
         self._state = seed & 0xFFFFFFFF
 
-    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+    def choose_victim(self, set_idx: int, ways: dict[int, Any]) -> int:
         self._state = (self._state * 1664525 + 1013904223) & 0xFFFFFFFF
         index = self._state % len(ways)
         for i, tag in enumerate(ways):
@@ -88,7 +87,7 @@ class SrripReplacement(ReplacementPolicy):
     def on_invalidate(self, set_idx: int, tag: int) -> None:
         self._rrpv.pop((set_idx, tag), None)
 
-    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+    def choose_victim(self, set_idx: int, ways: dict[int, Any]) -> int:
         while True:
             for tag in ways:  # LRU-first tie-break
                 if self._rrpv.get((set_idx, tag), self.MAX_RRPV) >= self.MAX_RRPV:
@@ -108,7 +107,7 @@ class CleanFirstReplacement(ReplacementPolicy):
 
     name = "clean-first"
 
-    def choose_victim(self, set_idx: int, ways: OrderedDict[int, Any]) -> int:
+    def choose_victim(self, set_idx: int, ways: dict[int, Any]) -> int:
         for tag, payload in ways.items():  # LRU -> MRU
             if not payload[_DIRTY]:
                 return tag

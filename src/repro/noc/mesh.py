@@ -180,6 +180,18 @@ class Mesh:
             out.append(self.node_at(col, row - 1))
         return out
 
+    def record_traffic(self, messages: int, total_hops: int) -> None:
+        """Batched traffic accounting (the replay kernel's reduction).
+
+        Equivalent to ``messages`` individual :meth:`send` calls whose
+        hop counts sum to ``total_hops``.  Only valid while per-link
+        tracking is off — batched counts cannot be attributed to links.
+        """
+        if self.track_links:
+            raise ConfigError("record_traffic cannot attribute link traffic")
+        self.stats.messages += messages
+        self.stats.total_hops += total_hops
+
     def reset_stats(self) -> None:
         """Clear traffic accounting (topology is untouched)."""
         self.stats = RouteStats()

@@ -450,6 +450,36 @@ class NucaLLC:
         place = self.policy.place(core, line, critical)
         self._fill(place, line, 0.0, dirty=False, core=core, critical=critical)
 
+    def prefill_many(self, core, lines, *, critical=None) -> None:
+        """Batched :meth:`prefill` of many lines for one core.
+
+        ``critical`` is an optional per-line flag sequence aligned with
+        ``lines``; omitted means every line installs non-critical.  The
+        loop is semantically one :meth:`prefill` per line — same policy
+        calls in the same order — with the method lookups hoisted out,
+        which is what warm-up's inner loop spends its time on.
+        """
+        policy = self.policy
+        locate = policy.locate
+        place = policy.place
+        banks = self.banks
+        fill = self._fill
+        if critical is None:
+            for line in lines:
+                bank_id = locate(core, line)
+                if bank_id is not None and banks[bank_id].cache.contains(line):
+                    continue
+                fill(place(core, line, False), line, 0.0,
+                     dirty=False, core=core, critical=False)
+        else:
+            for line, crit in zip(lines, critical):
+                crit = bool(crit)
+                bank_id = locate(core, line)
+                if bank_id is not None and banks[bank_id].cache.contains(line):
+                    continue
+                fill(place(core, line, crit), line, 0.0,
+                     dirty=False, core=core, critical=crit)
+
     def reset_measurement(self) -> None:
         """Zero wear and statistics, keeping cache/policy content state."""
         self.wear.reset()

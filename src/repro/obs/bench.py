@@ -84,6 +84,39 @@ def bench_point(
     }
 
 
+def throughput_point(
+    name: str,
+    *,
+    count: int,
+    seconds: float,
+    unit: str = "records",
+    label: str = "",
+    details: dict | None = None,
+) -> dict:
+    """Build one trajectory point from a raw throughput measurement.
+
+    Counterpart of :func:`bench_point` for the simulator's timing
+    benches (``benchmarks/test_bench_throughput.py``): ``count`` items
+    of ``unit`` were processed in ``seconds`` of wall time.  ``details``
+    carries bench-specific extras (e.g. the reference-path time and the
+    kernel speedup).  Points share a trajectory file with matrix points;
+    the ``bench`` key marks the flavour.
+    """
+    if seconds <= 0:
+        raise ReproError(f"throughput point {name!r} needs positive seconds")
+    return {
+        "timestamp": time.time(),
+        "git_sha": current_git_sha(),
+        "label": label or name,
+        "bench": name,
+        "unit": unit,
+        "count": int(count),
+        "seconds": seconds,
+        "per_second": count / seconds,
+        "details": details or {},
+    }
+
+
 def append_bench_point(path: str | Path, point: dict) -> int:
     """Append one point to a trajectory file; returns the new length."""
     points = load_bench_trajectory(path)

@@ -79,6 +79,24 @@ class WearTracker:
             per_line = self._line_writes[bank]
             per_line[line] = per_line.get(line, 0) + 1
 
+    def add_writes(self, counts) -> None:
+        """Accumulate a per-bank write-count vector in one batched update.
+
+        The replay kernel's reduction path: equivalent to
+        ``counts[bank]`` individual :meth:`record_write` calls per bank,
+        without per-line attribution (so only valid while per-line
+        tracking is off).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.num_banks,):
+            raise SimulationError(
+                f"write-count vector of shape {counts.shape} for "
+                f"{self.num_banks} banks"
+            )
+        if counts.min(initial=0) < 0:
+            raise SimulationError("negative write counts")
+        self.bank_writes += counts
+
     def total_writes(self) -> int:
         """Writes across all banks."""
         return int(self.bank_writes.sum())

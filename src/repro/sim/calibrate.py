@@ -37,7 +37,23 @@ _cache: dict[tuple, float] = {}
 
 
 def config_signature(config: SystemConfig) -> tuple:
-    """Hashable summary of the configuration fields stage 1 depends on."""
+    """Hashable summary of the configuration fields stage 1 depends on.
+
+    Memoised on the config instance: sweep inner loops call this once
+    per :meth:`~repro.sim.runner.Stage1Cache.get`, and rebuilding the
+    tuple from six nested dataclasses on every lookup is pure overhead.
+    Configs are frozen, so the signature can never go stale; the cache
+    slot is written through ``object.__setattr__`` and lives outside the
+    declared fields (invisible to ``==``, ``hash`` and ``asdict``).
+    """
+    sig = config.__dict__.get("_signature")
+    if sig is None:
+        sig = _build_signature(config)
+        object.__setattr__(config, "_signature", sig)
+    return sig
+
+
+def _build_signature(config: SystemConfig) -> tuple:
     return (
         config.num_cores,
         config.core.clock_hz,

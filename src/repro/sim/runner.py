@@ -31,6 +31,8 @@ from repro.faults.injector import FaultInjector
 from repro.mem.model import MainMemory
 from repro.noc.mesh import Mesh
 from repro.nuca import NucaLLC, make_policy
+from repro.nuca.kernel import kernel_supported
+from repro.nuca.kernel import replay as kernel_replay
 from repro.reram.endurance import lifetimes_for_banks
 from repro.reram.wear import WearTracker
 from repro.sim.calibrate import calibrated_base_cpi, config_signature
@@ -243,16 +245,42 @@ def _warm_llc(
                 p_critical = float(s.predicted[fetches].mean())
         rng = derive_rng(seed, "prefill", workload.name, core)
         for block in warm_sets(params, l2_lines=config.l2.num_lines)["l3"]:
+            # One rng.random(len(block)) draw per block, exactly as the
+            # historical per-line loop consumed it — warm-up criticality
+            # stays deterministic per (seed, workload, core, block).
+            lines = [line + offset for line in block]
             if p_critical > 0.0:
                 crit_draws = rng.random(len(block)) < p_critical
-                for line, crit in zip(block, crit_draws):
-                    llc.prefill(core, line + offset, critical=bool(crit))
+                llc.prefill_many(core, lines, critical=crit_draws.tolist())
             else:
-                for line in block:
-                    llc.prefill(core, line + offset)
+                llc.prefill_many(core, lines)
 
 
-def run_workload(
+@dataclass
+class ReplayInputs:
+    """Everything the measured stage-2 replay loop consumes.
+
+    Produced by :func:`prepare_replay`: stage-1 results, the constructed
+    and *warmed* LLC (measurement already reset), the merged reference
+    stream, and the criticality-predictor state for schemes that consume
+    it.  Benches and equivalence tests use this to time / drive the
+    replay in isolation from stage 1 and warm-up.
+    """
+
+    results1: list[Stage1Result]
+    mesh: Mesh
+    memory: MainMemory
+    wear: WearTracker
+    policy: object
+    injector: FaultInjector | None
+    llc: NucaLLC
+    merged: _MergedStream
+    cpts: list[CriticalityPredictor] | None
+    threshold: float
+    block_cycles: float
+
+
+def prepare_replay(
     workload: Workload,
     scheme: str,
     config: SystemConfig | None = None,
@@ -262,31 +290,13 @@ def run_workload(
     stage1: Stage1Cache | None = None,
     fault_config: FaultConfig | None = None,
     telemetry: Telemetry | None = None,
-    ledger=None,
-) -> WorkloadSchemeResult:
-    """Stage-2 simulation of one workload under one NUCA scheme.
+    prof=DISABLED_PROFILER,
+) -> ReplayInputs:
+    """Build the warmed stage-2 state without running the measured loop.
 
-    ``fault_config`` injects end-of-life faults: after warm-up, the wear
-    snapshot of the warmed LLC seeds the deterministic fault derivation
-    (hot banks/sets have consumed more endurance), dead frames and banks
-    are retired, and the measured phase runs on the degraded cache.  The
-    run always completes; degradation shows up in the result's
-    ``effective_capacity``/``remap_traffic``/IPC instead of exceptions.
-
-    ``telemetry`` opts into observability (see ``docs/OBSERVABILITY.md``):
-    the components register their instruments on its registry, structured
-    events flow to its trace, the run is phase-timed by its profiler,
-    and — when ``telemetry.interval_instructions`` is set — the measured
-    phase periodically snapshots the registry into the result's
-    ``intervals`` series.  Passing ``None`` (the default) leaves the
-    simulation on its un-instrumented fast path.
-
-    ``ledger`` — a :class:`~repro.obs.ledger.RunLedger` or its path —
-    appends one provenance record for this run (identity, fingerprint,
-    wall time, headline metrics, and — when the telemetry profiler is
-    enabled — this run's phase totals).  Sweeps should pass the ledger
-    to :func:`run_matrix`/``run_jobs`` instead, which also stamp how
-    each cell was resolved.
+    Factored out of :func:`run_workload` so throughput benches can time
+    the replay alone (stage 1 and warm-up excluded) and so equivalence
+    tests can drive the kernel and reference paths from identical state.
     """
     config = config or baseline_config()
     if workload.num_cores != config.num_cores:
@@ -295,13 +305,6 @@ def run_workload(
             f"configuration has {config.num_cores} cores"
         )
     stage1 = stage1 or Stage1Cache()
-    if telemetry is not None:
-        stage1.bind_telemetry(telemetry.registry)
-    prof = telemetry.profiler if telemetry is not None else DISABLED_PROFILER
-    # Ledger provenance: wall time from here; profiler phase totals as a
-    # delta, so a handle reused across runs records only this run's share.
-    run_started = time.perf_counter()
-    prof_before = prof.export_state() if prof.enabled else []
     with prof.phase("stage1"):
         results1 = [
             stage1.get(app, config, seed=seed, n_instructions=n_instructions)
@@ -337,23 +340,124 @@ def run_workload(
 
     merged = _merge_streams(results1)
 
-    # Hot loop: drive the LLC in global timestamp order.  For criticality-
-    # consuming policies (Re-NUCA) the Criticality Predictor Table runs
-    # *online here*, trained with ground truth re-evaluated under this
-    # scheme's own latencies — criticality is content-dependent (a load
-    # that hits never blocks; the same load blocks once interference
-    # turns its hits into misses), and the paper's predictor adapts to
-    # that feedback at run time.
+    # For criticality-consuming policies (Re-NUCA) the Criticality
+    # Predictor Table runs *online* in the measured loop, trained with
+    # ground truth re-evaluated under this scheme's own latencies —
+    # criticality is content-dependent (a load that hits never blocks;
+    # the same load blocks once interference turns its hits into
+    # misses), and the paper's predictor adapts to that feedback at run
+    # time.
     uses_criticality = getattr(policy, "consumes_criticality", False)
-    threshold = config.criticality.threshold_percent / 100.0
-    block_cycles = config.criticality.block_cycles
-    cpts = [CriticalityPredictor(config.criticality) for _ in results1] if uses_criticality else None
+    cpts = (
+        [CriticalityPredictor(config.criticality) for _ in results1]
+        if uses_criticality else None
+    )
+    return ReplayInputs(
+        results1=results1,
+        mesh=mesh,
+        memory=memory,
+        wear=wear,
+        policy=policy,
+        injector=injector,
+        llc=llc,
+        merged=merged,
+        cpts=cpts,
+        threshold=config.criticality.threshold_percent / 100.0,
+        block_cycles=config.criticality.block_cycles,
+    )
+
+
+def _kernel_engaged(use_kernel: bool | None, telemetry, prep: ReplayInputs) -> bool:
+    """Resolve the ``use_kernel`` tri-state against the prepared run."""
+    instrumented = telemetry is not None or prep.injector is not None
+    if use_kernel is None:
+        if instrumented or os.environ.get("REPRO_KERNEL", "1") == "0":
+            return False
+        return kernel_supported(prep.llc)
+    if use_kernel:
+        if instrumented or not kernel_supported(prep.llc):
+            raise ReproError(
+                "the replay kernel cannot drive this run (telemetry/fault "
+                "instrumentation attached, or an unsupported policy or "
+                "cache mode); drop use_kernel=True to use the reference path"
+            )
+        return True
+    return False
+
+
+def run_workload(
+    workload: Workload,
+    scheme: str,
+    config: SystemConfig | None = None,
+    *,
+    seed: int | None = None,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    stage1: Stage1Cache | None = None,
+    fault_config: FaultConfig | None = None,
+    telemetry: Telemetry | None = None,
+    ledger=None,
+    use_kernel: bool | None = None,
+) -> WorkloadSchemeResult:
+    """Stage-2 simulation of one workload under one NUCA scheme.
+
+    ``fault_config`` injects end-of-life faults: after warm-up, the wear
+    snapshot of the warmed LLC seeds the deterministic fault derivation
+    (hot banks/sets have consumed more endurance), dead frames and banks
+    are retired, and the measured phase runs on the degraded cache.  The
+    run always completes; degradation shows up in the result's
+    ``effective_capacity``/``remap_traffic``/IPC instead of exceptions.
+
+    ``telemetry`` opts into observability (see ``docs/OBSERVABILITY.md``):
+    the components register their instruments on its registry, structured
+    events flow to its trace, the run is phase-timed by its profiler,
+    and — when ``telemetry.interval_instructions`` is set — the measured
+    phase periodically snapshots the registry into the result's
+    ``intervals`` series.  Passing ``None`` (the default) leaves the
+    simulation on its un-instrumented fast path.
+
+    ``ledger`` — a :class:`~repro.obs.ledger.RunLedger` or its path —
+    appends one provenance record for this run (identity, fingerprint,
+    wall time, headline metrics, and — when the telemetry profiler is
+    enabled — this run's phase totals).  Sweeps should pass the ledger
+    to :func:`run_matrix`/``run_jobs`` instead, which also stamp how
+    each cell was resolved.
+
+    ``use_kernel`` selects the measured-loop implementation: ``None``
+    (default) auto-engages the vectorized replay kernel
+    (:mod:`repro.nuca.kernel`) whenever the run is un-instrumented —
+    no telemetry, no fault injection — and the configuration is
+    supported; ``True`` forces it (raising :class:`ReproError` when it
+    cannot run); ``False`` pins the reference object-graph path.  Both
+    paths produce field-for-field identical results (see
+    ``docs/PERFORMANCE.md``); ``REPRO_KERNEL=0`` in the environment
+    disables auto-engagement globally.
+    """
+    stage1 = stage1 or Stage1Cache()
+    if telemetry is not None:
+        stage1.bind_telemetry(telemetry.registry)
+    prof = telemetry.profiler if telemetry is not None else DISABLED_PROFILER
+    # Ledger provenance: wall time from here; profiler phase totals as a
+    # delta, so a handle reused across runs records only this run's share.
+    run_started = time.perf_counter()
+    prof_before = prof.export_state() if prof.enabled else []
+    config = config or baseline_config()
+    prep = prepare_replay(
+        workload, scheme, config,
+        seed=seed, n_instructions=n_instructions, stage1=stage1,
+        fault_config=fault_config, telemetry=telemetry, prof=prof,
+    )
+    results1 = prep.results1
+    mesh = prep.mesh
+    policy = prep.policy
+    llc = prep.llc
+    merged = prep.merged
+    cpts = prep.cpts
 
     # Telemetry wiring for the measured phase.  Everything below stays
-    # None/0 without a telemetry handle, so the hot loop's added cost in
-    # the disabled case is a couple of short-circuited truth tests.
+    # None/0 without a telemetry handle, so the reference loop's added
+    # cost in the disabled case is a couple of short-circuited tests.
     cpt_predicted = cpt_mispredicts = None
-    trace = telemetry.trace if telemetry is not None else None
+    snapshot = None
     intervals: IntervalSeries | None = None
     interval_every = 0
     total_instr = int(sum(r.instructions for r in results1))
@@ -375,72 +479,29 @@ def run_workload(
         intervals = IntervalSeries(telemetry.interval_instructions)
         snapshot = telemetry.registry.snapshot
 
-    scheme_lat_sorted = np.zeros(merged.total, dtype=np.float32)
-    fetch = llc.fetch
-    writeback = llc.writeback
-    ts_l = merged.ts.tolist()
-    core_l = merged.core.tolist()
-    line_l = merged.line.tolist()
-    wb_l = merged.is_wb.tolist()
-    load_l = merged.is_load.tolist()
-    pc_l = merged.pc.tolist()
-    stall_l = merged.stall.tolist()
-    slack_l = merged.slack.tolist()
-    mlp_l = merged.mlp.tolist()
-    nominal_l = merged.nominal.tolist()
-    lat_out = scheme_lat_sorted  # direct ndarray indexing is fine for writes
-    measure_phase = prof.phase("measure")
-    with measure_phase:
-        for i in range(merged.total):
-            if interval_every and i and i % interval_every == 0:
-                intervals.record(
-                    accesses=i,
-                    instructions=(i * total_instr) // merged.total,
-                    cycles=ts_l[i],
-                    sample=snapshot(),
-                )
-                if trace is not None:
-                    trace.emit(
-                        "run.interval", ts=ts_l[i],
-                        index=len(intervals) - 1, accesses=i,
-                    )
-            core = core_l[i]
-            if wb_l[i]:
-                writeback(core, line_l[i], ts_l[i])
-                continue
-            if cpts is not None and load_l[i]:
-                ratio = cpts[core].ratio(pc_l[i])
-                predicted = ratio is not None and ratio >= threshold
-            else:
-                predicted = False
-            lat, _hit = fetch(core, line_l[i], ts_l[i], predicted)
-            lat_out[i] = lat
-            if cpts is not None and load_l[i]:
-                # Ground truth under this scheme's latency (exposure model).
-                diff = lat - nominal_l[i]
-                stall = stall_l[i]
-                if stall > 0:
-                    stall2 = stall + diff / mlp_l[i]
-                else:
-                    stall2 = (diff - slack_l[i]) / mlp_l[i]
-                blocked = stall2 >= block_cycles
-                cpts[core].observe_commit(pc_l[i], blocked)
-                if cpt_mispredicts is not None:
-                    if predicted:
-                        cpt_predicted.inc()
-                    if predicted != blocked:
-                        cpt_mispredicts.inc()
-                    if trace is not None:
-                        trace.emit(
-                            "cpt.predict", ts=ts_l[i], core=core,
-                            pc=pc_l[i], predicted=predicted, blocked=blocked,
-                        )
+    fast = _kernel_engaged(use_kernel, telemetry, prep)
+    with prof.phase("measure"):
+        if fast:
+            scheme_lat_sorted = kernel_replay(
+                llc, merged,
+                cpts=cpts, threshold=prep.threshold,
+                block_cycles=prep.block_cycles,
+            )
+        else:
+            scheme_lat_sorted = _replay_reference(
+                llc, merged,
+                cpts=cpts, threshold=prep.threshold,
+                block_cycles=prep.block_cycles,
+                telemetry=telemetry, intervals=intervals,
+                interval_every=interval_every, total_instr=total_instr,
+                cpt_predicted=cpt_predicted, cpt_mispredicts=cpt_mispredicts,
+            )
     if intervals is not None:
         # Close the series so delta sums always equal the run totals.
         intervals.record(
             accesses=merged.total,
             instructions=total_instr,
-            cycles=ts_l[-1] if ts_l else 0.0,
+            cycles=float(merged.ts[-1]) if merged.total else 0.0,
             sample=snapshot(),
         )
 
@@ -526,6 +587,90 @@ def run_workload(
             ))
 
     return result
+
+
+def _replay_reference(
+    llc: NucaLLC,
+    merged: _MergedStream,
+    *,
+    cpts,
+    threshold: float,
+    block_cycles: float,
+    telemetry=None,
+    intervals=None,
+    interval_every: int = 0,
+    total_instr: int = 0,
+    cpt_predicted=None,
+    cpt_mispredicts=None,
+) -> np.ndarray:
+    """The reference measured loop: one object-graph call per record.
+
+    This is the semantic ground truth the kernel is verified against,
+    and the only path able to carry telemetry/fault instrumentation.
+    The numpy-to-list conversions live here so the kernel path never
+    materializes the Python lists.
+    """
+    scheme_lat_sorted = np.zeros(merged.total, dtype=np.float32)
+    fetch = llc.fetch
+    writeback = llc.writeback
+    trace = telemetry.trace if telemetry is not None else None
+    snapshot = telemetry.registry.snapshot if telemetry is not None else None
+    ts_l = merged.ts.tolist()
+    core_l = merged.core.tolist()
+    line_l = merged.line.tolist()
+    wb_l = merged.is_wb.tolist()
+    load_l = merged.is_load.tolist()
+    pc_l = merged.pc.tolist()
+    stall_l = merged.stall.tolist()
+    slack_l = merged.slack.tolist()
+    mlp_l = merged.mlp.tolist()
+    nominal_l = merged.nominal.tolist()
+    lat_out = scheme_lat_sorted  # direct ndarray indexing is fine for writes
+    for i in range(merged.total):
+        if interval_every and i and i % interval_every == 0:
+            intervals.record(
+                accesses=i,
+                instructions=(i * total_instr) // merged.total,
+                cycles=ts_l[i],
+                sample=snapshot(),
+            )
+            if trace is not None:
+                trace.emit(
+                    "run.interval", ts=ts_l[i],
+                    index=len(intervals) - 1, accesses=i,
+                )
+        core = core_l[i]
+        if wb_l[i]:
+            writeback(core, line_l[i], ts_l[i])
+            continue
+        if cpts is not None and load_l[i]:
+            ratio = cpts[core].ratio(pc_l[i])
+            predicted = ratio is not None and ratio >= threshold
+        else:
+            predicted = False
+        lat, _hit = fetch(core, line_l[i], ts_l[i], predicted)
+        lat_out[i] = lat
+        if cpts is not None and load_l[i]:
+            # Ground truth under this scheme's latency (exposure model).
+            diff = lat - nominal_l[i]
+            stall = stall_l[i]
+            if stall > 0:
+                stall2 = stall + diff / mlp_l[i]
+            else:
+                stall2 = (diff - slack_l[i]) / mlp_l[i]
+            blocked = stall2 >= block_cycles
+            cpts[core].observe_commit(pc_l[i], blocked)
+            if cpt_mispredicts is not None:
+                if predicted:
+                    cpt_predicted.inc()
+                if predicted != blocked:
+                    cpt_mispredicts.inc()
+                if trace is not None:
+                    trace.emit(
+                        "cpt.predict", ts=ts_l[i], core=core,
+                        pc=pc_l[i], predicted=predicted, blocked=blocked,
+                    )
+    return scheme_lat_sorted
 
 
 def run_matrix(

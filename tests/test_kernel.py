@@ -1,0 +1,207 @@
+"""Vectorized stage-2 replay kernel: equivalence + engine unit tests.
+
+The kernel's contract is *field-for-field identical* results to the
+reference object-graph path for every supported scheme (see
+``docs/PERFORMANCE.md``).  The equivalence class below drives both
+paths from the same stage-1 memo and compares every result field,
+including the float accumulations; the unit classes cover the array
+engine's batched prefill, the support gate and the ``use_kernel``
+tri-state.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError, SimulationError
+from repro.config import baseline_config, scaled_config
+from repro.nuca.kernel import ArrayBanks, kernel_supported
+from repro.sim.calibrate import config_signature
+from repro.sim.runner import Stage1Cache, prepare_replay, run_workload
+from repro.telemetry import Telemetry
+from repro.trace.workloads import Workload
+
+INSTR = 6_000
+SCHEMES = ("S-NUCA", "Private", "R-NUCA", "Naive", "Re-NUCA")
+SEEDS = (3, 11)
+
+CFG8 = scaled_config(baseline_config(), cores=8)
+MIX8 = Workload(
+    "kmix8",
+    ("mcf", "lbm", "omnetpp", "xalancbmk",
+     "milc", "sjeng", "povray", "hmmer"),
+)
+
+
+@pytest.fixture(scope="module")
+def stage1():
+    return Stage1Cache()
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """Memoised (reference, kernel) result pairs per (scheme, seed)."""
+    stage1 = Stage1Cache()
+    cache: dict[tuple, tuple] = {}
+
+    def get(scheme, seed):
+        key = (scheme, seed)
+        if key not in cache:
+            cache[key] = tuple(
+                run_workload(
+                    MIX8, scheme, CFG8, seed=seed, n_instructions=INSTR,
+                    stage1=stage1, use_kernel=use_kernel,
+                )
+                for use_kernel in (False, True)
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestKernelEquivalence:
+    def test_headline_metrics(self, pair, scheme, seed):
+        ref, fast = pair(scheme, seed)
+        assert np.array_equal(ref.bank_writes, fast.bank_writes)
+        assert ref.noc_total_hops == fast.noc_total_hops
+        assert ref.llc_fetch_hit_rate == fast.llc_fetch_hit_rate
+        assert np.array_equal(ref.per_core_ipc, fast.per_core_ipc)
+
+    def test_every_field_identical(self, pair, scheme, seed):
+        ref, fast = pair(scheme, seed)
+        for field in dataclasses.fields(ref):
+            a = getattr(ref, field.name)
+            b = getattr(fast, field.name)
+            if isinstance(a, np.ndarray):
+                assert np.array_equal(a, b), field.name
+            else:
+                assert a == b, field.name
+
+
+class TestArrayBanks:
+    def _state(self):
+        return ArrayBanks(num_banks=2, num_sets=4, assoc=2, index_shift=6)
+
+    def test_prefill_scatters_in_order(self):
+        state = self._state()
+        lines = np.array([0x100, 0x200, 0x300], dtype=np.int64)
+        gsets = np.array([0, 0, 5], dtype=np.int64)
+        state.prefill_many(lines, gsets, dirty=np.array([True, False, True]))
+        assert state.tags[0].tolist() == [0x100, 0x200]
+        assert state.tags[5].tolist() == [0x300, -1]
+        # LRU -> MRU within the set follows input order.
+        assert state.age[0, 0] < state.age[0, 1]
+        assert state.dirty[0].tolist() == [True, False]
+        assert state.occ.tolist() == [2, 0, 0, 0, 0, 1, 0, 0]
+        assert state.index == {0x100: 0, 0x200: 1, 0x300: 10}
+
+    def test_prefill_unsorted_batch_matches_sorted(self):
+        a, b = self._state(), self._state()
+        lines = np.array([1, 2, 3, 4], dtype=np.int64)
+        gsets = np.array([0, 1, 0, 2], dtype=np.int64)
+        a.prefill_many(lines, gsets)
+        order = np.argsort(gsets, kind="stable")
+        b.prefill_many(lines[order], gsets[order])
+        assert np.array_equal(a.tags, b.tags)
+        assert np.array_equal(a.occ, b.occ)
+        assert a.index == b.index
+
+    def test_prefill_overflow_raises(self):
+        state = self._state()
+        lines = np.arange(3, dtype=np.int64)
+        gsets = np.zeros(3, dtype=np.int64)
+        with pytest.raises(SimulationError, match="overflows"):
+            state.prefill_many(lines, gsets)
+
+    def test_prefill_duplicate_line_raises(self):
+        state = self._state()
+        lines = np.array([7, 7], dtype=np.int64)
+        gsets = np.array([0, 1], dtype=np.int64)
+        with pytest.raises(SimulationError, match="duplicate"):
+            state.prefill_many(lines, gsets)
+
+    def test_prefill_index_false_leaves_memo_empty(self):
+        state = self._state()
+        state.prefill_many(
+            np.array([7, 7], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+            index=False,
+        )
+        assert state.index == {}
+        assert state.occ.tolist()[:2] == [1, 1]
+
+    def test_from_llc_lazy_payloads_keeps_set_views(self, stage1):
+        prep = prepare_replay(
+            MIX8, "S-NUCA", CFG8, seed=3, n_instructions=INSTR, stage1=stage1
+        )
+        eager = ArrayBanks.from_llc(prep.llc)
+        lazy = ArrayBanks.from_llc(prep.llc, index=False, lazy_payloads=True)
+        assert np.array_equal(eager.tags, lazy.tags)
+        assert np.array_equal(eager.occ, lazy.occ)
+        assert lazy.index == {}
+        assert eager.set_dicts is None
+        # Way k of a warm set is the k-th value of its live dict, so the
+        # lazy path can resolve dirty flags positionally.
+        total_sets = lazy.num_banks * lazy.num_sets
+        assert len(lazy.set_dicts) == total_sets
+        for gs in range(total_sets):
+            ways = list(lazy.set_dicts[gs].values())
+            for way, payload in enumerate(ways):
+                assert bool(payload[0]) == bool(eager.dirty[gs, way])
+
+
+class TestKernelGate:
+    def test_supported_on_pristine_run(self, stage1):
+        prep = prepare_replay(
+            MIX8, "S-NUCA", CFG8, seed=3, n_instructions=INSTR, stage1=stage1
+        )
+        assert kernel_supported(prep.llc)
+
+    def test_unsupported_policy_rejected(self, stage1):
+        with pytest.raises(ReproError, match="kernel cannot drive"):
+            run_workload(
+                MIX8, "D-NUCA", CFG8, seed=3, n_instructions=INSTR,
+                stage1=stage1, use_kernel=True,
+            )
+
+    def test_telemetry_run_rejects_forced_kernel(self, stage1):
+        with pytest.raises(ReproError, match="kernel cannot drive"):
+            run_workload(
+                MIX8, "S-NUCA", CFG8, seed=3, n_instructions=INSTR,
+                stage1=stage1, telemetry=Telemetry(), use_kernel=True,
+            )
+
+    def test_auto_engagement_and_env_override(self, stage1, monkeypatch):
+        calls = []
+        import repro.sim.runner as runner
+
+        real = runner.kernel_replay
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner, "kernel_replay", spy)
+        run_workload(MIX8, "S-NUCA", CFG8, seed=3, n_instructions=INSTR,
+                     stage1=stage1)
+        assert len(calls) == 1
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        run_workload(MIX8, "S-NUCA", CFG8, seed=3, n_instructions=INSTR,
+                     stage1=stage1)
+        assert len(calls) == 1
+
+
+class TestConfigSignatureMemo:
+    def test_memoised_on_the_instance(self):
+        cfg = baseline_config()
+        sig = config_signature(cfg)
+        assert cfg.__dict__["_signature"] is sig
+        assert config_signature(cfg) is sig
+
+    def test_equal_configs_equal_signatures(self):
+        assert config_signature(baseline_config()) == config_signature(
+            baseline_config()
+        )
