@@ -28,14 +28,20 @@ accept ``--trace-out FILE`` (JSONL event trace), ``--profile``
 (phase-timer report) and ``--ledger FILE`` (append run-provenance
 records); the sweep-engine commands take ``--jobs/-j`` (worker
 processes) and ``--progress`` (live single-line status with ETA);
-invoking ``repro`` with no subcommand prints the full help and exits 2.
+the sweep-engine commands also take ``--retries N`` (transient-failure
+retry budget) and ``--job-timeout SECONDS`` (per-job watchdog deadline;
+see docs/RESILIENCE.md); invoking ``repro`` with no subcommand prints
+the full help and exits 2.
 
 User-facing failures (unknown application, malformed trace file,
 inconsistent configuration — anything deriving from
 :class:`~repro.common.errors.ReproError`) print a one-line
 ``error: ...`` to stderr and exit with status 2; tracebacks are reserved
 for actual bugs.  ``diff`` reserves exit status 1 for tolerance
-violations, keeping it distinct from usage errors.
+violations, keeping it distinct from usage errors.  ``sweep
+--keep-going`` reserves exit status 3 for a sweep that completed with
+quarantined FAILED cells, and an interrupted, gracefully drained sweep
+exits 130 with a resume hint.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, SweepCancelled
 from repro.config import baseline_config
 from repro.experiments.report import format_table, render_table2
 from repro.experiments.table2 import run_table2
@@ -86,6 +92,14 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--progress", action="store_true",
                         help="live single-line progress with ETA "
                              "(replaces per-cell narration)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="retry budget per job for transient failures, "
+                             "crashes and timeouts (default 1)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job watchdog deadline in wall-clock "
+                             "seconds, scaled up for instruction budgets "
+                             "above the default (default: no watchdog)")
 
 
 def _add_ledger(parser: argparse.ArgumentParser) -> None:
@@ -147,6 +161,7 @@ def _cmd_compare(args) -> int:
         results, _report = run_jobs(
             jobs, max_workers=args.jobs, telemetry=telemetry,
             observer=observer, ledger=args.ledger,
+            retries=args.retries, job_timeout_s=args.job_timeout,
         )
         if observer is not None:
             observer.close()
@@ -271,11 +286,16 @@ def _cmd_sweep(args) -> int:
         cache=args.cache_dir,
         journal=args.journal,
         resume=args.resume,
+        retries=args.retries,
         telemetry=telemetry,
         # The live status line owns stderr; per-cell narration yields.
         progress=None if observer is not None else _narrate,
         observer=observer,
         ledger=args.ledger,
+        job_timeout_s=args.job_timeout,
+        keep_going=args.keep_going,
+        quarantine=args.quarantine,
+        chaos=args.chaos,
     )
     if observer is not None:
         observer.close()
@@ -290,7 +310,9 @@ def _cmd_sweep(args) -> int:
     rows = []
     for result in results:
         rows.append((
-            result.workload, result.scheme, result.ipc, result.min_lifetime,
+            result.workload,
+            result.scheme + (" [FAILED]" if result.failed else ""),
+            result.ipc, result.min_lifetime,
             result.wear_cov,
             result.llc_fetch_hit_rate,
         ))
@@ -312,6 +334,15 @@ def _cmd_sweep(args) -> int:
         print(f"\nwrote {traced} events to {args.trace_out}")
     if args.profile:
         print("\n" + telemetry.profiler.report())
+    if report.failed:
+        where = f" (quarantine: {args.quarantine})" if args.quarantine else ""
+        print(
+            f"warning: {report.failed} cell(s) FAILED and were "
+            f"quarantined{where}; their matrix cells are zeroed "
+            "placeholders",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -384,6 +415,8 @@ def _cmd_endoflife(args) -> int:
         max_workers=args.jobs,
         observer=observer,
         ledger=args.ledger,
+        retries=args.retries,
+        job_timeout_s=args.job_timeout,
     )
     if observer is not None:
         observer.close()
@@ -577,6 +610,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="save the result matrix as JSON")
     p_sweep.add_argument("--label", default="sweep",
                          help="label stored in the result matrix")
+    p_sweep.add_argument("--keep-going", action="store_true",
+                         help="quarantine poison cells (crash/timeout/retry "
+                              "exhaustion) as FAILED placeholders and finish "
+                              "the sweep; exit status 3 when any cell failed")
+    p_sweep.add_argument("--quarantine", metavar="FILE", default=None,
+                         help="append-only quarantine journal (JSONL) "
+                              "receiving one record per poisoned cell")
+    p_sweep.add_argument("--chaos", metavar="SPEC", default=None,
+                         help="chaos-injection rules for resilience testing, "
+                              "e.g. 'mixA/*@0=kill;mixB/S-NUCA@*=hang:30' "
+                              "(see docs/RESILIENCE.md)")
     _add_common(p_sweep)
     _add_telemetry(p_sweep)
     _add_jobs(p_sweep)
@@ -693,7 +737,9 @@ def main(argv: list[str] | None = None) -> int:
     Library errors (:class:`~repro.common.errors.ReproError` subclasses:
     unknown apps, malformed traces, bad configurations) are reported as a
     one-line ``error: ...`` on stderr with exit status 2 — they are user
-    mistakes, not crashes.  Anything else propagates with a traceback.
+    mistakes, not crashes.  A gracefully cancelled sweep
+    (:class:`~repro.common.errors.SweepCancelled`) exits 130 with its
+    resume hint.  Anything else propagates with a traceback.
 
     Run without a subcommand, prints the full help and exits 2 — the
     same status argparse uses for usage errors.
@@ -705,6 +751,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         return _COMMANDS[args.command](args)
+    except SweepCancelled as exc:
+        # A gracefully drained interrupt: completed cells are journaled
+        # and ledgered; 130 is the conventional SIGINT exit status.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

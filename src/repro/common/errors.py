@@ -16,6 +16,17 @@ class ConfigError(ReproError):
     """An invalid or inconsistent system configuration was supplied."""
 
 
+class SweepCancelled(ReproError):
+    """A sweep stopped early at the user's request (SIGINT/SIGTERM).
+
+    Raised by the scheduler after a graceful drain: in-flight jobs were
+    finished and journaled, ledger records were written, and the message
+    carries the resume hint.  The CLI maps it to exit code 130 (the
+    conventional interrupted-by-SIGINT status) rather than the generic
+    error code.
+    """
+
+
 class TraceError(ReproError):
     """A trace record or trace generator parameter is malformed."""
 

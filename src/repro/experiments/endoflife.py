@@ -90,6 +90,8 @@ def run_endoflife(
     resume: bool = False,
     observer=None,
     ledger=None,
+    retries: int | None = None,
+    job_timeout_s: float | None = None,
 ) -> dict[str, list[AgePoint]]:
     """Sweep one workload over cache ages for several schemes.
 
@@ -118,6 +120,10 @@ def run_endoflife(
             hook (see ``repro endoflife --progress``).
         ledger: optional :class:`~repro.obs.ledger.RunLedger` (or path)
             receiving one provenance record per resolved cell.
+        retries: per-cell retry budget for transient failures (None
+            keeps the engine default).
+        job_timeout_s: optional watchdog deadline per cell (see
+            ``docs/RESILIENCE.md``).
 
     Returns:
         ``{scheme: [AgePoint per age, in sweep order]}``.
@@ -125,7 +131,7 @@ def run_endoflife(
     Raises:
         ReproError: for an out-of-range workload number or empty sweep.
     """
-    from repro.jobs.scheduler import SweepJob, run_jobs
+    from repro.jobs.scheduler import DEFAULT_RETRIES, SweepJob, run_jobs
     from repro.jobs.spec import JobSpec
 
     config = config or baseline_config()
@@ -182,6 +188,8 @@ def run_endoflife(
         progress=_narrate,
         observer=observer,
         ledger=ledger,
+        retries=DEFAULT_RETRIES if retries is None else retries,
+        job_timeout_s=job_timeout_s,
     )
 
     curves: dict[str, list[AgePoint]] = {scheme: [] for scheme in schemes}

@@ -113,5 +113,20 @@ class ResultCache:
         self.writes += 1
         self._count("writes")
 
+    def corrupt(self, spec: JobSpec) -> None:
+        """Overwrite ``spec``'s entry with a truncated payload.
+
+        Chaos-harness support (``corrupt`` rules in
+        :mod:`repro.jobs.chaos`): simulates a writer that died mid-file
+        or a damaged disk.  The invariant under test is that the next
+        :meth:`get` treats the mangled entry as a miss — the cell
+        re-executes — rather than raising.  Deliberately bypasses the
+        atomic-write path; a missing entry is left missing.
+        """
+        path = self.path_for(spec.fingerprint())
+        if not path.exists():
+            return
+        path.write_text('{"format_version":', encoding="utf-8")
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

@@ -35,6 +35,12 @@ from repro.sim.store import result_from_dict, result_to_dict
 #: Journal record layout version.
 JOURNAL_FORMAT_VERSION = 1
 
+#: Quarantine record layout version.
+QUARANTINE_FORMAT_VERSION = 1
+
+#: Why a job was quarantined.
+QUARANTINE_KINDS = ("error", "crash", "timeout")
+
 
 class SweepJournal:
     """Append-only JSONL record of completed sweep jobs."""
@@ -132,6 +138,128 @@ class SweepJournal:
             self._fh = None
 
     def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class QuarantineJournal:
+    """Append-only JSONL record of poisoned sweep jobs.
+
+    A *poison job* is one the resilience layer gave up on: it crashed
+    the worker pool, exceeded its watchdog deadline, or exhausted its
+    retries.  Under ``keep_going`` the scheduler records it here —
+    fingerprint, label, failure kind (:data:`QUARANTINE_KINDS`),
+    attempt count, the reason text and the full
+    :meth:`spec payload <repro.jobs.spec.JobSpec.to_dict>` so the cell
+    can be re-run in isolation — and continues with the rest of the
+    sweep.  Quarantined cells are *not* journaled as completed, so a
+    later ``--resume`` retries them.
+
+    The file is append-only across runs (a quarantine is an incident
+    log, not per-sweep bookkeeping) and shares :class:`SweepJournal`'s
+    robustness contract: fsync per record, torn final line ignored on
+    read, earlier corruption raises.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> list[dict]:
+        """All quarantine records in append order (empty when no file).
+
+        Raises:
+            ReproError: for corruption other than a torn final record.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read quarantine {self.path}: {exc}"
+            ) from exc
+        records: list[dict] = []
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # Torn final append: the record is lost, but losing
+                    # an incident line never loses completed work.
+                    break
+                raise ReproError(
+                    f"{self.path}:{lineno}: malformed quarantine record: "
+                    f"{exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ReproError(
+                    f"{self.path}:{lineno}: quarantine record is not an "
+                    "object"
+                )
+            if record.get("v") != QUARANTINE_FORMAT_VERSION:
+                raise ReproError(
+                    f"{self.path}:{lineno}: unsupported quarantine format "
+                    f"{record.get('v')!r} "
+                    f"(expected {QUARANTINE_FORMAT_VERSION})"
+                )
+            records.append(record)
+        return records
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self) -> None:
+        """Open the backing file for appending (creating it if needed)."""
+        if self._fh is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(
+                f"cannot open quarantine {self.path}: {exc}"
+            ) from exc
+
+    def record(
+        self, spec: JobSpec, *, kind: str, reason: str, attempts: int
+    ) -> None:
+        """Append one poisoned job (flushed and fsynced immediately)."""
+        if kind not in QUARANTINE_KINDS:
+            raise ReproError(
+                f"quarantine kind must be one of {QUARANTINE_KINDS}, "
+                f"got {kind!r}"
+            )
+        if self._fh is None:
+            self.open()
+        line = json.dumps({
+            "v": QUARANTINE_FORMAT_VERSION,
+            "fingerprint": spec.fingerprint(),
+            "label": spec.label(),
+            "workload": spec.workload,
+            "scheme": spec.scheme,
+            "kind": kind,
+            "attempts": int(attempts),
+            "reason": reason,
+            "spec": spec.to_dict(),
+        })
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the backing file (reopened automatically on ``record``)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "QuarantineJournal":
         return self
 
     def __exit__(self, *_exc) -> None:

@@ -13,7 +13,9 @@ scheduling, so a parallel sweep's results are field-for-field equal to
 the serial ones and the output list always follows job-submission
 order regardless of completion order.  Worker telemetry (registry
 state + retained trace events) is merged into the parent handle in the
-same deterministic job order.
+same deterministic job order.  Retry backoff jitter derives from the
+job fingerprint (:meth:`~repro.jobs.spec.JobSpec.retry_delay_s`), so
+even failure handling replays identically.
 
 Worker processes are reused across jobs and keep a process-global
 :class:`~repro.sim.runner.Stage1Cache`, so a worker that executes
@@ -22,31 +24,74 @@ uses the ``fork`` start method where the platform offers it (cheap,
 and inherits warmed module state); elsewhere it falls back to the
 platform default, which only requires the ``repro`` package to be
 importable in the child.
+
+Resilience layer (see ``docs/RESILIENCE.md``):
+
+* **Crash recovery** — a dead worker (OOM kill, hard exit) breaks the
+  whole ``ProcessPoolExecutor``; instead of aborting, the pool is
+  rebuilt (bounded by ``max_pool_rebuilds``) and in-flight jobs are
+  requeued.  With several jobs in flight the culprit is unknowable, so
+  all of them become *suspects*, re-dispatched one at a time: a repeat
+  crash then attributes exactly and charges that job a retry attempt.
+* **Watchdog timeouts** — ``job_timeout_s`` sets a wall-clock deadline
+  per job, scaled up by ``n_instructions`` relative to the default
+  budget.  An overdue job's workers are killed, the pool rebuilt, the
+  job charged an attempt and innocents requeued uncharged.
+* **Retry with backoff** — transient failures retry up to ``retries``
+  times with exponential, fingerprint-jittered delays; retries wait in
+  a delay queue without blocking other dispatches.
+* **Quarantine** — a job that exhausts its attempts (or fails
+  deterministically) aborts the sweep by default; under ``keep_going``
+  it is recorded to the :class:`~repro.jobs.journal.QuarantineJournal`
+  and its cell resolves to a zeroed ``FAILED`` placeholder
+  (:meth:`~repro.sim.metrics.WorkloadSchemeResult.failed_cell`) so the
+  rest of the sweep completes.
+* **Graceful cancellation** — the first SIGINT/SIGTERM stops
+  dispatching, drains and journals in-flight jobs, flushes ledger
+  records and raises :class:`~repro.common.errors.SweepCancelled` with
+  a resume hint; a second signal aborts immediately.
+* **Chaos hooks** — a :class:`~repro.jobs.chaos.ChaosPlan` travels in
+  the worker payload and injects real failures (raise/hang/kill/exit/
+  cache corruption) on chosen attempts, which is how the tests and the
+  CI chaos-smoke job prove all of the above end to end.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import re
+import signal as signal_module
+import sys
+import threading
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, SweepCancelled
 from repro.config import FaultConfig, SystemConfig
 from repro.jobs.cache import ResultCache
-from repro.jobs.journal import SweepJournal
+from repro.jobs.chaos import ChaosPlan, as_chaos
+from repro.jobs.journal import QuarantineJournal, SweepJournal
 from repro.jobs.spec import JobSpec
 from repro.obs.ledger import RunLedger, RunRecord, as_ledger
 from repro.obs.progress import JobEvent
 from repro.sim.metrics import WorkloadSchemeResult
-from repro.sim.runner import Stage1Cache, run_workload
+from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache, run_workload
 from repro.telemetry import Telemetry
 from repro.trace.workloads import Workload
 
 #: Default per-job retry budget for transient failures.
 DEFAULT_RETRIES = 1
+
+#: Default base delay of the exponential retry backoff (seconds).
+DEFAULT_BACKOFF_S = 0.25
+
+#: Default bound on worker-pool rebuilds before the sweep gives up.
+DEFAULT_MAX_POOL_REBUILDS = 8
 
 
 @dataclass(frozen=True)
@@ -66,14 +111,29 @@ class SweepReport:
     cache_hits: int = 0
     resumed: int = 0
     retries: int = 0
+    #: Cells quarantined as FAILED placeholders (``keep_going`` only).
+    failed: int = 0
+    #: Watchdog-deadline expiries (each also charged as a retry attempt).
+    timeouts: int = 0
+    #: Worker-pool rebuilds after crashes or watchdog kills.
+    pool_rebuilds: int = 0
+    #: Innocent in-flight jobs requeued (uncharged) by rebuilds.
+    requeued: int = 0
 
     def summary(self) -> str:
         """One-line human-readable accounting."""
-        return (
+        line = (
             f"{self.total} jobs: {self.executed} executed, "
             f"{self.cache_hits} from cache, {self.resumed} resumed"
             + (f", {self.retries} retried" if self.retries else "")
         )
+        if self.timeouts:
+            line += f", {self.timeouts} timed out"
+        if self.pool_rebuilds:
+            line += f", {self.pool_rebuilds} pool rebuild(s)"
+        if self.failed:
+            line += f", {self.failed} FAILED (quarantined)"
+        return line
 
 
 def matrix_jobs(
@@ -117,6 +177,10 @@ class _Payload:
     trace_capacity: int
     interval_instructions: int
     profile: bool = False
+    #: Zero-based attempt number (rebuilt per submission for retries).
+    attempt: int = 0
+    #: Fault-injection plan for chaos tests; None in production runs.
+    chaos: ChaosPlan | None = None
 
 
 @dataclass
@@ -133,6 +197,8 @@ class _Outcome:
 def _execute_payload(payload: _Payload) -> _Outcome:
     """Run one job inside a worker process (also usable in-process)."""
     global _WORKER_STAGE1
+    if payload.chaos is not None:
+        payload.chaos.apply(payload.spec.label(), payload.attempt)
     if _WORKER_STAGE1 is None:
         _WORKER_STAGE1 = Stage1Cache()
     telemetry = None
@@ -188,6 +254,14 @@ def _as_journal(
     return SweepJournal(journal)
 
 
+def _as_quarantine(
+    quarantine: QuarantineJournal | str | Path | None,
+) -> QuarantineJournal | None:
+    if quarantine is None or isinstance(quarantine, QuarantineJournal):
+        return quarantine
+    return QuarantineJournal(quarantine)
+
+
 def _merge_outcome(
     telemetry: Telemetry | None, job: SweepJob, outcome: _Outcome
 ) -> None:
@@ -207,6 +281,80 @@ def _merge_outcome(
         telemetry.trace.merge(outcome.events, extra=extra)
 
 
+class GracefulCancel:
+    """Two-phase SIGINT/SIGTERM bookkeeping for a running sweep.
+
+    The first signal only raises the :attr:`soft` flag — the engines
+    stop dispatching, drain in-flight jobs (journaling their results)
+    and raise :class:`~repro.common.errors.SweepCancelled` with a
+    resume hint.  A second signal raises ``KeyboardInterrupt`` from the
+    handler: the hard abort for a drain that is itself stuck.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.signals = 0
+        self.stream = stream if stream is not None else sys.stderr
+
+    @property
+    def soft(self) -> bool:
+        """True once the first signal arrived: stop dispatching."""
+        return self.signals >= 1
+
+    def __call__(self, signum, frame) -> None:
+        self.signals += 1
+        if self.signals == 1:
+            self.stream.write(
+                "\nsweep: interrupt received — finishing in-flight jobs "
+                "and journaling results (interrupt again to abort now)\n"
+            )
+            self.stream.flush()
+            return
+        raise KeyboardInterrupt
+
+
+@contextmanager
+def _graceful_signals(cancel: GracefulCancel | None):
+    """Install ``cancel`` as the SIGINT/SIGTERM handler, then restore.
+
+    A no-op off the main thread (the interpreter refuses handler
+    installation there) and when ``cancel`` is None.
+    """
+    if (
+        cancel is None
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    previous = {}
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            previous[signum] = signal_module.signal(signum, cancel)
+        except (ValueError, OSError):
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal_module.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+
+@dataclass
+class _Resilience:
+    """The failure-handling knobs both execution engines consult."""
+
+    retries: int
+    keep_going: bool
+    quarantine: QuarantineJournal | None
+    backoff_s: float
+    job_timeout_s: float | None
+    max_pool_rebuilds: int
+    chaos: ChaosPlan | None
+    cancel: GracefulCancel | None
+
+
 def run_jobs(
     jobs: list[SweepJob],
     *,
@@ -220,6 +368,13 @@ def run_jobs(
     progress=None,
     observer=None,
     ledger: RunLedger | str | Path | None = None,
+    job_timeout_s: float | None = None,
+    keep_going: bool = False,
+    quarantine: QuarantineJournal | str | Path | None = None,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+    chaos: ChaosPlan | str | None = None,
+    install_signal_handlers: bool = True,
 ) -> tuple[list[WorkloadSchemeResult], SweepReport]:
     """Resolve every job; returns results in job order plus a report.
 
@@ -238,20 +393,44 @@ def run_jobs(
         resume: replay completed cells from the journal instead of
             rerunning them; requires ``journal``.
         retries: extra attempts per job after a transient (non-
-            :class:`~repro.common.errors.ReproError`) failure.
+            :class:`~repro.common.errors.ReproError`) failure, a worker
+            crash attributed to the job, or a watchdog timeout.
         progress: optional ``(job: SweepJob) -> None`` narration hook,
             fired once per job as it is dispatched or served.
         observer: optional ``(event: JobEvent) -> None`` hook receiving
-            the live event stream (``dispatch``/``done``/``cache``/
-            ``resumed``/``retry``) — what
+            the live event stream (see
+            :data:`repro.obs.progress.EVENT_KINDS`) — what
             :class:`~repro.obs.progress.SweepProgress` renders.
         ledger: a :class:`~repro.obs.ledger.RunLedger` (or its path);
-            one provenance record per job is appended in job order after
-            the sweep resolves, stamped with how each cell was obtained.
+            one provenance record per resolved job is appended in job
+            order, stamped with how each cell was obtained.  On an
+            abort, records for the cells that *did* resolve are flushed
+            before the error propagates.
+        job_timeout_s: watchdog wall-clock deadline per job, scaled up
+            for budgets above the ``DEFAULT_INSTRUCTIONS`` reference
+            (never down, so small smoke budgets keep the full grace
+            period).  None disables the watchdog.
+        keep_going: quarantine poison jobs (crash / timeout / retry
+            exhaustion / deterministic failure) as zeroed ``FAILED``
+            placeholder cells instead of aborting the sweep.
+        quarantine: a :class:`~repro.jobs.journal.QuarantineJournal`
+            (or its path) receiving one record per poisoned job.
+        backoff_s: base of the exponential retry backoff; jitter is
+            deterministic per job fingerprint.  0 retries immediately.
+        max_pool_rebuilds: worker-pool rebuild budget; one more crash
+            or watchdog kill after this aborts even under
+            ``keep_going``.
+        chaos: a :class:`~repro.jobs.chaos.ChaosPlan` (or its spec
+            string) injecting worker failures — test harness only.
+        install_signal_handlers: install the two-phase SIGINT/SIGTERM
+            graceful-cancellation handler for the duration of the sweep
+            (main thread only; restored afterwards).
 
     Raises:
-        ReproError: invalid arguments, duplicate jobs, a deterministic
-            job failure, or a transient one that survived its retries.
+        ReproError: invalid arguments, duplicate jobs, a poison job
+            without ``keep_going``, or an exhausted pool-rebuild budget.
+        SweepCancelled: the sweep was interrupted and drained; the
+            message carries the resume hint.
     """
     if max_workers < 1:
         raise ReproError("max_workers must be at least 1")
@@ -259,6 +438,12 @@ def run_jobs(
         raise ReproError("retries cannot be negative")
     if resume and journal is None:
         raise ReproError("resume requires a journal")
+    if job_timeout_s is not None and job_timeout_s <= 0:
+        raise ReproError("job_timeout_s must be positive (or None)")
+    if backoff_s < 0:
+        raise ReproError("backoff_s cannot be negative")
+    if max_pool_rebuilds < 1:
+        raise ReproError("max_pool_rebuilds must be at least 1")
     fingerprints = [job.spec.fingerprint() for job in jobs]
     if len(set(fingerprints)) != len(fingerprints):
         seen: set[str] = set()
@@ -272,11 +457,17 @@ def run_jobs(
     cache = _as_cache(cache)
     journal = _as_journal(journal)
     ledger = as_ledger(ledger)
+    quarantine = _as_quarantine(quarantine)
+    chaos = as_chaos(chaos)
     report = SweepReport(total=len(jobs))
     if telemetry is not None:
         telemetry.registry.counter("jobs.executed")
         telemetry.registry.counter("jobs.retried")
         telemetry.registry.counter("jobs.journal.resumed")
+        telemetry.registry.counter("jobs.recovery.pool_rebuilds")
+        telemetry.registry.counter("jobs.recovery.timeouts")
+        telemetry.registry.counter("jobs.recovery.requeued")
+        telemetry.registry.counter("jobs.recovery.quarantined")
         if cache is not None:
             cache.bind_telemetry(telemetry.registry)
 
@@ -287,6 +478,13 @@ def run_jobs(
             journal.open()
         else:
             journal.open(truncate=True)
+
+    cancel = GracefulCancel() if install_signal_handlers else None
+    res = _Resilience(
+        retries=retries, keep_going=keep_going, quarantine=quarantine,
+        backoff_s=backoff_s, job_timeout_s=job_timeout_s,
+        max_pool_rebuilds=max_pool_rebuilds, chaos=chaos, cancel=cancel,
+    )
 
     # Tier 1+2: resolve what we already know; collect the remainder.
     resolved: dict[int, WorkloadSchemeResult] = {}
@@ -320,30 +518,16 @@ def run_jobs(
                 continue
         pending.append((index, job))
 
-    # Tier 3: execute.
-    try:
-        if pending and max_workers == 1:
-            _run_serial(
-                pending, resolved, report,
-                retries=retries,
-                stage1=stage1 or Stage1Cache(),
-                cache=cache, journal=journal,
-                telemetry=telemetry, progress=progress,
-                observer=observer, provenance=provenance,
-            )
-        elif pending:
-            _run_parallel(
-                pending, resolved, report,
-                max_workers=max_workers, retries=retries,
-                cache=cache, journal=journal,
-                telemetry=telemetry, progress=progress,
-                observer=observer, provenance=provenance,
-            )
-    finally:
-        if journal is not None:
-            journal.close()
+    ledger_flushed = False
 
-    if ledger is not None:
+    def _flush_ledger() -> None:
+        # Satellite of the abort path: every cell that resolved must
+        # reach the ledger, whether the sweep finished or died — so
+        # this runs once, from the success path or the except path.
+        nonlocal ledger_flushed
+        if ledger is None or ledger_flushed:
+            return
+        ledger_flushed = True
         engine = {
             "total": report.total,
             "executed": report.executed,
@@ -351,8 +535,14 @@ def run_jobs(
             "resumed": report.resumed,
             "retries": report.retries,
         }
+        for key in ("failed", "timeouts", "pool_rebuilds", "requeued"):
+            value = getattr(report, key)
+            if value:
+                engine[key] = value
         with ledger:
             for index, job in enumerate(jobs):
+                if index not in resolved or index not in provenance:
+                    continue
                 source, wall_time_s, profile = provenance[index]
                 ledger.append(RunRecord.for_result(
                     resolved[index],
@@ -365,17 +555,65 @@ def run_jobs(
                     engine=engine,
                 ))
 
+    # Tier 3: execute.
+    try:
+        with _graceful_signals(cancel):
+            if pending and max_workers == 1:
+                _run_serial(
+                    pending, resolved, report,
+                    res=res,
+                    stage1=stage1 or Stage1Cache(),
+                    cache=cache, journal=journal,
+                    telemetry=telemetry, progress=progress,
+                    observer=observer, provenance=provenance,
+                )
+            elif pending:
+                _run_parallel(
+                    pending, resolved, report,
+                    max_workers=max_workers, res=res,
+                    cache=cache, journal=journal,
+                    telemetry=telemetry, progress=progress,
+                    observer=observer, provenance=provenance,
+                )
+    except BaseException:
+        try:
+            _flush_ledger()
+        except Exception:
+            # Never let ledger trouble mask the original abort cause.
+            pass
+        raise
+    finally:
+        if journal is not None:
+            journal.close()
+        if quarantine is not None:
+            quarantine.close()
+
+    _flush_ledger()
     return [resolved[index] for index in range(len(jobs))], report
 
 
+def _count(telemetry: Telemetry | None, name: str, amount: int = 1) -> None:
+    if telemetry is not None and amount:
+        telemetry.registry.counter(name).inc(amount)
+
+
 def _count_executed(telemetry: Telemetry | None) -> None:
-    if telemetry is not None:
-        telemetry.registry.counter("jobs.executed").inc()
+    _count(telemetry, "jobs.executed")
 
 
-def _count_retry(telemetry: Telemetry | None) -> None:
-    if telemetry is not None:
-        telemetry.registry.counter("jobs.retried").inc()
+def _retry_kind(exc: BaseException | str) -> str:
+    """Counter-safe failure kind: lowercased exception class name."""
+    name = exc if isinstance(exc, str) else type(exc).__name__
+    kind = re.sub(r"[^a-z0-9_-]", "", name.lower())
+    if not kind or not kind[0].isalpha():
+        kind = f"e{kind}" if kind else "unknown"
+    return kind
+
+
+def _count_retry(telemetry: Telemetry | None, kind: str) -> None:
+    """One retry: the total plus the per-failure-kind breakdown."""
+    _count(telemetry, "jobs.retried")
+    _count(telemetry, f"jobs.retry.{kind}")
 
 
 def _complete(
@@ -390,9 +628,104 @@ def _complete(
         journal.record(job.spec, result)
 
 
+def _chaos_corrupt(
+    res: _Resilience, job: SweepJob, attempt: int, cache: ResultCache | None
+) -> None:
+    """Parent-side ``corrupt`` chaos rules: mangle the fresh cache entry."""
+    if res.chaos is None or cache is None:
+        return
+    rule = res.chaos.rule_for(job.spec.label(), attempt)
+    if rule is not None and rule.action == "corrupt":
+        cache.corrupt(job.spec)
+
+
+#: Poison-message verb per failure kind (anything else reads "failed").
+_POISON_PHRASE = {
+    "crash": "crashed the worker pool",
+    "timeout": "timed out",
+}
+
+
+def _poison(
+    job: SweepJob,
+    index: int,
+    attempts: int,
+    kind: str,
+    reason: str,
+    *,
+    resolved,
+    report: SweepReport,
+    res: _Resilience,
+    telemetry: Telemetry | None,
+    provenance,
+    observer,
+    cause: BaseException | None = None,
+    message: str | None = None,
+) -> None:
+    """Give up on one job: quarantine it (``keep_going``) or abort.
+
+    ``kind`` is the retry/telemetry kind; it collapses onto the
+    quarantine kinds (``crash``/``timeout``/``error``) for the journal
+    record and the FAILED placeholder's reason string.
+    """
+    qkind = kind if kind in ("crash", "timeout") else "error"
+    if message is None:
+        phrase = _POISON_PHRASE.get(kind, "failed")
+        message = (
+            f"sweep job {job.spec.label()} {phrase} after "
+            f"{attempts} attempt(s): {reason}"
+        )
+    if not res.keep_going:
+        raise ReproError(
+            message
+            + " (run with keep_going/--keep-going to quarantine failing "
+            "cells and continue)"
+        ) from cause
+    if res.quarantine is not None:
+        res.quarantine.record(
+            job.spec, kind=qkind, reason=reason, attempts=attempts,
+        )
+    report.failed += 1
+    _count(telemetry, "jobs.recovery.quarantined")
+    resolved[index] = WorkloadSchemeResult.failed_cell(
+        workload=job.spec.workload,
+        scheme=job.spec.scheme,
+        apps=job.spec.apps,
+        n_banks=job.config.num_banks,
+        reason=f"{qkind}: {reason}",
+        age_fraction=(
+            job.spec.fault.age_fraction if job.spec.fault is not None else 0.0
+        ),
+    )
+    if provenance is not None:
+        provenance[index] = ("failed", 0.0, {})
+    if observer is not None:
+        observer(JobEvent("failed", job.spec.label(), index))
+
+
+def _cancel_message(
+    report: SweepReport, journal: SweepJournal | None
+) -> str:
+    done = (
+        report.executed + report.cache_hits + report.resumed + report.failed
+    )
+    message = (
+        f"sweep cancelled by user: {done} of {report.total} cells "
+        "resolved and journaled"
+    )
+    if journal is not None:
+        message += (
+            f"; rerun with resume=True (--resume) against the same "
+            f"journal ({journal.path}) to finish the rest"
+        )
+    else:
+        message += "; run with a journal to make cancelled sweeps resumable"
+    return message
+
+
 def _run_serial(
     pending, resolved, report, *,
-    retries, stage1, cache, journal, telemetry, progress,
+    res, stage1, cache, journal, telemetry, progress,
     observer=None, provenance=None,
 ) -> None:
     """In-process execution: the legacy sequential sweep, plus retries.
@@ -400,17 +733,24 @@ def _run_serial(
     Serial runs thread the parent telemetry (and so its profiler)
     straight through, so per-job phase totals are not separable; ledger
     records get an empty ``profile`` and the parent profiler keeps the
-    whole picture.
+    whole picture.  The watchdog does not apply here (there is no
+    second process to kill); chaos ``kill``/``exit`` rules would take
+    the parent down and belong in parallel runs.
     """
     for index, job in pending:
+        if res.cancel is not None and res.cancel.soft:
+            raise SweepCancelled(_cancel_message(report, journal))
         if progress is not None:
             progress(job)
         if observer is not None:
             observer(JobEvent("dispatch", job.spec.label(), index))
         attempts = 0
         started = time.perf_counter()
+        failed = False
         while True:
             try:
+                if res.chaos is not None:
+                    res.chaos.apply(job.spec.label(), attempts)
                 result = run_workload(
                     job.spec.to_workload(),
                     job.spec.scheme,
@@ -422,19 +762,43 @@ def _run_serial(
                     telemetry=telemetry,
                 )
                 break
-            except ReproError:
-                raise
+            except ReproError as exc:
+                if not res.keep_going:
+                    raise
+                _poison(
+                    job, index, attempts + 1, "error", str(exc),
+                    resolved=resolved, report=report, res=res,
+                    telemetry=telemetry, provenance=provenance,
+                    observer=observer, cause=exc,
+                )
+                failed = True
+                break
             except Exception as exc:
                 attempts += 1
-                if attempts > retries:
-                    raise ReproError(
-                        f"sweep job {job.spec.label()} failed after "
-                        f"{attempts} attempt(s): {exc}"
-                    ) from exc
+                if attempts > res.retries:
+                    _poison(
+                        job, index, attempts, _retry_kind(exc), str(exc),
+                        resolved=resolved, report=report, res=res,
+                        telemetry=telemetry, provenance=provenance,
+                        observer=observer, cause=exc,
+                        message=(
+                            f"sweep job {job.spec.label()} failed after "
+                            f"{attempts} attempt(s): {exc}"
+                        ),
+                    )
+                    failed = True
+                    break
                 report.retries += 1
-                _count_retry(telemetry)
+                _count_retry(telemetry, _retry_kind(exc))
                 if observer is not None:
                     observer(JobEvent("retry", job.spec.label(), index))
+                delay = job.spec.retry_delay_s(
+                    attempts - 1, base_s=res.backoff_s
+                )
+                if delay > 0:
+                    time.sleep(delay)
+        if failed:
+            continue
         wall_time_s = time.perf_counter() - started
         report.executed += 1
         _count_executed(telemetry)
@@ -446,6 +810,9 @@ def _run_serial(
                 "done", job.spec.label(), index, wall_time_s=wall_time_s,
             ))
         _complete(job, result, cache, journal)
+        _chaos_corrupt(res, job, attempts, cache)
+    if res.cancel is not None and res.cancel.soft:
+        raise SweepCancelled(_cancel_message(report, journal))
 
 
 def _pool_context():
@@ -453,6 +820,22 @@ def _pool_context():
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return None
+
+
+def _worker_init() -> None:
+    """Pool initializer: restore default signal dispositions.
+
+    Forked workers inherit the parent's :class:`GracefulCancel`
+    handler; without this reset, the executor's broken-pool cleanup
+    (which SIGTERMs surviving workers) would trip the drain notice
+    inside a worker — and the worker would swallow the signal instead
+    of dying.
+    """
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            signal_module.signal(signum, signal_module.SIG_DFL)
+        except (ValueError, OSError):
+            pass
 
 
 def _phase_totals(profiler_state: list | None) -> dict[str, float]:
@@ -465,12 +848,62 @@ def _phase_totals(profiler_state: list | None) -> dict[str, float]:
     }
 
 
+def _deadline_s(spec: JobSpec, job_timeout_s: float | None) -> float | None:
+    """The watchdog deadline for one job: scaled up for big budgets.
+
+    ``job_timeout_s`` is calibrated against the default instruction
+    budget; a job simulating 10x the instructions gets 10x the wall
+    clock.  Budgets *below* the reference keep the full deadline — the
+    flag is a floor, so tiny CI smoke budgets are not starved into
+    spurious timeouts.
+    """
+    if job_timeout_s is None:
+        return None
+    scale = max(1.0, spec.n_instructions / DEFAULT_INSTRUCTIONS)
+    return job_timeout_s * scale
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: SIGKILL its workers, then tear down the plumbing.
+
+    ``ProcessPoolExecutor`` has no per-job cancellation, so a hung or
+    poisoned worker can only be dealt with wholesale: kill every worker
+    process (a hung one never reacts to anything softer) and shut the
+    executor down without waiting.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _Flight:
+    """One in-flight submission: which job, which attempt, its deadline."""
+
+    index: int
+    attempts: int
+    started: float
+    deadline_s: float | None
+
+
 def _run_parallel(
     pending, resolved, report, *,
-    max_workers, retries, cache, journal, telemetry, progress,
+    max_workers, res, cache, journal, telemetry, progress,
     observer=None, provenance=None,
 ) -> None:
-    """Process-pool execution with per-job retry and deterministic merge."""
+    """Process-pool execution with crash recovery and deterministic merge.
+
+    The dispatch loop keeps at most ``workers`` jobs in flight (so the
+    in-flight set is exactly what a pool crash can take down), promotes
+    backoff-delayed retries as their deadlines pass, and runs
+    *suspects* — jobs requeued by an unattributed pool crash — one at a
+    time so a repeat crash identifies its culprit.
+    """
     want_trace = telemetry is not None and telemetry.trace is not None
     payloads = {
         index: _Payload(
@@ -485,58 +918,165 @@ def _run_parallel(
                 telemetry.interval_instructions if telemetry is not None else 0
             ),
             profile=telemetry is not None and telemetry.profiler.enabled,
+            chaos=res.chaos,
         )
         for index, job in pending
     }
     jobs_by_index = dict(pending)
     outcomes: dict[int, _Outcome] = {}
     workers = min(max_workers, len(pending))
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_pool_context()
-    ) as pool:
-        try:
-            futures = {}
-            for index, job in pending:
-                if progress is not None:
-                    progress(job)
-                if observer is not None:
-                    observer(JobEvent("dispatch", job.spec.label(), index))
-                futures[pool.submit(_execute_payload, payloads[index])] = (
-                    index, 0,
+    context = _pool_context()
+    pool = ProcessPoolExecutor(
+        max_workers=workers, mp_context=context, initializer=_worker_init,
+    )
+    rebuilds = 0
+    announced: set[int] = set()
+    #: (index, attempts) queues: ready to submit / backoff-delayed
+    #: (with their not-before instant) / crash suspects on probation.
+    ready: deque[tuple[int, int]] = deque(
+        (index, 0) for index, _job in pending
+    )
+    delayed: list[tuple[float, int, int]] = []
+    suspects: deque[tuple[int, int]] = deque()
+    futures: dict = {}
+
+    def _event(kind: str, index: int, **kw) -> None:
+        if observer is not None:
+            observer(JobEvent(
+                kind, jobs_by_index[index].spec.label(), index, **kw,
+            ))
+
+    def _rebuild_pool(reason: str) -> None:
+        nonlocal pool, rebuilds
+        rebuilds += 1
+        report.pool_rebuilds += 1
+        _count(telemetry, "jobs.recovery.pool_rebuilds")
+        _kill_pool(pool)
+        if rebuilds > res.max_pool_rebuilds:
+            raise ReproError(
+                f"sweep worker pool died {rebuilds} times "
+                f"(last cause: {reason}); rebuild budget "
+                f"({res.max_pool_rebuilds}) exhausted — is the machine "
+                "out of memory?"
+            )
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_worker_init,
+        )
+
+    def _submit(index: int, attempts: int) -> None:
+        if index not in announced:
+            announced.add(index)
+            if progress is not None:
+                progress(jobs_by_index[index])
+            _event("dispatch", index)
+        payload = replace(payloads[index], attempt=attempts)
+        while True:
+            try:
+                future = pool.submit(_execute_payload, payload)
+                break
+            except BrokenProcessPool:
+                # Broke between completions; nothing else was in
+                # flight, so no jobs to requeue — just rebuild.
+                _rebuild_pool("pool broke before submission")
+        futures[future] = _Flight(
+            index=index, attempts=attempts, started=time.monotonic(),
+            deadline_s=_deadline_s(
+                jobs_by_index[index].spec, res.job_timeout_s
+            ),
+        )
+
+    def _charge(flight: _Flight, kind: str, reason: str,
+                cause: BaseException | None = None) -> None:
+        """Account one failed attempt: requeue with backoff, or poison."""
+        attempts = flight.attempts + 1
+        job = jobs_by_index[flight.index]
+        if attempts > res.retries:
+            _poison(
+                job, flight.index, attempts, kind, reason,
+                resolved=resolved, report=report, res=res,
+                telemetry=telemetry, provenance=provenance,
+                observer=observer, cause=cause,
+            )
+            return
+        report.retries += 1
+        _count_retry(telemetry, kind)
+        _event("retry", flight.index)
+        delay = job.spec.retry_delay_s(flight.attempts, base_s=res.backoff_s)
+        if delay > 0:
+            delayed.append((time.monotonic() + delay, flight.index, attempts))
+        else:
+            ready.append((flight.index, attempts))
+
+    try:
+        while ready or delayed or suspects or futures:
+            now = time.monotonic()
+            if delayed:
+                due = sorted(
+                    (d for d in delayed if d[0] <= now), key=lambda d: d[1]
                 )
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, attempts = futures.pop(future)
-                    job = jobs_by_index[index]
-                    try:
-                        outcome = future.result()
-                    except ReproError as exc:
-                        raise ReproError(
+                if due:
+                    delayed = [d for d in delayed if d[0] > now]
+                    ready.extend((index, attempts) for _, index, attempts in due)
+            soft = res.cancel is not None and res.cancel.soft
+            if not soft:
+                if suspects:
+                    # Probation: one suspect at a time, alone in the
+                    # pool, so a repeat crash attributes exactly.
+                    if not futures:
+                        _submit(*suspects.popleft())
+                else:
+                    while ready and len(futures) < workers:
+                        _submit(*ready.popleft())
+            if not futures:
+                if soft:
+                    break
+                if delayed:
+                    next_at = min(d[0] for d in delayed)
+                    pause = min(max(0.0, next_at - time.monotonic()), 0.25)
+                    if pause > 0:
+                        time.sleep(pause)
+                continue
+
+            timeout = None
+            for flight in futures.values():
+                if flight.deadline_s is not None:
+                    left = flight.started + flight.deadline_s - now
+                    timeout = left if timeout is None else min(timeout, left)
+            if delayed:
+                left = min(d[0] for d in delayed) - now
+                timeout = left if timeout is None else min(timeout, left)
+            if timeout is not None:
+                timeout = max(0.01, timeout)
+            done, _ = wait(
+                set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+
+            crashed: list[_Flight] = []
+            for future in done:
+                flight = futures.pop(future)
+                index = flight.index
+                job = jobs_by_index[index]
+                try:
+                    outcome = future.result()
+                except ReproError as exc:
+                    # Deterministic failure: retrying cannot help.
+                    _poison(
+                        job, index, flight.attempts + 1, "error", str(exc),
+                        resolved=resolved, report=report, res=res,
+                        telemetry=telemetry, provenance=provenance,
+                        observer=observer, cause=exc,
+                        message=(
                             f"sweep job {job.spec.label()} failed: {exc}"
-                        ) from exc
-                    except BrokenProcessPool as exc:
-                        raise ReproError(
-                            "sweep worker pool died (out of memory?); "
-                            f"job {job.spec.label()} was in flight: {exc}"
-                        ) from exc
-                    except Exception as exc:
-                        if attempts >= retries:
-                            raise ReproError(
-                                f"sweep job {job.spec.label()} failed after "
-                                f"{attempts + 1} attempt(s): {exc}"
-                            ) from exc
-                        report.retries += 1
-                        _count_retry(telemetry)
-                        if observer is not None:
-                            observer(JobEvent(
-                                "retry", job.spec.label(), index,
-                            ))
-                        futures[
-                            pool.submit(_execute_payload, payloads[index])
-                        ] = (index, attempts + 1)
-                        continue
+                        ),
+                    )
+                except BrokenProcessPool:
+                    crashed.append(flight)
+                except Exception as exc:
+                    _charge(flight, _retry_kind(exc), str(exc), exc)
+                else:
                     outcomes[index] = outcome
+                    resolved[index] = outcome.result
                     report.executed += 1
                     _count_executed(telemetry)
                     if provenance is not None:
@@ -545,17 +1085,85 @@ def _run_parallel(
                             outcome.wall_time_s,
                             _phase_totals(outcome.profiler_state),
                         )
-                    if observer is not None:
-                        observer(JobEvent(
-                            "done", job.spec.label(), index,
-                            wall_time_s=outcome.wall_time_s,
-                        ))
+                    _event("done", index, wall_time_s=outcome.wall_time_s)
                     _complete(job, outcome.result, cache, journal)
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+                    _chaos_corrupt(res, job, flight.attempts, cache)
+
+            if crashed:
+                # The pool is broken: every remaining in-flight future
+                # is doomed with it.  Rebuild, then attribute: a lone
+                # in-flight job is charged directly; with several we
+                # cannot tell who killed the pool, so all are requeued
+                # uncharged as suspects and re-run one at a time.
+                inflight = crashed + list(futures.values())
+                futures.clear()
+                _rebuild_pool("a worker process died unexpectedly")
+                if len(inflight) == 1:
+                    _charge(
+                        inflight[0], "crash",
+                        "worker process died unexpectedly",
+                    )
+                else:
+                    report.requeued += len(inflight)
+                    _count(
+                        telemetry, "jobs.recovery.requeued", len(inflight)
+                    )
+                    for flight in sorted(inflight, key=lambda f: f.index):
+                        suspects.append((flight.index, flight.attempts))
+                        _event("requeue", flight.index)
+                continue
+
+            if (
+                res.job_timeout_s is not None
+                and futures
+                and not any(f.done() for f in futures)
+            ):
+                now = time.monotonic()
+                expired = {
+                    f: fl for f, fl in futures.items()
+                    if fl.deadline_s is not None
+                    and now - fl.started >= fl.deadline_s
+                }
+                if expired:
+                    innocents = [
+                        fl for f, fl in futures.items() if f not in expired
+                    ]
+                    futures.clear()
+                    report.timeouts += len(expired)
+                    _count(
+                        telemetry, "jobs.recovery.timeouts", len(expired)
+                    )
+                    # No per-job kill exists: take the pool down and
+                    # rebuild, requeueing the innocent bystanders free
+                    # of charge.
+                    _rebuild_pool("watchdog deadline exceeded")
+                    for flight in sorted(
+                        expired.values(), key=lambda f: f.index
+                    ):
+                        _event("timeout", flight.index)
+                        _charge(
+                            flight, "timeout",
+                            f"exceeded {flight.deadline_s:.1f}s watchdog "
+                            "deadline",
+                        )
+                    if innocents:
+                        report.requeued += len(innocents)
+                        _count(
+                            telemetry, "jobs.recovery.requeued",
+                            len(innocents),
+                        )
+                        for flight in sorted(
+                            innocents, key=lambda f: f.index, reverse=True,
+                        ):
+                            ready.appendleft((flight.index, flight.attempts))
+                            _event("requeue", flight.index)
+    except BaseException:
+        _kill_pool(pool)
+        raise
+    pool.shutdown(wait=True)
+
     # Deterministic merge: job order, not completion order.
     for index in sorted(outcomes):
-        outcome = outcomes[index]
-        resolved[index] = outcome.result
-        _merge_outcome(telemetry, jobs_by_index[index], outcome)
+        _merge_outcome(telemetry, jobs_by_index[index], outcomes[index])
+    if res.cancel is not None and res.cancel.soft:
+        raise SweepCancelled(_cancel_message(report, journal))

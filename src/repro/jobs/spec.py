@@ -170,6 +170,24 @@ class JobSpec:
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def retry_delay_s(self, attempt: int, *, base_s: float) -> float:
+        """Backoff before retry ``attempt`` (zero-based): exponential
+        with deterministic jitter.
+
+        The delay is ``base_s * 2**attempt * (0.5 + jitter/2)`` with the
+        jitter in ``[0, 1)`` derived from this spec's fingerprint and
+        the attempt number — no wall clock, no global RNG — so two jobs
+        whose first attempts fail together de-synchronise their retries,
+        yet a rerun of the same sweep backs off identically (tests stay
+        reproducible).
+        """
+        if base_s <= 0.0 or attempt < 0:
+            return 0.0
+        seed = f"{self.fingerprint()}:retry:{attempt}".encode("utf-8")
+        digest = hashlib.sha256(seed).digest()
+        jitter = int.from_bytes(digest[:4], "big") / 2**32
+        return base_s * (2.0 ** attempt) * (0.5 + jitter / 2.0)
+
     def label(self) -> str:
         """Short human-readable job name for logs and errors."""
         suffix = ""

@@ -156,9 +156,17 @@ def metrics_of(result: WorkloadSchemeResult) -> dict[str, float]:
 
 
 def matrix_metric_map(matrix: MatrixResult) -> MetricMap:
-    """Metric map of every cell in a result matrix."""
+    """Metric map of every cell in a result matrix.
+
+    FAILED placeholder cells (quarantined by a ``--keep-going`` sweep)
+    are excluded: their metrics are zeros, not measurements.  A failed
+    cell in the *current* matrix therefore surfaces as a missing-cell
+    violation against the baseline — the gate fails loudly instead of
+    comparing against fabricated zeros.
+    """
     return {
         key: metrics_of(result) for key, result in matrix.results.items()
+        if not result.failed
     }
 
 

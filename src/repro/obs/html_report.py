@@ -27,6 +27,7 @@ import html
 import time
 from collections.abc import Sequence
 
+from repro.common.errors import ReproError
 from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
 
 #: Fixed categorical slot order (light, dark) — identity colors for
@@ -277,6 +278,7 @@ h1 { font-size: 22px; margin: 0 0 2px; }
 h2 { font-size: 16px; margin: 34px 0 10px; }
 .sub { color: var(--ink-2); margin: 0 0 20px; }
 .note { color: var(--muted); font-size: 13px; }
+.bad { color: #b3261e; }
 section.card { background: var(--surface); border: 1px solid var(--border);
                border-radius: 8px; padding: 14px 16px; margin: 14px 0; }
 .tiles { display: flex; flex-wrap: wrap; gap: 12px; }
@@ -363,25 +365,54 @@ def render_html_report(
                 sha = record.git_sha
                 break
     chunks.append(f"<h1>{_esc(title)}</h1>")
+    failed_cells = matrix.failed_cells
+    failed_schemes = {r.scheme for r in failed_cells}
     chunks.append(
         f'<p class="sub">matrix <b>{_esc(matrix.label)}</b> &#183; '
         f"{len(matrix.workloads)} workloads &#215; "
         f"{len(matrix.schemes)} schemes &#183; generated {generated} UTC"
         + (f" &#183; commit {_esc(sha[:12])}" if sha else "")
+        + (
+            f' &#183; <b class="bad">{len(failed_cells)} FAILED cells</b>'
+            if failed_cells else ""
+        )
         + "</p>"
     )
+
+    # Quarantined cells first: a FAILED placeholder means every scheme
+    # aggregate below it is partial, so the reader sees the caveat
+    # before the numbers.
+    if failed_cells:
+        chunks.append(
+            '<section class="card"><h2>Failed cells (quarantined)</h2>'
+            '<p class="note">These cells are zeroed placeholders from a '
+            "--keep-going sweep, not measurements; scheme aggregates "
+            "involving them are suppressed below.</p>"
+        )
+        chunks.append(_table(
+            ["workload", "scheme", "reason"],
+            [(r.workload, r.scheme, r.failure_reason) for r in failed_cells],
+        ))
+        chunks.append("</section>")
 
     # Headline tiles.
     tiles = []
     for scheme in matrix.schemes:
-        ipcs = [matrix.get(wl, scheme).ipc for wl in matrix.workloads]
-        mean_ipc = sum(ipcs) / len(ipcs)
+        ipcs = [
+            matrix.get(wl, scheme).ipc for wl in matrix.workloads
+            if not matrix.get(wl, scheme).failed
+        ]
+        mean_ipc = sum(ipcs) / len(ipcs) if ipcs else 0.0
+        if scheme in failed_schemes:
+            life = "n/a (FAILED cells)"
+        else:
+            life = f"{matrix.raw_min_lifetime(scheme):.2f} y"
         tiles.append(
             '<div class="tile">'
             f'<div class="k">{_esc(scheme)}</div>'
             f'<div class="v">{mean_ipc:.2f}</div>'
             f'<div class="d">mean IPC &#183; raw min life '
-            f"{matrix.raw_min_lifetime(scheme):.2f} y</div></div>"
+            f"{life}</div></div>"
         )
     chunks.append(f'<div class="tiles">{"".join(tiles)}</div>')
 
@@ -391,37 +422,57 @@ def render_html_report(
     others = [s for s in matrix.schemes if s != baseline]
     if others:
         rows = []
+        suppressed = []
         for scheme in others:
+            try:
+                improvement = matrix.mean_ipc_improvement(scheme, baseline)
+            except ReproError:
+                # A FAILED cell in the scheme or the baseline zeroes an
+                # IPC the ratio needs; the bar would be a lie.
+                suppressed.append(scheme)
+                continue
             rows.append((
-                f"{scheme} IPC vs {baseline}",
-                matrix.mean_ipc_improvement(scheme, baseline),
-                slots[scheme],
+                f"{scheme} IPC vs {baseline}", improvement, slots[scheme],
             ))
-        chunks.append(_legend({s: slots[s] for s in others}))
-        chunks.append(_hbar_chart(
-            rows, label="Mean IPC improvement", unit="%",
-        ))
-        chunks.append(
-            '<p class="note">Paper bar: Re-NUCA holds IPC within '
-            "&#177;0.5 % of R-NUCA.</p>"
-        )
+        if rows:
+            chunks.append(_legend({s: slots[s] for s in others}))
+            chunks.append(_hbar_chart(
+                rows, label="Mean IPC improvement", unit="%",
+            ))
+            chunks.append(
+                '<p class="note">Paper bar: Re-NUCA holds IPC within '
+                "&#177;0.5 % of R-NUCA.</p>"
+            )
+        if suppressed:
+            chunks.append(
+                '<p class="note">IPC-improvement bars suppressed for '
+                f"{_esc(', '.join(suppressed))}: FAILED cells in the "
+                "comparison.</p>"
+            )
     life_rows = [
         (scheme, matrix.raw_min_lifetime(scheme), slots[scheme])
         for scheme in matrix.schemes
+        if scheme not in failed_schemes
     ]
     life_targets = []
-    if "R-NUCA" in matrix.schemes:
+    if "R-NUCA" in matrix.schemes and "R-NUCA" not in failed_schemes:
         life_targets.append(
             (1.42 * matrix.raw_min_lifetime("R-NUCA"), "+42% vs R-NUCA")
         )
-    chunks.append(_hbar_chart(
-        life_rows, label="Raw minimum lifetime", unit=" y",
-        targets=life_targets,
-    ))
+    if life_rows:
+        chunks.append(_hbar_chart(
+            life_rows, label="Raw minimum lifetime", unit=" y",
+            targets=life_targets,
+        ))
     metric_rows = []
     for workload in matrix.workloads:
         for scheme in matrix.schemes:
             r = matrix.get(workload, scheme)
+            if r.failed:
+                metric_rows.append((
+                    workload, scheme, "FAILED", "—", "—", r.failure_reason,
+                ))
+                continue
             metric_rows.append((
                 workload, scheme, _fmt(r.ipc), _fmt(r.min_lifetime),
                 _fmt(r.wear_cov, 3), _fmt(100 * r.llc_fetch_hit_rate, 1) + "%",

@@ -34,8 +34,9 @@ from repro.sim.metrics import WorkloadSchemeResult
 #: Ledger record layout version; bump on incompatible schema changes.
 LEDGER_FORMAT_VERSION = 1
 
-#: How a run's result was obtained.
-SOURCES = ("executed", "cache", "journal")
+#: How a run's result was obtained.  ``failed`` marks a quarantined
+#: placeholder cell from a ``keep_going`` sweep (zero metrics, no run).
+SOURCES = ("executed", "cache", "journal", "failed")
 
 
 @lru_cache(maxsize=1)

@@ -25,8 +25,13 @@ import sys
 import time
 from dataclasses import dataclass, field
 
-#: Observer event kinds emitted by the scheduler.
-EVENT_KINDS = ("dispatch", "done", "cache", "resumed", "retry")
+#: Observer event kinds emitted by the scheduler.  ``timeout`` marks a
+#: watchdog kill, ``requeue`` an innocent job put back after a pool
+#: rebuild, ``failed`` a quarantined cell (``keep_going`` sweeps).
+EVENT_KINDS = (
+    "dispatch", "done", "cache", "resumed", "retry",
+    "timeout", "requeue", "failed",
+)
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,8 @@ class SweepProgress:
     _cached: int = 0
     _resumed: int = 0
     _retries: int = 0
+    _timeouts: int = 0
+    _failed: int = 0
     _in_flight: dict[int, str] = field(default_factory=dict)
     _durations: list[float] = field(default_factory=list)
     _started: float = field(default_factory=time.monotonic)
@@ -85,12 +92,22 @@ class SweepProgress:
             force = self.completed == self.total
         elif event.kind == "retry":
             self._retries += 1
+        elif event.kind == "timeout":
+            self._timeouts += 1
+        elif event.kind == "failed":
+            # A quarantined cell is resolved (as a FAILED placeholder):
+            # it leaves the in-flight set and counts toward completion.
+            self._in_flight.pop(event.index, None)
+            self._failed += 1
+            force = self.completed == self.total
+        # "requeue" needs no folding: the job stays in the in-flight
+        # set and is resubmitted after the pool rebuild.
         self._draw(force=force)
 
     @property
     def completed(self) -> int:
-        """Cells resolved so far, by any tier."""
-        return self._done + self._cached + self._resumed
+        """Cells resolved so far, by any tier (FAILED placeholders too)."""
+        return self._done + self._cached + self._resumed + self._failed
 
     def eta_seconds(self) -> float | None:
         """Running-mean ETA over the remaining cells (None before data)."""
@@ -119,6 +136,10 @@ class SweepProgress:
             served.append(f"{self._resumed} resumed")
         if self._retries:
             served.append(f"{self._retries} retried")
+        if self._timeouts:
+            served.append(f"{self._timeouts} timed out")
+        if self._failed:
+            served.append(f"{self._failed} FAILED")
         if served:
             parts.append(", ".join(served))
         if self._in_flight:

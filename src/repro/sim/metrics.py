@@ -58,6 +58,44 @@ class WorkloadSchemeResult:
     #: Interval-dump time series (telemetry runs only; see
     #: :mod:`repro.telemetry.intervals`).
     intervals: IntervalSeries | None = None
+    # -- failure marker (``--keep-going`` sweeps only) --
+    #: True when this cell is a quarantined placeholder, not a result:
+    #: the job crashed, timed out or exhausted its retries and the sweep
+    #: continued without it.  All metric arrays are zeros.
+    failed: bool = False
+    #: Human-readable failure cause (``timeout: exceeded 30s deadline``).
+    failure_reason: str = ""
+
+    @classmethod
+    def failed_cell(
+        cls,
+        *,
+        workload: str,
+        scheme: str,
+        apps: tuple[str, ...],
+        n_banks: int,
+        reason: str,
+        age_fraction: float = 0.0,
+    ) -> "WorkloadSchemeResult":
+        """A zeroed placeholder for a cell the sweep gave up on."""
+        n_cores = len(apps)
+        return cls(
+            workload=workload,
+            scheme=scheme,
+            apps=tuple(apps),
+            per_core_ipc=np.zeros(n_cores),
+            per_core_instructions=np.zeros(n_cores, dtype=np.int64),
+            per_core_cycles=np.zeros(n_cores),
+            bank_writes=np.zeros(n_banks, dtype=np.int64),
+            bank_lifetimes=np.zeros(n_banks),
+            elapsed_cycles=0.0,
+            llc_fetch_hit_rate=0.0,
+            llc_mean_fetch_latency=0.0,
+            noc_mean_hops=0.0,
+            age_fraction=age_fraction,
+            failed=True,
+            failure_reason=reason,
+        )
 
     @property
     def ipc(self) -> float:
@@ -125,6 +163,11 @@ class MatrixResult:
                 "(pass replace=True to overwrite)"
             )
         self.results[key] = result
+
+    @property
+    def failed_cells(self) -> list[WorkloadSchemeResult]:
+        """Quarantined placeholder cells, in insertion order."""
+        return [r for r in self.results.values() if r.failed]
 
     def get(self, workload: str, scheme: str) -> WorkloadSchemeResult:
         """Fetch one result, with a helpful error when missing."""

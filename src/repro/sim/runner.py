@@ -692,6 +692,10 @@ def run_matrix(
     retries: int = 1,
     observer=None,
     ledger=None,
+    job_timeout_s: float | None = None,
+    keep_going: bool = False,
+    quarantine=None,
+    chaos=None,
 ) -> MatrixResult:
     """Run every workload under every scheme (the paper's result grid).
 
@@ -721,6 +725,12 @@ def run_matrix(
       (what ``repro sweep --progress`` renders).
     * ``ledger`` — :class:`~repro.obs.ledger.RunLedger` (or path); one
       provenance record per cell, appended after the grid resolves.
+    * ``job_timeout_s``/``keep_going``/``quarantine``/``chaos`` — the
+      resilience knobs of :func:`repro.jobs.scheduler.run_jobs`:
+      watchdog deadline, quarantine-and-continue for poison cells
+      (FAILED placeholders land in the matrix), the quarantine journal
+      path and the chaos-injection plan (tests/CI only).  See
+      ``docs/RESILIENCE.md``.
     """
     from repro.jobs.scheduler import matrix_jobs, run_jobs
 
@@ -749,6 +759,10 @@ def run_matrix(
         ),
         observer=observer,
         ledger=ledger,
+        job_timeout_s=job_timeout_s,
+        keep_going=keep_going,
+        quarantine=quarantine,
+        chaos=chaos,
     )
     for result in results:
         matrix.add(result)

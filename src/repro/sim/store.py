@@ -79,6 +79,11 @@ def result_to_dict(result: WorkloadSchemeResult) -> dict:
     # simply absent otherwise, keeping old files and new readers aligned.
     if result.intervals is not None:
         out["intervals"] = result.intervals.to_dict()
+    # Failure markers (quarantined --keep-going cells) use the same
+    # optional-key convention: absent means a real result.
+    if result.failed:
+        out["failed"] = True
+        out["failure_reason"] = result.failure_reason
     return out
 
 
@@ -111,6 +116,8 @@ def result_from_dict(data: dict) -> WorkloadSchemeResult:
             if "intervals" in data
             else None
         ),
+        failed=bool(data.get("failed", False)),
+        failure_reason=str(data.get("failure_reason", "")),
     )
 
 
