@@ -9,10 +9,16 @@ Commands:
   sweep engine (process pool, result cache, resumable journal; see
   ``docs/SWEEPS.md``).
 * ``workloads``— show the generated WL1..WL10 mixes.
-* ``trace``    — generate a synthetic application trace to a .npz file.
+* ``trace``    — generate a synthetic application trace to a .npz file,
+  or export a sweep's span file to Chrome/Perfetto trace JSON
+  (``repro trace export OUT --spans spans.jsonl``).
 * ``endoflife``— sweep cache age under fault injection (degradation study).
 * ``stats``    — telemetry deep-dive: registry summary, interval series
-  and a per-bank write heatmap over time (see ``docs/OBSERVABILITY.md``).
+  and a per-bank write heatmap over time (see ``docs/OBSERVABILITY.md``);
+  ``--from-spans spans.jsonl`` prints a per-phase wall-time table instead.
+* ``top``      — live ANSI dashboard for a running sweep: polls a
+  ``--serve`` monitor's ``/status``, or reconstructs the view from the
+  journal and span files of a finished run.
 * ``diff``     — metric regression gate: compare two result sets (saved
   matrices or run ledgers) under per-metric tolerance rules; exits 1 on
   any violation, which is what CI gates on.
@@ -29,9 +35,11 @@ accept ``--trace-out FILE`` (JSONL event trace), ``--profile``
 records); the sweep-engine commands take ``--jobs/-j`` (worker
 processes) and ``--progress`` (live single-line status with ETA);
 the sweep-engine commands also take ``--retries N`` (transient-failure
-retry budget) and ``--job-timeout SECONDS`` (per-job watchdog deadline;
-see docs/RESILIENCE.md); invoking ``repro`` with no subcommand prints
-the full help and exits 2.
+retry budget), ``--job-timeout SECONDS`` (per-job watchdog deadline;
+see docs/RESILIENCE.md), ``--serve [PORT]`` (live ``/status`` and
+``/metrics`` HTTP monitor on 127.0.0.1) and ``--spans FILE``
+(cross-process span recording; see docs/OBSERVABILITY.md); invoking
+``repro`` with no subcommand prints the full help and exits 2.
 
 User-facing failures (unknown application, malformed trace file,
 inconsistent configuration — anything deriving from
@@ -108,6 +116,39 @@ def _add_ledger(parser: argparse.ArgumentParser) -> None:
                              "see docs/OBSERVABILITY.md)")
 
 
+def _add_monitor(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--serve", nargs="?", const=0, type=int, default=None,
+                        metavar="PORT",
+                        help="serve GET /status and /metrics on 127.0.0.1 "
+                             "while the sweep runs (bare --serve binds an "
+                             "ephemeral port; watch with 'repro top --url')")
+    parser.add_argument("--spans", metavar="FILE", default=None,
+                        help="record cross-process spans to FILE "
+                             "(spans.jsonl; export with 'repro trace "
+                             "export', summarise with 'repro stats "
+                             "--from-spans')")
+
+
+def _start_monitor(args, total: int, *, label=None, registry=None):
+    """``(state, server)`` when ``--serve`` is set, else ``(None, None)``.
+
+    The bound URL goes to stderr (the CI smoke job greps it from the
+    redirected log to discover an ephemeral port).
+    """
+    if getattr(args, "serve", None) is None:
+        return None, None
+    from repro.obs.server import MonitorServer, MonitorState
+
+    state = MonitorState(
+        total, workers=max(1, getattr(args, "jobs", 1)),
+        label=label, registry=registry,
+    )
+    server = MonitorServer(state, registry=registry, port=args.serve)
+    port = server.start()
+    print(f"monitor serving http://127.0.0.1:{port}", file=sys.stderr)
+    return state, server
+
+
 def _make_telemetry(args, **kwargs) -> Telemetry | None:
     """A Telemetry handle when any observability flag is set, else None."""
     if not (args.trace_out or args.profile):
@@ -151,18 +192,38 @@ def _cmd_compare(args) -> int:
     observer = _make_progress(args, total=len(args.schemes))
     rows = []
     traced = 0
-    if args.jobs > 1:
+    # Span recording and the monitor endpoint live in the sweep engine,
+    # so either flag routes through it even single-worker.
+    if args.jobs > 1 or args.spans is not None or args.serve is not None:
         from repro.jobs.scheduler import matrix_jobs, run_jobs
+        from repro.obs.progress import tee_observers
 
         jobs = matrix_jobs(
             [workload], tuple(args.schemes), config,
             seed=args.seed, n_instructions=args.instructions,
         )
-        results, _report = run_jobs(
-            jobs, max_workers=args.jobs, telemetry=telemetry,
-            observer=observer, ledger=args.ledger,
-            retries=args.retries, job_timeout_s=args.job_timeout,
+        monitor, server = _start_monitor(
+            args, len(jobs), label=workload.name,
+            registry=telemetry.registry if telemetry is not None else None,
         )
+        if observer is not None and server is not None:
+            observer.serving = server.port
+        try:
+            results, _report = run_jobs(
+                jobs, max_workers=args.jobs, telemetry=telemetry,
+                observer=tee_observers(
+                    observer,
+                    monitor.observe if monitor is not None else None,
+                ),
+                ledger=args.ledger,
+                retries=args.retries, job_timeout_s=args.job_timeout,
+                spans=args.spans,
+            )
+            if monitor is not None:
+                monitor.finish()
+        finally:
+            if server is not None:
+                server.stop()
         if observer is not None:
             observer.close()
         if telemetry is not None and telemetry.trace is not None:
@@ -226,6 +287,19 @@ def _cmd_workloads(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    # ``repro trace export OUT --spans FILE``: the Chrome/Perfetto
+    # exporter rides on the trace command ("export" is not a Table II
+    # application name, so the positional dispatch is unambiguous).
+    if args.app == "export":
+        from repro.obs.chrome_trace import export_chrome_trace
+
+        spans_path = args.spans or "spans.jsonl"
+        count = export_chrome_trace(spans_path, args.output)
+        print(f"wrote {count} trace events from {spans_path} to "
+              f"{args.output} (open in https://ui.perfetto.dev "
+              "or chrome://tracing)")
+        return 0
+
     from repro.common.rng import derive_rng
     from repro.trace.fileio import save_trace
     from repro.trace.generator import bundles_for_instructions, generate_trace
@@ -277,26 +351,42 @@ def _cmd_sweep(args) -> int:
     def _narrate(job) -> None:
         print(f"  {job.spec.workload} / {job.spec.scheme} ...", file=sys.stderr)
 
+    from repro.obs.progress import tee_observers
+
     jobs = matrix_jobs(workloads, schemes, config,
                        seed=args.seed, n_instructions=args.instructions)
     observer = _make_progress(args, total=len(jobs))
-    results, report = run_jobs(
-        jobs,
-        max_workers=args.jobs,
-        cache=args.cache_dir,
-        journal=args.journal,
-        resume=args.resume,
-        retries=args.retries,
-        telemetry=telemetry,
-        # The live status line owns stderr; per-cell narration yields.
-        progress=None if observer is not None else _narrate,
-        observer=observer,
-        ledger=args.ledger,
-        job_timeout_s=args.job_timeout,
-        keep_going=args.keep_going,
-        quarantine=args.quarantine,
-        chaos=args.chaos,
+    monitor, server = _start_monitor(
+        args, len(jobs), label=args.label, registry=telemetry.registry,
     )
+    if observer is not None and server is not None:
+        observer.serving = server.port
+    try:
+        results, report = run_jobs(
+            jobs,
+            max_workers=args.jobs,
+            cache=args.cache_dir,
+            journal=args.journal,
+            resume=args.resume,
+            retries=args.retries,
+            telemetry=telemetry,
+            # The live status line owns stderr; per-cell narration yields.
+            progress=None if observer is not None else _narrate,
+            observer=tee_observers(
+                observer, monitor.observe if monitor is not None else None,
+            ),
+            ledger=args.ledger,
+            job_timeout_s=args.job_timeout,
+            keep_going=args.keep_going,
+            quarantine=args.quarantine,
+            chaos=args.chaos,
+            spans=args.spans,
+        )
+        if monitor is not None:
+            monitor.finish()
+    finally:
+        if server is not None:
+            server.stop()
     if observer is not None:
         observer.close()
     matrix = MatrixResult(
@@ -398,26 +488,44 @@ def _cmd_endoflife(args) -> int:
                 _flush()
             state["cell"] = (scheme, age)
 
+    from repro.obs.progress import tee_observers
+
     ages = tuple(sorted(set(args.ages)))
     swept_ages = (0.0, *[a for a in ages if a > 0])
     schemes = tuple(args.schemes or DEFAULT_SCHEMES)
-    observer = _make_progress(args, total=len(schemes) * len(swept_ages))
-    curves = run_endoflife(
-        workload_number=args.workload,
-        ages=swept_ages,
-        schemes=schemes,
-        seed=args.seed,
-        n_instructions=args.instructions,
-        bank_failures=tuple(args.fail_bank),
-        transient_rate=args.transient_rate,
-        progress=_progress,
-        telemetry=telemetry,
-        max_workers=args.jobs,
-        observer=observer,
-        ledger=args.ledger,
-        retries=args.retries,
-        job_timeout_s=args.job_timeout,
+    total = len(schemes) * len(swept_ages)
+    observer = _make_progress(args, total=total)
+    monitor, server = _start_monitor(
+        args, total, label=f"endoflife WL{args.workload}",
+        registry=telemetry.registry if telemetry is not None else None,
     )
+    if observer is not None and server is not None:
+        observer.serving = server.port
+    try:
+        curves = run_endoflife(
+            workload_number=args.workload,
+            ages=swept_ages,
+            schemes=schemes,
+            seed=args.seed,
+            n_instructions=args.instructions,
+            bank_failures=tuple(args.fail_bank),
+            transient_rate=args.transient_rate,
+            progress=_progress,
+            telemetry=telemetry,
+            max_workers=args.jobs,
+            observer=tee_observers(
+                observer, monitor.observe if monitor is not None else None,
+            ),
+            ledger=args.ledger,
+            retries=args.retries,
+            job_timeout_s=args.job_timeout,
+            spans=args.spans,
+        )
+        if monitor is not None:
+            monitor.finish()
+    finally:
+        if server is not None:
+            server.stop()
     if observer is not None:
         observer.close()
     if state["cell"] is not None:
@@ -435,6 +543,23 @@ def _cmd_endoflife(args) -> int:
 
 def _cmd_stats(args) -> int:
     from repro.experiments.ascii_plot import interval_heatmap
+
+    if args.from_spans:
+        from repro.obs.spans import load_spans, phase_wall_table
+
+        spans = load_spans(args.from_spans)
+        rows = phase_wall_table(spans)
+        if not rows:
+            print(f"no phase spans in {args.from_spans}")
+            return 0
+        print(f"phase wall time over {len(spans)} spans "
+              f"({args.from_spans}):")
+        print(format_table(
+            ["phase", "calls", "total [s]", "mean [s]"],
+            [(name, calls, f"{total:.3f}", f"{mean:.4f}")
+             for name, calls, total, mean in rows],
+        ))
+        return 0
 
     config = baseline_config()
     workloads = make_workloads(num_cores=config.num_cores, seed=args.seed)
@@ -542,6 +667,19 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        url=args.url,
+        journal=args.journal,
+        spans=args.spans,
+        total=args.total,
+        interval_s=args.interval,
+        once=args.once,
+    )
+
+
 def _cmd_bench_record(args) -> int:
     from repro.obs.bench import append_bench_point, bench_point
     from repro.obs.ledger import RunLedger
@@ -588,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(p_compare)
     _add_jobs(p_compare)
     _add_ledger(p_compare)
+    _add_monitor(p_compare)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -625,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(p_sweep)
     _add_jobs(p_sweep)
     _add_ledger(p_sweep)
+    _add_monitor(p_sweep)
 
     p_stats = sub.add_parser(
         "stats",
@@ -638,6 +778,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--interval", type=int, default=50_000,
                          help="interval-dump period in committed "
                               "instructions (default 50000)")
+    p_stats.add_argument("--from-spans", metavar="FILE", default=None,
+                         help="print a per-phase wall-time table from a "
+                              "spans.jsonl file and exit (no simulation)")
     _add_common(p_stats)
     _add_telemetry(p_stats)
     _add_ledger(p_stats)
@@ -645,10 +788,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl = sub.add_parser("workloads", help="show the WL1..WL10 mixes")
     _add_common(p_wl)
 
-    p_trace = sub.add_parser("trace", help="generate a trace file")
-    p_trace.add_argument("app", help="Table II application name")
-    p_trace.add_argument("output", help="output .npz path")
+    p_trace = sub.add_parser(
+        "trace",
+        help="generate a trace file, or export spans to Chrome/Perfetto "
+             "('repro trace export OUT --spans spans.jsonl')",
+    )
+    p_trace.add_argument("app", help="Table II application name, or "
+                                     "'export' for the Perfetto exporter")
+    p_trace.add_argument("output", help="output path (.npz, or trace JSON "
+                                        "for 'export')")
+    p_trace.add_argument("--spans", metavar="FILE", default=None,
+                         help="spans.jsonl to export (with 'export'; "
+                              "default spans.jsonl)")
     _add_common(p_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard for a running sweep (--serve endpoint) or a "
+             "finished one (journal/span files)",
+    )
+    p_top.add_argument("--url", default=None,
+                       help="monitor base URL (http://127.0.0.1:PORT from "
+                            "a sweep's --serve)")
+    p_top.add_argument("--journal", metavar="FILE", default=None,
+                       help="sweep journal for offline reconstruction")
+    p_top.add_argument("--spans", metavar="FILE", default=None,
+                       help="spans.jsonl for offline reconstruction")
+    p_top.add_argument("--total", type=int, default=None,
+                       help="expected cell count (offline mode hint)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="poll/repaint period (default 1.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one frame without ANSI repaint codes "
+                            "(CI logs)")
 
     p_eol = sub.add_parser(
         "endoflife",
@@ -671,6 +844,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(p_eol)
     _add_jobs(p_eol)
     _add_ledger(p_eol)
+    _add_monitor(p_eol)
 
     p_diff = sub.add_parser(
         "diff",
@@ -728,6 +902,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "report": _cmd_report,
     "bench-record": _cmd_bench_record,
+    "top": _cmd_top,
 }
 
 

@@ -92,6 +92,7 @@ def run_endoflife(
     ledger=None,
     retries: int | None = None,
     job_timeout_s: float | None = None,
+    spans=None,
 ) -> dict[str, list[AgePoint]]:
     """Sweep one workload over cache ages for several schemes.
 
@@ -190,6 +191,7 @@ def run_endoflife(
         ledger=ledger,
         retries=DEFAULT_RETRIES if retries is None else retries,
         job_timeout_s=job_timeout_s,
+        spans=spans,
     )
 
     curves: dict[str, list[AgePoint]] = {scheme: [] for scheme in schemes}

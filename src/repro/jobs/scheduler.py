@@ -67,7 +67,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -78,7 +78,8 @@ from repro.jobs.chaos import ChaosPlan, as_chaos
 from repro.jobs.journal import QuarantineJournal, SweepJournal
 from repro.jobs.spec import JobSpec
 from repro.obs.ledger import RunLedger, RunRecord, as_ledger
-from repro.obs.progress import JobEvent
+from repro.obs.progress import JobEvent, tee_observers
+from repro.obs.spans import SpanObserver, SpanRecorder, SpanWriter
 from repro.sim.metrics import WorkloadSchemeResult
 from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache, run_workload
 from repro.telemetry import Telemetry
@@ -181,6 +182,14 @@ class _Payload:
     attempt: int = 0
     #: Fault-injection plan for chaos tests; None in production runs.
     chaos: ChaosPlan | None = None
+    #: Span tracing: record run_workload phase spans in the worker and
+    #: ship them back for the parent-side deterministic merge.
+    spans: bool = False
+    #: The sweep's shared trace id (span identity derives from it).
+    trace_id: str | None = None
+    #: The cell's parent-side ``job`` span id, so worker phases nest
+    #: under their cell in the merged trace.
+    span_parent: str | None = None
 
 
 @dataclass
@@ -192,6 +201,8 @@ class _Outcome:
     events: list = field(default_factory=list)
     profiler_state: list | None = None
     wall_time_s: float = 0.0
+    #: Finished worker-side spans (``SpanRecorder.export_state``).
+    span_state: list | None = None
 
 
 def _execute_payload(payload: _Payload) -> _Outcome:
@@ -209,20 +220,38 @@ def _execute_payload(payload: _Payload) -> _Outcome:
             interval_instructions=payload.interval_instructions,
             profile=payload.profile,
         )
+    recorder = None
+    scope = nullcontext()
+    if payload.spans:
+        recorder = SpanRecorder(trace_id=payload.trace_id)
+        # Phases nest under the cell's parent-side job span and
+        # inherit its workload/scheme context; the attempt number is
+        # volatile (a retry must not change span identity).
+        scope = recorder.scope(
+            parent_id=payload.span_parent,
+            workload=payload.spec.workload,
+            scheme=payload.spec.scheme,
+            attempt=payload.attempt,
+        )
     started = time.perf_counter()
-    result = run_workload(
-        payload.spec.to_workload(),
-        payload.spec.scheme,
-        payload.config,
-        seed=payload.spec.seed,
-        n_instructions=payload.spec.n_instructions,
-        stage1=_WORKER_STAGE1,
-        fault_config=payload.spec.fault,
-        telemetry=telemetry,
-    )
+    with scope:
+        result = run_workload(
+            payload.spec.to_workload(),
+            payload.spec.scheme,
+            payload.config,
+            seed=payload.spec.seed,
+            n_instructions=payload.spec.n_instructions,
+            stage1=_WORKER_STAGE1,
+            fault_config=payload.spec.fault,
+            telemetry=telemetry,
+            spans=recorder,
+        )
     wall_time_s = time.perf_counter() - started
+    span_state = recorder.export_state() if recorder is not None else None
     if telemetry is None:
-        return _Outcome(result=result, wall_time_s=wall_time_s)
+        return _Outcome(
+            result=result, wall_time_s=wall_time_s, span_state=span_state,
+        )
     return _Outcome(
         result=result,
         registry_state=telemetry.registry.export_state(),
@@ -234,6 +263,7 @@ def _execute_payload(payload: _Payload) -> _Outcome:
             if telemetry.profiler.enabled else None
         ),
         wall_time_s=wall_time_s,
+        span_state=span_state,
     )
 
 
@@ -263,9 +293,16 @@ def _as_quarantine(
 
 
 def _merge_outcome(
-    telemetry: Telemetry | None, job: SweepJob, outcome: _Outcome
+    telemetry: Telemetry | None,
+    job: SweepJob,
+    outcome: _Outcome,
+    span_recorder: SpanRecorder | None = None,
 ) -> None:
-    """Fold one worker's telemetry into the parent handle."""
+    """Fold one worker's telemetry (and spans) into the parent handles."""
+    if span_recorder is not None and outcome.span_state:
+        # Worker spans already carry workload/scheme from their scope
+        # frame; merging streams them to the spans.jsonl sink.
+        span_recorder.merge_state(outcome.span_state)
     if telemetry is None:
         return
     if outcome.registry_state is not None:
@@ -375,6 +412,7 @@ def run_jobs(
     max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
     chaos: ChaosPlan | str | None = None,
     install_signal_handlers: bool = True,
+    spans: SpanRecorder | str | Path | None = None,
 ) -> tuple[list[WorkloadSchemeResult], SweepReport]:
     """Resolve every job; returns results in job order plus a report.
 
@@ -425,6 +463,13 @@ def run_jobs(
         install_signal_handlers: install the two-phase SIGINT/SIGTERM
             graceful-cancellation handler for the duration of the sweep
             (main thread only; restored afterwards).
+        spans: span tracing — a ``spans.jsonl`` path (records streamed
+            as cells finish; truncated unless ``resume``) or a
+            :class:`~repro.obs.spans.SpanRecorder` to collect in
+            memory.  The sweep becomes the root span, every cell gets
+            a ``job`` span, ``run_workload`` phases nest under their
+            cell, and retries/timeouts/requeues/quarantines appear as
+            instant events (see ``docs/OBSERVABILITY.md``).
 
     Raises:
         ReproError: invalid arguments, duplicate jobs, a poison job
@@ -485,6 +530,27 @@ def run_jobs(
         backoff_s=backoff_s, job_timeout_s=job_timeout_s,
         max_pool_rebuilds=max_pool_rebuilds, chaos=chaos, cancel=cancel,
     )
+
+    # Span layer: root span, job-span observer, optional jsonl sink.
+    # Composed *before* tier 1+2 so cache/resumed cells record instants.
+    span_recorder: SpanRecorder | None = None
+    span_writer: SpanWriter | None = None
+    span_observer: SpanObserver | None = None
+    root_span = None
+    if spans is not None:
+        if isinstance(spans, SpanRecorder):
+            span_recorder = spans
+        else:
+            span_writer = SpanWriter(spans)
+            span_writer.open(truncate=not resume)
+            span_recorder = SpanRecorder(sink=span_writer.record)
+        root_span = span_recorder.begin(
+            "sweep", "sweep", total=len(jobs), workers=max_workers,
+        )
+        span_observer = SpanObserver(
+            span_recorder, parent_id=root_span.span_id,
+        )
+        observer = tee_observers(observer, span_observer)
 
     # Tier 1+2: resolve what we already know; collect the remainder.
     resolved: dict[int, WorkloadSchemeResult] = {}
@@ -566,6 +632,7 @@ def run_jobs(
                     cache=cache, journal=journal,
                     telemetry=telemetry, progress=progress,
                     observer=observer, provenance=provenance,
+                    span_recorder=span_recorder, span_observer=span_observer,
                 )
             elif pending:
                 _run_parallel(
@@ -574,6 +641,7 @@ def run_jobs(
                     cache=cache, journal=journal,
                     telemetry=telemetry, progress=progress,
                     observer=observer, provenance=provenance,
+                    span_recorder=span_recorder, span_observer=span_observer,
                 )
     except BaseException:
         try:
@@ -583,6 +651,15 @@ def run_jobs(
             pass
         raise
     finally:
+        # The root span closes even on an abort — a partial trace of a
+        # cancelled sweep is exactly when spans are wanted.
+        if root_span is not None:
+            try:
+                span_recorder.end(root_span)
+            except Exception:
+                pass
+        if span_writer is not None:
+            span_writer.close()
         if journal is not None:
             journal.close()
         if quarantine is not None:
@@ -727,6 +804,7 @@ def _run_serial(
     pending, resolved, report, *,
     res, stage1, cache, journal, telemetry, progress,
     observer=None, provenance=None,
+    span_recorder=None, span_observer=None,
 ) -> None:
     """In-process execution: the legacy sequential sweep, plus retries.
 
@@ -751,16 +829,26 @@ def _run_serial(
             try:
                 if res.chaos is not None:
                     res.chaos.apply(job.spec.label(), attempts)
-                result = run_workload(
-                    job.spec.to_workload(),
-                    job.spec.scheme,
-                    job.config,
-                    seed=job.spec.seed,
-                    n_instructions=job.spec.n_instructions,
-                    stage1=stage1,
-                    fault_config=job.spec.fault,
-                    telemetry=telemetry,
-                )
+                scope = nullcontext()
+                if span_recorder is not None:
+                    scope = span_recorder.scope(
+                        parent_id=span_observer.open_span_id(index),
+                        workload=job.spec.workload,
+                        scheme=job.spec.scheme,
+                        attempt=attempts,
+                    )
+                with scope:
+                    result = run_workload(
+                        job.spec.to_workload(),
+                        job.spec.scheme,
+                        job.config,
+                        seed=job.spec.seed,
+                        n_instructions=job.spec.n_instructions,
+                        stage1=stage1,
+                        fault_config=job.spec.fault,
+                        telemetry=telemetry,
+                        spans=span_recorder,
+                    )
                 break
             except ReproError as exc:
                 if not res.keep_going:
@@ -895,6 +983,7 @@ def _run_parallel(
     pending, resolved, report, *,
     max_workers, res, cache, journal, telemetry, progress,
     observer=None, provenance=None,
+    span_recorder=None, span_observer=None,
 ) -> None:
     """Process-pool execution with crash recovery and deterministic merge.
 
@@ -919,6 +1008,10 @@ def _run_parallel(
             ),
             profile=telemetry is not None and telemetry.profiler.enabled,
             chaos=res.chaos,
+            spans=span_recorder is not None,
+            trace_id=(
+                span_recorder.trace_id if span_recorder is not None else None
+            ),
         )
         for index, job in pending
     }
@@ -970,7 +1063,14 @@ def _run_parallel(
             if progress is not None:
                 progress(jobs_by_index[index])
             _event("dispatch", index)
-        payload = replace(payloads[index], attempt=attempts)
+        payload = replace(
+            payloads[index],
+            attempt=attempts,
+            span_parent=(
+                span_observer.open_span_id(index)
+                if span_observer is not None else None
+            ),
+        )
         while True:
             try:
                 future = pool.submit(_execute_payload, payload)
@@ -1164,6 +1264,8 @@ def _run_parallel(
 
     # Deterministic merge: job order, not completion order.
     for index in sorted(outcomes):
-        _merge_outcome(telemetry, jobs_by_index[index], outcomes[index])
+        _merge_outcome(
+            telemetry, jobs_by_index[index], outcomes[index], span_recorder,
+        )
     if res.cancel is not None and res.cancel.soft:
         raise SweepCancelled(_cancel_message(report, journal))

@@ -13,7 +13,14 @@ notices when it changes:
 * :mod:`repro.obs.progress` — the single-line live progress renderer
   behind ``repro sweep --progress``;
 * :mod:`repro.obs.bench` — machine-readable ``BENCH_*.json`` timing/IPC
-  trajectories (``repro bench-record``).
+  trajectories (``repro bench-record``);
+* :mod:`repro.obs.spans` — cross-process span tracing (``spans.jsonl``)
+  for sweeps and ``run_workload`` phases;
+* :mod:`repro.obs.server` — the zero-dependency HTTP monitor behind
+  ``repro sweep --serve`` (``/status`` JSON, ``/metrics`` Prometheus);
+* :mod:`repro.obs.chrome_trace` — the Chrome ``trace_event`` /
+  Perfetto exporter behind ``repro trace export``;
+* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard.
 
 See ``docs/OBSERVABILITY.md`` for the schemas and the CLI surface.
 """
@@ -21,6 +28,11 @@ See ``docs/OBSERVABILITY.md`` for the schemas and the CLI surface.
 from __future__ import annotations
 
 from repro.obs.bench import append_bench_point, load_bench_trajectory
+from repro.obs.chrome_trace import (
+    chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.obs.diff import (
     DEFAULT_RULES,
     DiffFinding,
@@ -38,23 +50,53 @@ from repro.obs.ledger import (
     current_git_sha,
     new_run_id,
 )
-from repro.obs.progress import SweepProgress
+from repro.obs.progress import SweepProgress, tee_observers
+from repro.obs.server import MonitorServer, MonitorState, render_prometheus
+from repro.obs.spans import (
+    DISABLED_SPANS,
+    SPAN_SCHEMA_VERSION,
+    Span,
+    SpanRecorder,
+    SpanWriter,
+    canonical_span_set,
+    load_spans,
+    phase_wall_table,
+)
+from repro.obs.top import render_dashboard, run_top, status_from_files
 
 __all__ = [
     "DEFAULT_RULES",
+    "DISABLED_SPANS",
     "DiffFinding",
     "LEDGER_FORMAT_VERSION",
+    "MonitorServer",
+    "MonitorState",
     "RunLedger",
     "RunRecord",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanRecorder",
+    "SpanWriter",
     "SweepProgress",
     "ToleranceRule",
     "append_bench_point",
+    "canonical_span_set",
+    "chrome_trace",
     "current_git_sha",
     "diff_metric_maps",
+    "export_chrome_trace",
     "load_bench_trajectory",
     "load_comparable",
     "load_rules",
+    "load_spans",
     "new_run_id",
+    "phase_wall_table",
+    "render_dashboard",
     "render_findings",
     "render_html_report",
+    "render_prometheus",
+    "run_top",
+    "status_from_files",
+    "tee_observers",
+    "validate_chrome_trace",
 ]

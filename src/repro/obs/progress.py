@@ -47,6 +47,27 @@ class JobEvent:
     wall_time_s: float = 0.0
 
 
+def tee_observers(*observers):
+    """Compose observer hooks: every non-None one sees every event.
+
+    Returns None when nothing is active, the sole hook when only one
+    is, and a fan-out callable otherwise — so ``run_jobs`` callers can
+    chain a progress renderer, a monitor state and a span observer
+    onto the single ``observer`` slot.
+    """
+    active = [observer for observer in observers if observer is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def _fan_out(event) -> None:
+        for observer in active:
+            observer(event)
+
+    return _fan_out
+
+
 @dataclass
 class SweepProgress:
     """Single-line live renderer for a sweep's :class:`JobEvent` stream."""
@@ -56,6 +77,9 @@ class SweepProgress:
     stream: object = None
     bar_width: int = 20
     min_redraw_s: float = 0.1
+    #: Monitor-server port, shown as a ``serving :PORT`` suffix so a
+    #: watcher knows where ``repro top`` can attach.
+    serving: int | None = None
     _done: int = 0
     _cached: int = 0
     _resumed: int = 0
@@ -109,15 +133,25 @@ class SweepProgress:
         """Cells resolved so far, by any tier (FAILED placeholders too)."""
         return self._done + self._cached + self._resumed + self._failed
 
+    @property
+    def remaining(self) -> int:
+        """Cells still to resolve.
+
+        Quarantined FAILED cells are *resolved* (as placeholders), not
+        future work: counting them as remaining would inflate the ETA
+        by a mean execution time each — precisely the cells that never
+        execute again.
+        """
+        return max(0, self.total - self.completed)
+
     def eta_seconds(self) -> float | None:
         """Running-mean ETA over the remaining cells (None before data)."""
-        remaining = self.total - self.completed
-        if remaining <= 0:
+        if self.remaining <= 0:
             return 0.0
         if not self._durations:
             return None
         mean = sum(self._durations) / len(self._durations)
-        return remaining * mean / max(1, self.workers)
+        return self.remaining * mean / max(1, self.workers)
 
     # -- rendering -----------------------------------------------------------
 
@@ -149,6 +183,8 @@ class SweepProgress:
         eta = self.eta_seconds()
         if eta is not None:
             parts.append("done" if eta == 0.0 else f"ETA {_fmt_secs(eta)}")
+        if self.serving is not None:
+            parts.append(f"serving :{self.serving}")
         return " | ".join(parts)
 
     def _draw(self, *, force: bool = False) -> None:

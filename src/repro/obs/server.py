@@ -1,0 +1,438 @@
+"""The live sweep monitor: a zero-dependency HTTP status/metrics server.
+
+``repro sweep --serve [PORT]`` starts a :class:`MonitorServer` (plain
+``http.server``, stdlib only) next to the running sweep.  It serves:
+
+* ``GET /status`` — one JSON document (:data:`STATUS_VERSION`): per-cell
+  states (pending / running / done / cached / resumed / failed), worker
+  liveness, the running-mean ETA, retry/timeout/requeue/pool-rebuild
+  counters and elapsed wall time.  ``repro top`` renders this.
+* ``GET /metrics`` — Prometheus text exposition rendered live from the
+  sweep's :class:`~repro.telemetry.registry.StatsRegistry` (see
+  :func:`render_prometheus` for the dotted-name mangling rules).
+* ``GET /healthz`` — ``ok`` while the server thread is up.
+
+The model behind ``/status`` is :class:`MonitorState` — a thread-safe
+fold of the scheduler's :class:`~repro.obs.progress.JobEvent` stream,
+chained onto the ``observer`` hook next to the progress renderer.  The
+server thread only ever *reads* it under its lock, so serving never
+perturbs the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+#: ``/status`` document layout version.
+STATUS_VERSION = 1
+
+#: Cell states reported by ``/status``.
+CELL_STATES = ("pending", "running", "done", "cached", "resumed", "failed")
+
+
+class MonitorState:
+    """Thread-safe live model of one sweep, fed by the observer hook.
+
+    Chain :meth:`observe` into ``run_jobs(..., observer=...)`` (see
+    :func:`~repro.obs.progress.tee_observers`); call :meth:`snapshot`
+    from any thread for the current ``/status`` document.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        workers: int = 1,
+        label: str | None = None,
+        registry=None,
+    ) -> None:
+        self.total = total
+        self.workers = max(1, workers)
+        self.label = label
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._cells: dict[int, dict] = {}
+        self._durations: list[float] = []
+        self._retries = 0
+        self._timeouts = 0
+        self._requeued = 0
+        self._started = time.monotonic()
+        self._last_event = self._started
+        self._finished = False
+
+    # -- event folding -------------------------------------------------------
+
+    def observe(self, event) -> None:
+        """The scheduler's ``observer`` hook (chainable)."""
+        with self._lock:
+            self._last_event = time.monotonic()
+            cell = self._cells.setdefault(
+                event.index, {"label": event.label, "state": "pending",
+                              "wall_time_s": 0.0},
+            )
+            kind = event.kind
+            if kind == "dispatch":
+                cell["state"] = "running"
+            elif kind == "done":
+                cell["state"] = "done"
+                cell["wall_time_s"] = event.wall_time_s
+                self._durations.append(event.wall_time_s)
+            elif kind == "cache":
+                cell["state"] = "cached"
+            elif kind == "resumed":
+                cell["state"] = "resumed"
+            elif kind == "failed":
+                cell["state"] = "failed"
+            elif kind == "retry":
+                self._retries += 1
+            elif kind == "timeout":
+                self._timeouts += 1
+            elif kind == "requeue":
+                self._requeued += 1
+
+    def finish(self) -> None:
+        """Mark the sweep over (the CLI calls this after ``run_jobs``)."""
+        with self._lock:
+            self._finished = True
+
+    # -- reading -------------------------------------------------------------
+
+    def _counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in CELL_STATES}
+        for cell in self._cells.values():
+            counts[cell["state"]] += 1
+        counts["pending"] += self.total - len(self._cells)
+        return counts
+
+    def eta_seconds(self) -> float | None:
+        """Running-mean ETA (same contract as ``SweepProgress``).
+
+        Failed/quarantined cells are resolved placeholders, never
+        future work, so they are excluded from the remaining count.
+        """
+        with self._lock:
+            counts = self._counts()
+            remaining = counts["pending"] + counts["running"]
+            if remaining <= 0:
+                return 0.0
+            if not self._durations:
+                return None
+            mean = sum(self._durations) / len(self._durations)
+            return remaining * mean / self.workers
+
+    def snapshot(self) -> dict:
+        """The current ``/status`` document (plain JSON-able data)."""
+        with self._lock:
+            counts = self._counts()
+            now = time.monotonic()
+            cells = [
+                {"index": index, **self._cells[index]}
+                for index in sorted(self._cells)
+            ]
+            durations = list(self._durations)
+            remaining = counts["pending"] + counts["running"]
+            if remaining <= 0:
+                eta = 0.0
+            elif durations:
+                eta = remaining * (sum(durations) / len(durations)) / self.workers
+            else:
+                eta = None
+            completed = (
+                counts["done"] + counts["cached"] + counts["resumed"]
+                + counts["failed"]
+            )
+            status = {
+                "v": STATUS_VERSION,
+                "label": self.label,
+                "total": self.total,
+                "completed": completed,
+                "counts": counts,
+                "cells": cells,
+                "workers": {
+                    "configured": self.workers,
+                    "busy": counts["running"],
+                    "last_event_age_s": round(now - self._last_event, 3),
+                },
+                "counters": {
+                    "retries": self._retries,
+                    "timeouts": self._timeouts,
+                    "requeued": self._requeued,
+                    "pool_rebuilds": 0,
+                },
+                "eta_s": eta,
+                "elapsed_s": round(now - self._started, 3),
+                "finished": self._finished or completed >= self.total,
+            }
+        # Engine counters the event stream does not carry (pool
+        # rebuilds, quarantines) come from the live registry.
+        if self.registry is not None:
+            value = _registry_value(self.registry, "jobs.recovery.pool_rebuilds")
+            if value is not None:
+                status["counters"]["pool_rebuilds"] = int(value)
+        return status
+
+
+def _registry_value(registry, name: str) -> float | None:
+    """One instrument's current value, tolerating concurrent mutation."""
+    for _ in range(3):
+        try:
+            if name not in registry:
+                return None
+            return registry.snapshot().get(name)
+        except RuntimeError:
+            # The simulation registered an instrument mid-iteration;
+            # registries only ever grow, so retrying converges.
+            continue
+    return None
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+#: ``jobs.retry.<kind>`` collapses onto one labelled counter family.
+_RETRY_FAMILY_RE = re.compile(r"^jobs\.retry\.(?P<kind>[a-z0-9_-]+)$")
+
+#: ``<prefix>.bank<N>.<metric>`` collapses onto one per-bank family.
+_BANK_FAMILY_RE = re.compile(
+    r"^(?P<prefix>[a-z0-9_.-]+)\.bank(?P<bank>\d+)\.(?P<metric>[a-z0-9_.-]+)$"
+)
+
+
+def prometheus_name(name: str) -> str:
+    """Mangle one dotted instrument name to a Prometheus metric name.
+
+    Rules (documented in ``docs/OBSERVABILITY.md``): prefix ``repro_``,
+    dots and dashes become underscores.  Family collapses
+    (``jobs.retry.<kind>``, per-bank names) are handled by
+    :func:`render_prometheus`, which strips the dynamic segment into a
+    label before calling this.
+    """
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _families(state: dict) -> dict[str, dict]:
+    """Group an ``export_state`` dump into Prometheus families."""
+    families: dict[str, dict] = {}
+
+    def family(metric: str, kind: str) -> dict:
+        return families.setdefault(metric, {"type": kind, "samples": []})
+
+    for name in sorted(state):
+        kind, value = state[name]
+        retry = _RETRY_FAMILY_RE.match(name)
+        bank = _BANK_FAMILY_RE.match(name)
+        if retry is not None:
+            metric = prometheus_name("jobs.retry") + "_total"
+            family(metric, "counter")["samples"].append(
+                ({"kind": retry.group("kind")}, float(value))
+            )
+            continue
+        if bank is not None and kind in ("counter", "gauge"):
+            metric = prometheus_name(
+                f"{bank.group('prefix')}.{bank.group('metric')}"
+            )
+            if kind == "counter":
+                metric += "_total"
+            family(metric, kind)["samples"].append(
+                ({"bank": bank.group("bank")}, float(value))
+            )
+            continue
+        if kind == "counter":
+            metric = prometheus_name(name)
+            if not metric.endswith("_total"):
+                metric += "_total"
+            family(metric, "counter")["samples"].append(({}, float(value)))
+        elif kind == "gauge":
+            family(prometheus_name(name), "gauge")["samples"].append(
+                ({}, float(value))
+            )
+        elif kind == "histogram":
+            metric = prometheus_name(name)
+            entry = family(metric, "summary")
+            count = int(value["count"])
+            mean = float(value["mean"]) if count else 0.0
+            recent = value.get("recent") or []
+            if recent:
+                levels = np.percentile(
+                    np.asarray(recent, dtype=np.float64), (50, 90, 99)
+                )
+                for quantile, level in zip((0.5, 0.9, 0.99), levels):
+                    entry["samples"].append(
+                        ({"quantile": f"{quantile}"}, float(level))
+                    )
+            entry["sum"] = mean * count
+            entry["count"] = count
+            #: Sliding-window size behind the quantiles (see
+            #: ``StatsRegistry.snapshot``'s ``.window`` key).
+            entry["window"] = len(recent)
+    return families
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry) -> str:
+    """Prometheus text exposition (v0.0.4) of one stats registry.
+
+    Counters become ``repro_<dotted_name>_total``; gauges keep their
+    mangled name; histograms render as summaries (``quantile`` labels
+    over the bounded sample window, exact ``_sum``/``_count`` from the
+    Welford moments, plus a ``_window`` gauge stating how many samples
+    back the quantiles).  ``jobs.retry.<kind>`` and per-bank names
+    collapse into labelled families.
+    """
+    state = None
+    for _ in range(3):
+        try:
+            state = registry.export_state()
+            break
+        except RuntimeError:
+            continue
+    if state is None:
+        raise ReproError("registry busy: could not snapshot instruments")
+    lines: list[str] = []
+    for metric, entry in sorted(_families(state).items()):
+        lines.append(f"# TYPE {metric} {entry['type']}")
+        for labels, value in entry["samples"]:
+            lines.append(
+                f"{metric}{_format_labels(labels)} {_format_value(value)}"
+            )
+        if entry["type"] == "summary":
+            lines.append(f"{metric}_sum {_format_value(entry['sum'])}")
+            lines.append(f"{metric}_count {entry['count']}")
+            lines.append(f"# TYPE {metric}_window gauge")
+            lines.append(f"{metric}_window {entry['window']}")
+    return "\n".join(lines) + "\n"
+
+
+# -- the server --------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-monitor"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        monitor: "MonitorServer" = self.server.monitor  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/status":
+            body = json.dumps(monitor.state.snapshot()).encode()
+            self._reply(200, "application/json", body)
+        elif path == "/metrics":
+            if monitor.registry is None:
+                self._reply(404, "text/plain",
+                            b"no registry attached to this sweep\n")
+                return
+            try:
+                body = render_prometheus(monitor.registry).encode()
+            except ReproError as exc:
+                self._reply(503, "text/plain", f"{exc}\n".encode())
+                return
+            self._reply(200, "text/plain; version=0.0.4", body)
+        elif path in ("/", "/healthz"):
+            self._reply(200, "text/plain", b"ok\n")
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *_args) -> None:
+        """Silence per-request stderr noise (the sweep owns stderr)."""
+
+
+class MonitorServer:
+    """A daemon-thread HTTP server over one :class:`MonitorState`.
+
+    ``port=0`` (the default) binds an ephemeral port; :meth:`start`
+    returns the bound port and :attr:`url` points at it.  The server
+    is loopback-only by design — it reports, it does not control.
+    """
+
+    def __init__(
+        self,
+        state: MonitorState,
+        *,
+        registry=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.state = state
+        self.registry = registry
+        self.host = host
+        self.requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self.host, self.requested_port), _Handler
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot bind monitor on {self.host}:{self.requested_port}: "
+                f"{exc}"
+            ) from exc
+        self._httpd.daemon_threads = True
+        self._httpd.monitor = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-monitor",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MonitorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -33,6 +33,7 @@ from repro.noc.mesh import Mesh
 from repro.nuca import NucaLLC, make_policy
 from repro.nuca.kernel import kernel_supported
 from repro.nuca.kernel import replay as kernel_replay
+from repro.obs.spans import DISABLED_SPANS
 from repro.reram.endurance import lifetimes_for_banks
 from repro.reram.wear import WearTracker
 from repro.sim.calibrate import calibrated_base_cpi, config_signature
@@ -291,6 +292,7 @@ def prepare_replay(
     fault_config: FaultConfig | None = None,
     telemetry: Telemetry | None = None,
     prof=DISABLED_PROFILER,
+    spans=DISABLED_SPANS,
 ) -> ReplayInputs:
     """Build the warmed stage-2 state without running the measured loop.
 
@@ -305,7 +307,7 @@ def prepare_replay(
             f"configuration has {config.num_cores} cores"
         )
     stage1 = stage1 or Stage1Cache()
-    with prof.phase("stage1"):
+    with prof.phase("stage1"), spans.span("stage1"):
         results1 = [
             stage1.get(app, config, seed=seed, n_instructions=n_instructions)
             for app in workload.apps
@@ -332,7 +334,7 @@ def prepare_replay(
     llc = NucaLLC(
         config, policy, mesh, memory, wear, faults=injector, telemetry=telemetry
     )
-    with prof.phase("warm-up"):
+    with prof.phase("warm-up"), spans.span("warm-up"):
         _warm_llc(llc, workload, config, results1, seed=seed)
         if injector is not None:
             llc.apply_faults(wear.snapshot())
@@ -397,6 +399,7 @@ def run_workload(
     telemetry: Telemetry | None = None,
     ledger=None,
     use_kernel: bool | None = None,
+    spans=None,
 ) -> WorkloadSchemeResult:
     """Stage-2 simulation of one workload under one NUCA scheme.
 
@@ -431,10 +434,24 @@ def run_workload(
     paths produce field-for-field identical results (see
     ``docs/PERFORMANCE.md``); ``REPRO_KERNEL=0`` in the environment
     disables auto-engagement globally.
+
+    ``spans`` — a :class:`~repro.obs.spans.SpanRecorder` — brackets the
+    run's phases (stage1 / warm-up / measure / reduce) as spans for the
+    live-monitoring layer (see ``docs/OBSERVABILITY.md``).  It is
+    deliberately separate from ``telemetry``: span brackets sit outside
+    the measured loop, so a spans-only run keeps the vectorized kernel
+    engaged.  Defaults to ``telemetry.spans`` when a handle carries
+    one, else to the disabled recorder.
     """
     stage1 = stage1 or Stage1Cache()
     if telemetry is not None:
         stage1.bind_telemetry(telemetry.registry)
+    if spans is None:
+        spans = (
+            telemetry.spans
+            if telemetry is not None and telemetry.spans is not None
+            else DISABLED_SPANS
+        )
     prof = telemetry.profiler if telemetry is not None else DISABLED_PROFILER
     # Ledger provenance: wall time from here; profiler phase totals as a
     # delta, so a handle reused across runs records only this run's share.
@@ -445,6 +462,7 @@ def run_workload(
         workload, scheme, config,
         seed=seed, n_instructions=n_instructions, stage1=stage1,
         fault_config=fault_config, telemetry=telemetry, prof=prof,
+        spans=spans,
     )
     results1 = prep.results1
     mesh = prep.mesh
@@ -480,7 +498,7 @@ def run_workload(
         snapshot = telemetry.registry.snapshot
 
     fast = _kernel_engaged(use_kernel, telemetry, prep)
-    with prof.phase("measure"):
+    with prof.phase("measure"), spans.span("measure", kernel=fast):
         if fast:
             scheme_lat_sorted = kernel_replay(
                 llc, merged,
@@ -505,7 +523,7 @@ def run_workload(
             sample=snapshot(),
         )
 
-    with prof.phase("reduce"):
+    with prof.phase("reduce"), spans.span("reduce"):
         # Un-sort latencies back to per-core record order.
         scheme_lat = np.empty(merged.total, dtype=np.float32)
         scheme_lat[merged.order] = scheme_lat_sorted
@@ -696,6 +714,7 @@ def run_matrix(
     keep_going: bool = False,
     quarantine=None,
     chaos=None,
+    spans=None,
 ) -> MatrixResult:
     """Run every workload under every scheme (the paper's result grid).
 
@@ -763,6 +782,7 @@ def run_matrix(
         keep_going=keep_going,
         quarantine=quarantine,
         chaos=chaos,
+        spans=spans,
     )
     for result in results:
         matrix.add(result)

@@ -71,6 +71,9 @@ class Telemetry:
         interval_instructions: snapshot the registry every N committed
             instructions (0 disables interval dumps).
         profile: enable the nested phase profiler.
+        spans: enable span tracing (``True`` for a fresh
+            :class:`~repro.obs.spans.SpanRecorder`, or pass a recorder
+            to share a sweep-wide trace id and sink).
 
     The registry is always live — counters and gauges are cheap and the
     summary they feed is the point of asking for telemetry at all.
@@ -83,6 +86,7 @@ class Telemetry:
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         interval_instructions: int = 0,
         profile: bool = False,
+        spans=False,
     ) -> None:
         if interval_instructions < 0:
             raise TelemetryError("interval_instructions must be >= 0")
@@ -92,6 +96,17 @@ class Telemetry:
         )
         self.interval_instructions = interval_instructions
         self.profiler = Profiler(enabled=profile)
+        if spans is False or spans is None:
+            self.spans = None
+        elif spans is True:
+            # Local import: repro.obs.spans has no telemetry imports,
+            # but keeping it lazy spares every un-instrumented run the
+            # module load.
+            from repro.obs.spans import SpanRecorder
+
+            self.spans = SpanRecorder()
+        else:
+            self.spans = spans
 
     def phase(self, name: str):
         """Shorthand for ``telemetry.profiler.phase(name)``."""

@@ -263,6 +263,11 @@ class StatsRegistry:
                 out[f"{name}.count"] = float(stats.count)
                 out[f"{name}.mean"] = stats.mean
                 out[f"{name}.stddev"] = stats.stddev
+                # The quantiles cover the bounded sample window, not
+                # the whole stream; exposing its length lets consumers
+                # (the Prometheus endpoint's ``_count``/``_window``
+                # pair) state exactly what the percentiles summarise.
+                out[f"{name}.window"] = float(len(instrument.recent))
                 if stats.count:
                     out[f"{name}.min"] = stats.min
                     out[f"{name}.max"] = stats.max
