@@ -8,6 +8,9 @@ Commands:
 * ``sweep``    — run a workloads x schemes grid through the parallel
   sweep engine (process pool, result cache, resumable journal; see
   ``docs/SWEEPS.md``).
+* ``search``   — design-space exploration: multi-fidelity
+  (successive-halving) search over NUCA/ReRAM configurations with
+  Pareto-frontier extraction (see ``docs/SEARCH.md``).
 * ``workloads``— show the generated WL1..WL10 mixes.
 * ``trace``    — generate a synthetic application trace to a .npz file,
   or export a sweep's span file to Chrome/Perfetto trace JSON
@@ -458,6 +461,119 @@ def _parse_bank_failure(text: str) -> tuple[int, float]:
         ) from None
 
 
+def _parse_budgets(text: str) -> tuple[int, ...]:
+    """Parse the ``--budget-schedule`` comma list (e.g. ``2000,8000``)."""
+    try:
+        budgets = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad budget list {text!r}") from None
+    if not budgets:
+        raise argparse.ArgumentTypeError("budget list is empty")
+    return budgets
+
+
+def _cmd_search(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.progress import tee_observers
+    from repro.search import load_space, preset_space, run_search
+    from repro.sim.store import atomic_write_text
+
+    # ``--space`` is a JSON file when it looks like one, else a preset.
+    if args.space.endswith(".json") or Path(args.space).exists():
+        space = load_space(args.space)
+    else:
+        space = preset_space(args.space)
+
+    workload_numbers = args.workloads or (1,)
+    telemetry = _make_telemetry(args) or Telemetry()
+
+    # Upper-bound job estimate for the progress line and monitor (the
+    # halving driver prunes, and resume skips, so this is a ceiling).
+    rungs = len(args.budget_schedule) if args.driver == "halving" else 1
+    estimate, per_rung = 0, args.points
+    for _ in range(rungs):
+        estimate += per_rung * len(workload_numbers)
+        per_rung = max(1, int(per_rung * args.promote))
+    estimate += len(workload_numbers)  # the Re-NUCA reference point
+
+    observer = _make_progress(args, total=estimate)
+    monitor, server = _start_monitor(
+        args, estimate, label=args.label, registry=telemetry.registry,
+    )
+    if observer is not None and server is not None:
+        observer.serving = server.port
+    try:
+        outcome = run_search(
+            space,
+            driver=args.driver,
+            sampler=args.sampler,
+            n_points=args.points,
+            budget_schedule=args.budget_schedule,
+            objectives=tuple(args.objectives),
+            workload_numbers=workload_numbers,
+            seed=args.seed,
+            promote=args.promote,
+            max_workers=args.jobs,
+            cache=args.cache_dir,
+            journal=args.journal,
+            resume=args.resume,
+            retries=args.retries,
+            telemetry=telemetry,
+            observer=tee_observers(
+                observer, monitor.observe if monitor is not None else None,
+            ),
+            ledger=args.ledger,
+            job_timeout_s=args.job_timeout,
+            spans=args.spans,
+        )
+        if monitor is not None:
+            monitor.finish()
+    finally:
+        if server is not None:
+            server.stop()
+    if observer is not None:
+        observer.close()
+
+    final = outcome.final_evaluations()
+    front_ids = {e.point_id for e in outcome.frontier}
+    rows = []
+    for e in sorted(final, key=lambda e: (e.point_id not in front_ids,
+                                          e.point_id)):
+        rows.append((
+            ("*" if e.point_id in front_ids else " ") + " " + e.point_id,
+            "Re-NUCA default" if e.reference else e.scheme,
+            e.metrics["ipc"], e.metrics["lifetime"],
+            e.metrics["energy"], e.metrics["wear_cov"],
+        ))
+    print(format_table(
+        ["point (* = frontier)", "scheme", "IPC", "min life [y]",
+         "energy [mJ]", "wear CoV"],
+        rows,
+    ))
+    print(f"\nfrontier: {len(outcome.frontier)} of {len(final)} full-budget "
+          f"points; hypervolume {outcome.hypervolume:.6g} over "
+          f"({', '.join(outcome.objectives)})")
+    print("search accounting:")
+    for name, value in sorted(outcome.report.items()):
+        print(f"  {name} = {value}")
+    if args.out:
+        atomic_write_text(args.out, _json.dumps(outcome.to_dict(), indent=1))
+        print(f"\nwrote search outcome to {args.out}")
+    if args.html:
+        from repro.obs.html_report import render_search_report
+
+        atomic_write_text(args.html, render_search_report(
+            outcome,
+            title=f"Re-NUCA design-space search: {args.label}",
+        ))
+        print(f"wrote Pareto report to {args.html}")
+    if args.profile:
+        print("\n" + telemetry.profiler.report())
+    return 0
+
+
 def _cmd_endoflife(args) -> int:
     from repro.experiments.endoflife import (
         DEFAULT_SCHEMES,
@@ -681,10 +797,32 @@ def _cmd_top(args) -> int:
 
 
 def _cmd_bench_record(args) -> int:
-    from repro.obs.bench import append_bench_point, bench_point
+    from repro.obs.bench import (
+        append_bench_point,
+        bench_point,
+        search_bench_point,
+    )
     from repro.obs.ledger import RunLedger
     from repro.sim.store import load_matrix
 
+    if args.search:
+        import json as _json
+        from pathlib import Path
+
+        from repro.search.drivers import SearchOutcome
+
+        try:
+            payload = _json.loads(Path(args.search).read_text(encoding="utf-8"))
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read {args.search}: {exc}") from exc
+        outcome = SearchOutcome.from_dict(payload)
+        point = search_bench_point(outcome, label=args.label)
+        count = append_bench_point(args.out, point)
+        print(f"recorded point #{count} ({point['label']}) in {args.out}")
+        return 0
+    if not args.matrix:
+        print("error: need --matrix or --search", file=sys.stderr)
+        return 2
     matrix = load_matrix(args.matrix)
     wall_time_s = None
     if args.ledger:
@@ -765,6 +903,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs(p_sweep)
     _add_ledger(p_sweep)
     _add_monitor(p_sweep)
+
+    p_search = sub.add_parser(
+        "search",
+        help="design-space exploration: multi-fidelity search over "
+             "NUCA/ReRAM configurations with a Pareto frontier "
+             "(see docs/SEARCH.md)",
+    )
+    p_search.add_argument("--space", default="nuca", metavar="FILE|PRESET",
+                          help="search-space JSON file or preset name "
+                               "('nuca', 'schemes'; default nuca)")
+    p_search.add_argument("--driver", default="halving",
+                          choices=["halving", "random", "grid"],
+                          help="search driver (default halving = "
+                               "successive halving over the budget "
+                               "schedule)")
+    p_search.add_argument("--sampler", default="halton",
+                          choices=["halton", "random", "grid"],
+                          help="candidate sampler (default halton "
+                               "low-discrepancy)")
+    p_search.add_argument("--points", type=int, default=16, metavar="N",
+                          help="candidate points to propose (default 16)")
+    p_search.add_argument("--budget-schedule", type=_parse_budgets,
+                          default=(2000, 8000), metavar="N,N,...",
+                          help="instruction budgets per rung, ascending "
+                               "fidelity (default 2000,8000; non-halving "
+                               "drivers use only the last)")
+    p_search.add_argument("--objectives", nargs="+",
+                          default=["ipc", "lifetime", "energy"],
+                          help="objectives to optimise: ipc, lifetime "
+                               "(maximised), energy, wear_cov (minimised)")
+    p_search.add_argument("--workloads", type=_parse_workloads, default=None,
+                          metavar="N,N,...",
+                          help="comma list of workload numbers evaluated "
+                               "per point (default: 1)")
+    p_search.add_argument("--promote", type=float, default=0.5,
+                          metavar="FRACTION",
+                          help="fraction of points promoted per rung "
+                               "(default 0.5)")
+    p_search.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="content-addressed result cache directory "
+                               "shared with 'repro sweep'")
+    p_search.add_argument("--journal", metavar="FILE", default=None,
+                          help="search journal (JSONL; rung sweep journals "
+                               "are derived next to it)")
+    p_search.add_argument("--resume", action="store_true",
+                          help="replay evaluations recorded in --journal "
+                               "and re-simulate only the remainder")
+    p_search.add_argument("--out", metavar="FILE", default=None,
+                          help="save the search outcome as JSON")
+    p_search.add_argument("--html", metavar="FILE", default=None,
+                          help="write a self-contained Pareto scatter "
+                               "report (IPC vs lifetime)")
+    p_search.add_argument("--label", default="search",
+                          help="label for the monitor and report title")
+    _add_common(p_search)
+    _add_telemetry(p_search)
+    _add_jobs(p_search)
+    _add_ledger(p_search)
+    _add_monitor(p_search)
 
     p_stats = sub.add_parser(
         "stats",
@@ -878,8 +1075,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-record",
         help="append a timing/IPC point to a BENCH_*.json trajectory",
     )
-    p_bench.add_argument("--matrix", metavar="FILE", required=True,
+    p_bench.add_argument("--matrix", metavar="FILE", default=None,
                          help="saved result matrix to summarise")
+    p_bench.add_argument("--search", metavar="FILE", default=None,
+                         help="search outcome JSON (repro search --out); "
+                              "records frontier size and hypervolume "
+                              "instead of a matrix summary")
     p_bench.add_argument("--out", metavar="FILE", default="BENCH_sweep.json",
                          help="trajectory file (default BENCH_sweep.json)")
     p_bench.add_argument("--ledger", metavar="FILE", default=None,
@@ -895,6 +1096,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "search": _cmd_search,
     "stats": _cmd_stats,
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,

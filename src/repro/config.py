@@ -282,6 +282,11 @@ class CriticalityConfig:
             raise ConfigError("block threshold must be at least one cycle")
 
 
+#: Mirrors ``repro.cache.replacement`` (kept literal to avoid an import
+#: cycle — ``repro.cache`` consumes :class:`CacheConfig`).
+_L3_REPLACEMENT_NAMES = ("lru", "random", "srrip", "clean-first")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Full Table I machine description."""
@@ -307,24 +312,62 @@ class SystemConfig:
     #: ~512k-entry directory whose lookup serialises the access path —
     #: one of the two reasons the paper calls the oracle impractical.
     naive_directory_penalty: int = 200
+    #: Replacement policy of every L3 bank (see ``repro.cache.replacement``).
+    l3_replacement: str = "lru"
+    #: Uniform per-set way limit applied to every L3 bank (``None`` uses
+    #: the full associativity).  Models a capacity-throttled LLC, the knob
+    #: the design-space search sweeps against wear/energy.
+    l3_way_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_cores != self.noc.num_nodes:
             raise ConfigError(
-                f"Table I systems pair one core with one bank per mesh node: "
-                f"{self.num_cores} cores vs {self.noc.num_nodes} nodes"
+                f"noc.mesh_cols*mesh_rows: Table I systems pair one core with "
+                f"one bank per mesh node: {self.num_cores} cores vs "
+                f"{self.noc.mesh_cols}x{self.noc.mesh_rows}="
+                f"{self.noc.num_nodes} nodes"
             )
         if not is_power_of_two(self.num_cores):
-            raise ConfigError("core count must be a power of two")
+            raise ConfigError("num_cores: core count must be a power of two")
         if not is_power_of_two(self.rnuca_cluster_size):
-            raise ConfigError("R-NUCA cluster size must be a power of two")
+            raise ConfigError(
+                "rnuca_cluster_size: R-NUCA cluster size must be a power of two"
+            )
         if self.rnuca_cluster_size > self.num_cores:
-            raise ConfigError("R-NUCA cluster cannot exceed the bank count")
+            raise ConfigError(
+                f"rnuca_cluster_size: cluster ({self.rnuca_cluster_size}) "
+                f"cannot exceed the bank count ({self.num_banks})"
+            )
+        if self.num_banks % self.rnuca_cluster_size:
+            raise ConfigError(
+                f"rnuca_cluster_size: cluster size "
+                f"({self.rnuca_cluster_size}) must divide the bank count "
+                f"({self.num_banks})"
+            )
         if self.naive_directory_penalty < 0:
-            raise ConfigError("directory penalty cannot be negative")
+            raise ConfigError(
+                "naive_directory_penalty: directory penalty cannot be negative"
+            )
+        if self.l3_replacement not in _L3_REPLACEMENT_NAMES:
+            raise ConfigError(
+                f"l3_replacement: unknown policy {self.l3_replacement!r}; "
+                f"known: {_L3_REPLACEMENT_NAMES}"
+            )
+        if self.l3_way_limit is not None:
+            if not (1 <= self.l3_way_limit <= self.l3_bank.assoc):
+                raise ConfigError(
+                    f"l3_way_limit: way limit ({self.l3_way_limit}) must be "
+                    f"in [1, l3_bank.assoc={self.l3_bank.assoc}]"
+                )
+            if self.l3_replacement != "lru":
+                raise ConfigError(
+                    "l3_way_limit: way limits require l3_replacement='lru' "
+                    f"(got {self.l3_replacement!r})"
+                )
         line = self.l1.line_bytes
         if not (line == self.l2.line_bytes == self.l3_bank.line_bytes):
-            raise ConfigError("all cache levels must share one line size")
+            raise ConfigError("l1/l2/l3_bank.line_bytes: all cache levels "
+                              "must share one line size")
 
     @property
     def num_banks(self) -> int:
@@ -406,3 +449,40 @@ def scaled_config(base: SystemConfig, *, cores: int) -> SystemConfig:
 def config_as_dict(config: SystemConfig) -> dict:
     """Flatten a configuration into plain nested dicts (for reports)."""
     return dataclasses.asdict(config)
+
+
+def _flatten_scalars(prefix: str, value: object, out: list) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            _flatten_scalars(path, value[key], out)
+    elif isinstance(value, (list, tuple)):
+        for idx, item in enumerate(value):
+            _flatten_scalars(f"{prefix}[{idx}]", item, out)
+    else:
+        out.append(prefix)
+        out.append(value)
+
+
+def full_signature(config: SystemConfig) -> tuple:
+    """Every field of ``config`` as a flat ``(path, value, ...)`` tuple.
+
+    Unlike :func:`repro.sim.calibrate.config_signature` (which covers only
+    the fields stage 1 depends on, so per-app traces stay shared across
+    LLC-scheme variations), this signature covers the *whole* machine and
+    is what :class:`repro.jobs.spec.JobSpec` uses as cache/journal
+    identity: two search points differing in any config field — cluster
+    size, replacement policy, way limits, ReRAM timing — must never alias
+    to the same cached stage-2 result.
+
+    The tuple holds only JSON scalars (str/int/float/None) so it survives
+    a JSON round-trip bit-identically, and it is memoized on the (frozen)
+    config instance.
+    """
+    cached = getattr(config, "_full_signature", None)
+    if cached is None:
+        out: list = []
+        _flatten_scalars("", config_as_dict(config), out)
+        cached = tuple(out)
+        object.__setattr__(config, "_full_signature", cached)
+    return cached

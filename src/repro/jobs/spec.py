@@ -3,8 +3,9 @@
 A :class:`JobSpec` is a frozen, JSON-serialisable description of
 everything that determines a :class:`~repro.sim.metrics.WorkloadSchemeResult`:
 the workload content (name *and* per-core app assignment), the NUCA
-scheme, the experiment seed, the instruction budget, the stage-relevant
-configuration signature and the fault-injection point.  Its
+scheme, the experiment seed, the instruction budget, the full
+configuration signature (see :func:`repro.config.full_signature`) and
+the fault-injection point.  Its
 :meth:`~JobSpec.fingerprint` is a stable content hash over exactly those
 fields — the key of the on-disk :class:`~repro.jobs.cache.ResultCache`
 and the unit of the resume :class:`~repro.jobs.journal.SweepJournal`.
@@ -24,12 +25,15 @@ import json
 from dataclasses import dataclass
 
 from repro.common.errors import ReproError
-from repro.config import FaultConfig, SystemConfig
-from repro.sim.calibrate import config_signature
+from repro.config import FaultConfig, SystemConfig, full_signature
 from repro.trace.workloads import Workload
 
 #: Version folded into every fingerprint; bump on semantic changes.
-SPEC_FORMAT_VERSION = 1
+#: v2: spec identity switched from the stage-1 signature to the *full*
+#: config signature (every field), so design-space search points that
+#: differ only in stage-2 knobs (cluster size, replacement policy, way
+#: limits, ReRAM timing, ...) can no longer alias in the result cache.
+SPEC_FORMAT_VERSION = 2
 
 
 def fault_to_dict(fault: FaultConfig) -> dict:
@@ -106,7 +110,7 @@ class JobSpec:
             scheme=scheme,
             seed=seed,
             n_instructions=int(n_instructions),
-            config_signature=config_signature(config),
+            config_signature=full_signature(config),
             fault=fault_config,
         )
 

@@ -25,13 +25,19 @@ class NucaBank:
         wear: WearTracker,
         *,
         index_shift: int = 0,
+        replacement: str = "lru",
     ) -> None:
         if node_id < 0 or node_id >= wear.num_banks:
             raise ConfigError(f"bank node {node_id} outside wear tracker range")
         self.node_id = node_id
         self.reram = reram
         self._wear = wear
-        self.cache = Cache(config, name=f"L3-bank{node_id}", index_shift=index_shift)
+        self.cache = Cache(
+            config,
+            name=f"L3-bank{node_id}",
+            index_shift=index_shift,
+            replacement=replacement,
+        )
 
     @property
     def read_latency(self) -> int:

@@ -111,9 +111,24 @@ class NucaLLC:
         shift = log2_exact(config.num_banks)
         self._index_shift = shift
         self.banks = [
-            NucaBank(node, config.l3_bank, config.reram, wear, index_shift=shift)
+            NucaBank(
+                node, config.l3_bank, config.reram, wear,
+                index_shift=shift, replacement=config.l3_replacement,
+            )
             for node in range(config.num_banks)
         ]
+        #: Ways per set actually provisioned (``l3_way_limit`` throttles
+        #: below the nominal associativity).
+        self._configured_ways = (
+            config.l3_bank.assoc
+            if config.l3_way_limit is None
+            else config.l3_way_limit
+        )
+        if self._configured_ways < config.l3_bank.assoc:
+            limits = [self._configured_ways] * config.l3_bank.num_sets
+            for bank in self.banks:
+                # Fresh (empty) banks: nothing can drain here.
+                bank.cache.set_way_limits(limits)
         if telemetry is not None:
             self._bind_gauges(telemetry.registry)
 
@@ -401,17 +416,20 @@ class NucaLLC:
             snapshot = self.wear.snapshot()
         if not self.faults.derived:
             self.faults.derive(snapshot, index_shift=self._index_shift)
-        assoc = self.config.l3_bank.assoc
+        cap = self._configured_ways
         for bank in self.banks:
             node = bank.node_id
             if self.faults.is_bank_dead(node):
                 self.policy.on_bank_failed(node)
                 drained = bank.cache.drain()
             else:
-                limits = self.faults.way_limits_of(node)
-                if int(limits.min()) >= assoc:
+                # Endurance faults retire frames out of the *configured*
+                # way budget: a bank already throttled to ``cap`` ways
+                # cannot get frames back from the injector.
+                limits = [min(int(lim), cap) for lim in self.faults.way_limits_of(node)]
+                if min(limits) >= cap:
                     continue
-                drained = bank.apply_frame_faults(limits.tolist())
+                drained = bank.apply_frame_faults(limits)
             for line, dirty, aux in drained:
                 self.policy.on_evict(line, node, aux)
                 if dirty:
@@ -419,8 +437,14 @@ class NucaLLC:
                     self.stats.memory_writes += 1
 
     def effective_capacity_fraction(self) -> float:
-        """Usable LLC frames / nominal frames (1.0 on pristine hardware)."""
-        total = self.config.l3_bank.num_lines * len(self.banks)
+        """Usable LLC frames / *configured* frames (1.0 when fault-free).
+
+        The denominator honours ``l3_way_limit``: a deliberately
+        throttled LLC is not "degraded" (that flag is reserved for fault
+        damage), so a pristine way-limited run still reports 1.0.
+        """
+        per_bank = self.config.l3_bank.num_sets * self._configured_ways
+        total = per_bank * len(self.banks)
         live = sum(
             0 if (self.faults is not None and self.faults.is_bank_dead(b.node_id))
             else b.live_frames

@@ -117,6 +117,29 @@ def throughput_point(
     }
 
 
+def search_bench_point(outcome, *, label: str = "") -> dict:
+    """Build one trajectory point from a design-space search outcome.
+
+    ``outcome`` is a :class:`~repro.search.drivers.SearchOutcome` (typed
+    loosely to keep :mod:`repro.obs` import-independent of the search
+    package).  Plotting frontier size and hypervolume over commits shows
+    whether search quality is drifting.
+    """
+    return {
+        "timestamp": time.time(),
+        "git_sha": current_git_sha(),
+        "label": label or f"search-{outcome.driver}",
+        "bench": "search",
+        "driver": outcome.driver,
+        "objectives": list(outcome.objectives),
+        "points": outcome.report.get("points", 0),
+        "evaluations": outcome.report.get("evals_total", 0),
+        "frontier_size": len(outcome.frontier),
+        "hypervolume": outcome.hypervolume,
+        "budget_schedule": list(outcome.budget_schedule),
+    }
+
+
 def append_bench_point(path: str | Path, point: dict) -> int:
     """Append one point to a trajectory file; returns the new length."""
     points = load_bench_trajectory(path)

@@ -98,6 +98,8 @@ DEFAULT_RULES: dict[str, ToleranceRule] = {
         ToleranceRule("llc_hit_rate", abs_tol=0.005, direction="decrease"),
         ToleranceRule("effective_capacity", abs_tol=0.001,
                       direction="decrease"),
+        ToleranceRule("energy_mj", rel_tol=0.01, abs_tol=0.001,
+                      direction="increase"),
         ToleranceRule("wall_time_s", rel_tol=0.75, abs_tol=2.0,
                       direction="increase"),
     )
@@ -152,6 +154,7 @@ def metrics_of(result: WorkloadSchemeResult) -> dict[str, float]:
         "wear_cov": result.wear_cov,
         "llc_hit_rate": result.llc_fetch_hit_rate,
         "effective_capacity": result.effective_capacity,
+        "energy_mj": result.energy_mj,
     }
 
 

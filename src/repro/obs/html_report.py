@@ -234,6 +234,73 @@ def _timeline(
     return "".join(parts)
 
 
+def _scatter_chart(
+    points: Sequence[tuple[float, float, str, str]],
+    *,
+    label: str,
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Scatter of (x, y, css class, tooltip) points with padded axes.
+
+    Classes: ``pt-front`` (frontier, full color), ``pt-dim`` (dominated,
+    faded), ``pt-ref`` (reference marker, ringed and labelled).
+    """
+    if not points:
+        return '<p class="note">(no data)</p>'
+    width, height, left, top = 640, 300, 64, 16
+    plot_w, plot_h = width - left - 24, height - top - 44
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = (x_hi - x_lo) * 0.08 or abs(x_hi) * 0.05 or 1.0
+    y_pad = (y_hi - y_lo) * 0.08 or abs(y_hi) * 0.05 or 1.0
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def sx(value: float) -> float:
+        return left + (value - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(value: float) -> float:
+        return top + plot_h * (1 - (value - y_lo) / (y_hi - y_lo))
+
+    parts = [_svg_open(width, height, label)]
+    for frac in (0.0, 0.5, 1.0):
+        gx = x_lo + frac * (x_hi - x_lo)
+        gy = y_lo + frac * (y_hi - y_lo)
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{sy(gy):.1f}" '
+            f'x2="{left + plot_w}" y2="{sy(gy):.1f}"/>'
+            f'<text class="lbl" x="{left - 6}" y="{sy(gy) + 4:.1f}" '
+            f'text-anchor="end">{gy:.2f}</text>'
+            f'<line class="grid" x1="{sx(gx):.1f}" y1="{top}" '
+            f'x2="{sx(gx):.1f}" y2="{top + plot_h}"/>'
+            f'<text class="lbl" x="{sx(gx):.1f}" '
+            f'y="{top + plot_h + 14}" text-anchor="middle">{gx:.2f}</text>'
+        )
+    # Dominated points first so the frontier and reference draw on top.
+    ordered = sorted(points, key=lambda p: ("pt-dim" not in p[2], "pt-ref" in p[2]))
+    for x, y, cls, name in ordered:
+        r = 6 if "pt-ref" in cls else 4
+        parts.append(
+            f'<circle class="{_esc(cls)}" cx="{sx(x):.1f}" cy="{sy(y):.1f}" '
+            f'r="{r}"><title>{_esc(name)}</title></circle>'
+        )
+        if "pt-ref" in cls:
+            parts.append(
+                f'<text class="lbl" x="{sx(x) + 9:.1f}" y="{sy(y) - 7:.1f}">'
+                f"{_esc(name.split(chr(10))[0])}</text>"
+            )
+    parts.append(
+        f'<text class="lbl" x="{left + plot_w}" y="{height - 6}" '
+        f'text-anchor="end">{_esc(x_label)} &#8594;</text>'
+        f'<text class="lbl" x="{left}" y="{top - 4}">{_esc(y_label)} &#8593;</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def _legend(slots: dict[str, int]) -> str:
     chips = "".join(
         f'<span class="chip"><span class="swatch s{slot % len(_SERIES)}">'
@@ -307,6 +374,9 @@ svg .baseline { stroke: var(--axis); stroke-width: 1; }
 svg .target { stroke: var(--ink-2); stroke-width: 1;
               stroke-dasharray: 3 3; }
 svg polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
+svg .pt-front { fill: #2a78d6; }
+svg .pt-dim { fill: var(--muted); opacity: 0.4; }
+svg .pt-ref { fill: #eb6834; stroke: var(--ink); stroke-width: 1.5; }
 details summary { cursor: pointer; color: var(--ink-2); font-size: 13px; }
 """
 
@@ -398,11 +468,14 @@ def render_html_report(
     # Headline tiles.
     tiles = []
     for scheme in matrix.schemes:
-        ipcs = [
-            matrix.get(wl, scheme).ipc for wl in matrix.workloads
+        live = [
+            matrix.get(wl, scheme) for wl in matrix.workloads
             if not matrix.get(wl, scheme).failed
         ]
-        mean_ipc = sum(ipcs) / len(ipcs) if ipcs else 0.0
+        mean_ipc = sum(r.ipc for r in live) / len(live) if live else 0.0
+        mean_energy = (
+            sum(r.energy_mj for r in live) / len(live) if live else 0.0
+        )
         if scheme in failed_schemes:
             life = "n/a (FAILED cells)"
         else:
@@ -412,7 +485,7 @@ def render_html_report(
             f'<div class="k">{_esc(scheme)}</div>'
             f'<div class="v">{mean_ipc:.2f}</div>'
             f'<div class="d">mean IPC &#183; raw min life '
-            f"{life}</div></div>"
+            f"{life} &#183; energy {mean_energy:.2f} mJ</div></div>"
         )
     chunks.append(f'<div class="tiles">{"".join(tiles)}</div>')
 
@@ -470,16 +543,19 @@ def render_html_report(
             r = matrix.get(workload, scheme)
             if r.failed:
                 metric_rows.append((
-                    workload, scheme, "FAILED", "—", "—", r.failure_reason,
+                    workload, scheme, "FAILED", "—", "—", "—",
+                    r.failure_reason,
                 ))
                 continue
             metric_rows.append((
                 workload, scheme, _fmt(r.ipc), _fmt(r.min_lifetime),
                 _fmt(r.wear_cov, 3), _fmt(100 * r.llc_fetch_hit_rate, 1) + "%",
+                _fmt(r.energy_mj),
             ))
     chunks.append("<details><summary>table view: all cells</summary>")
     chunks.append(_table(
-        ["workload", "scheme", "IPC", "min life [y]", "wear CoV", "LLC hit"],
+        ["workload", "scheme", "IPC", "min life [y]", "wear CoV", "LLC hit",
+         "energy [mJ]"],
         metric_rows,
     ))
     chunks.append("</details></section>")
@@ -612,6 +688,145 @@ def render_html_report(
             '<p class="note">No ledger supplied (pass --ledger to include '
             "run history).</p>"
         )
+    chunks.append("</section>")
+
+    body = "\n".join(chunks)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}\n{_series_css()}</style>\n"
+        "</head>\n<body>\n"
+        f"{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
+# -- design-space search report ----------------------------------------------
+
+
+def _point_tooltip(evaluation) -> str:
+    knobs = ", ".join(
+        f"{k}={v}" for k, v in sorted(evaluation.values.items())
+        if not k.startswith("__")
+    )
+    metrics = ", ".join(
+        f"{k}={v:.3g}" for k, v in sorted(evaluation.metrics.items())
+    )
+    head = "Re-NUCA default" if evaluation.reference else evaluation.scheme
+    return f"{head}\n{knobs}\n{metrics}"
+
+
+def render_search_report(
+    outcome,
+    *,
+    title: str = "Re-NUCA design-space search",
+) -> str:
+    """Render a :class:`~repro.search.drivers.SearchOutcome` to HTML.
+
+    Same zero-external-reference contract as :func:`render_html_report`.
+    The centrepiece is the Pareto scatter over the paper's trade-off
+    (IPC vs raw minimum lifetime): dominated points dimmed, frontier
+    points full-color, the Re-NUCA default marked and labelled.
+    """
+    chunks: list[str] = []
+    generated = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime())
+    final = outcome.final_evaluations()
+    front_ids = {e.point_id for e in outcome.frontier}
+    chunks.append(f"<h1>{_esc(title)}</h1>")
+    chunks.append(
+        f'<p class="sub">driver <b>{_esc(outcome.driver)}</b> &#183; '
+        f"{outcome.report.get('points', len(final))} points &#183; budgets "
+        f"{_esc(' &#8594; '.join(str(b) for b in outcome.budget_schedule))} "
+        f"instr &#183; objectives {_esc(', '.join(outcome.objectives))} "
+        f"&#183; generated {generated} UTC</p>"
+    )
+
+    # Headline tiles: frontier size and hypervolume.
+    chunks.append(
+        '<div class="tiles">'
+        '<div class="tile"><div class="k">Pareto frontier</div>'
+        f'<div class="v">{len(outcome.frontier)}</div>'
+        f'<div class="d">of {len(final)} full-budget points</div></div>'
+        '<div class="tile"><div class="k">hypervolume</div>'
+        f'<div class="v">{outcome.hypervolume:.4g}</div>'
+        f'<div class="d">vs per-axis-worst reference</div></div>'
+        '<div class="tile"><div class="k">evaluations</div>'
+        f'<div class="v">{outcome.report.get("evals_total", 0)}</div>'
+        f'<div class="d">{outcome.report.get("evals_resumed", 0)} resumed '
+        f'&#183; {outcome.report.get("jobs_cache_hits", 0)} sim cache hits'
+        "</div></div></div>"
+    )
+
+    # Pareto scatter on the paper's trade-off axes.
+    chunks.append(
+        '<section class="card"><h2>Pareto frontier: IPC vs lifetime</h2>'
+    )
+    points = []
+    for e in final:
+        if e.reference:
+            cls = "pt-ref"
+        elif e.point_id in front_ids:
+            cls = "pt-front"
+        else:
+            cls = "pt-dim"
+        points.append((
+            float(e.metrics["ipc"]), float(e.metrics["lifetime"]),
+            cls, _point_tooltip(e),
+        ))
+    chunks.append(_scatter_chart(
+        points,
+        label="search points, IPC vs raw minimum lifetime",
+        x_label="mean IPC", y_label="min lifetime [y]",
+    ))
+    chunks.append(
+        '<p class="note">full-color: non-dominated '
+        f"({_esc(', '.join(outcome.objectives))}); faded: dominated; "
+        "ringed orange: the paper's Re-NUCA default.</p>"
+    )
+
+    # Frontier table, frontier-first then dominated.
+    rows = []
+    for e in sorted(final, key=lambda e: (e.point_id not in front_ids, e.point_id)):
+        knobs = ", ".join(
+            f"{k.split('.')[-1]}={v}"
+            for k, v in sorted(e.values.items()) if not k.startswith("__")
+        )
+        rows.append((
+            e.point_id,
+            ("&#9733; " if e.point_id in front_ids else "")
+            + ("Re-NUCA default" if e.reference else e.scheme),
+            knobs or "—",
+            _fmt(e.metrics["ipc"]),
+            _fmt(e.metrics["lifetime"]),
+            _fmt(e.metrics["energy"], 4),
+            _fmt(e.metrics["wear_cov"], 3),
+        ))
+    table = _table(
+        ["point", "scheme", "knobs", "IPC", "min life [y]",
+         "energy [mJ]", "wear CoV"],
+        rows,
+    )
+    # The scheme cell carries a pre-escaped frontier star.
+    chunks.append(table.replace("&amp;#9733;", "&#9733;"))
+    chunks.append("</section>")
+
+    # Rung trajectory and engine accounting.
+    chunks.append('<section class="card"><h2>Search accounting</h2>')
+    per_rung: dict[int, int] = {}
+    for e in outcome.evaluations:
+        per_rung[e.rung] = per_rung.get(e.rung, 0) + 1
+    chunks.append(_table(
+        ["rung", "budget [instr]", "points evaluated"],
+        [
+            (r, outcome.budget_schedule[r], n)
+            for r, n in sorted(per_rung.items())
+        ],
+    ))
+    chunks.append(_table(
+        ["counter", "value"],
+        sorted(outcome.report.items()),
+    ))
     chunks.append("</section>")
 
     body = "\n".join(chunks)

@@ -119,6 +119,7 @@ class RunRecord:
                 "wear_cov": result.wear_cov,
                 "llc_hit_rate": result.llc_fetch_hit_rate,
                 "effective_capacity": result.effective_capacity,
+                "energy_mj": result.energy_mj,
             },
             git_sha=current_git_sha(),
             timestamp=time.time(),

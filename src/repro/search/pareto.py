@@ -1,0 +1,158 @@
+"""Pareto-frontier extraction and hypervolume over search objectives.
+
+Objectives are named metrics with a fixed sense:
+
+* ``ipc`` — multiprogram throughput, maximised;
+* ``lifetime`` — worst bank lifetime in years, maximised;
+* ``energy`` — total LLC energy in mJ, minimised;
+* ``wear_cov`` — per-bank write imbalance, minimised.
+
+A point *dominates* another when it is no worse in every objective and
+strictly better in at least one.  The *frontier* is the set of
+non-dominated points.  The *hypervolume* is the measure of objective
+space dominated by the frontier relative to a reference point that is
+worse than every evaluated point — a single scalar that grows whenever
+the frontier advances, used for trend tracking across search runs
+(exact sweep in 2-D, recursive slicing for higher dimensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+#: Known objective names and whether bigger is better.
+OBJECTIVE_SENSES = {
+    "ipc": True,
+    "lifetime": True,
+    "energy": False,
+    "wear_cov": False,
+}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scoring axis: a metric name plus its sense."""
+
+    name: str
+    maximize: bool
+
+    def better(self, a: float, b: float) -> bool:
+        """True when ``a`` beats ``b`` on this axis."""
+        return a > b if self.maximize else a < b
+
+
+def parse_objectives(names) -> tuple:
+    """Resolve objective names against :data:`OBJECTIVE_SENSES`.
+
+    Raises:
+        ReproError: unknown name, duplicate, or fewer than one.
+    """
+    names = tuple(names)
+    if not names:
+        raise ReproError("need at least one objective")
+    if len(set(names)) != len(names):
+        raise ReproError(f"duplicate objectives: {names}")
+    objectives = []
+    for name in names:
+        try:
+            objectives.append(Objective(name, OBJECTIVE_SENSES[name]))
+        except KeyError:
+            raise ReproError(
+                f"unknown objective {name!r}; "
+                f"known: {tuple(sorted(OBJECTIVE_SENSES))}"
+            ) from None
+    return tuple(objectives)
+
+
+def dominates(a: dict, b: dict, objectives) -> bool:
+    """True when metric map ``a`` Pareto-dominates ``b``."""
+    better = False
+    for obj in objectives:
+        va, vb = a[obj.name], b[obj.name]
+        if obj.better(vb, va):
+            return False
+        if obj.better(va, vb):
+            better = True
+    return better
+
+
+def pareto_indices(points: list, objectives) -> list[int]:
+    """Indices of the non-dominated points, in input order.
+
+    ``points`` is a list of metric maps.  Duplicated metric vectors are
+    all kept (they dominate nothing and nothing dominates them), so the
+    result is stable under reordering of equals.
+    """
+    out = []
+    for i, p in enumerate(points):
+        if not any(
+            dominates(q, p, objectives) for j, q in enumerate(points) if j != i
+        ):
+            out.append(i)
+    return out
+
+
+def default_reference(points: list, objectives) -> dict:
+    """A reference dominated by every point: the per-axis worst, padded.
+
+    The 10 % pad keeps boundary points from contributing zero volume.
+    """
+    if not points:
+        raise ReproError("cannot derive a reference from zero points")
+    ref = {}
+    for obj in objectives:
+        values = [float(p[obj.name]) for p in points]
+        worst = min(values) if obj.maximize else max(values)
+        span = (max(values) - min(values)) or abs(worst) or 1.0
+        ref[obj.name] = worst - 0.1 * span if obj.maximize else worst + 0.1 * span
+    return ref
+
+
+def _gains(point: dict, reference: dict, objectives) -> tuple:
+    """Distances from the reference, all axes converted to maximise."""
+    out = []
+    for obj in objectives:
+        gain = (
+            float(point[obj.name]) - float(reference[obj.name])
+            if obj.maximize
+            else float(reference[obj.name]) - float(point[obj.name])
+        )
+        out.append(max(0.0, gain))
+    return tuple(out)
+
+
+def _hv(points: list) -> float:
+    """Hypervolume of the union of boxes ``[0, p]`` (recursive slicing)."""
+    points = [p for p in points if all(c > 0.0 for c in p)]
+    if not points:
+        return 0.0
+    if len(points[0]) == 1:
+        return max(p[0] for p in points)
+    # Slab sweep on the first coordinate, descending: the cross-section
+    # between consecutive levels is the (d-1)-volume of everything at
+    # least that tall.
+    points.sort(key=lambda p: -p[0])
+    volume = 0.0
+    for i, point in enumerate(points):
+        lower = points[i + 1][0] if i + 1 < len(points) else 0.0
+        depth = point[0] - lower
+        if depth <= 0.0:
+            continue
+        volume += depth * _hv([q[1:] for q in points[: i + 1]])
+    return volume
+
+
+def hypervolume(points: list, objectives, reference: dict | None = None) -> float:
+    """Dominated hypervolume of ``points`` w.r.t. ``reference``.
+
+    ``reference`` defaults to :func:`default_reference` over the same
+    points; pass an explicit one when tracking trends across runs (the
+    scalar is only comparable under a fixed reference).
+    """
+    if not points:
+        return 0.0
+    if reference is None:
+        reference = default_reference(points, objectives)
+    return _hv([_gains(p, reference, objectives) for p in points])

@@ -1,0 +1,438 @@
+"""Declarative search spaces over :class:`~repro.config.SystemConfig`.
+
+A :class:`SearchSpace` is an ordered tuple of named dimensions.  Each
+dimension name is either
+
+* a dotted path into :class:`~repro.config.SystemConfig`
+  (``rnuca_cluster_size``, ``criticality.threshold_percent``,
+  ``l3_replacement``, ``l3_way_limit``, ``noc.hop_cycles``,
+  ``reram.write_penalty_cycles``, ...),
+* one of the special keys: ``scheme`` (the NUCA mapping policy),
+  ``num_banks`` (rebuilds the machine via
+  :func:`~repro.config.scaled_config`, which also resizes the mesh), or
+  ``fault.<field>`` (builds the run's
+  :class:`~repro.config.FaultConfig`).
+
+A *point* is a plain ``{name: value}`` dict; :func:`SearchSpace.encode`
+turns it into an :class:`EncodedPoint` carrying the fully validated
+``SystemConfig`` — invalid corners (a sampler will generate them) die
+right here with :class:`~repro.common.errors.ConfigError` naming the
+offending field, never mid-simulation in a worker.  Encoding is
+deterministic and the point's identity (:func:`point_id_of`) is a
+content hash of its canonical JSON, so the same point is the same cache
+entry everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import ConfigError, ReproError
+from repro.config import FaultConfig, SystemConfig, baseline_config, scaled_config
+from repro.jobs.scheduler import SweepJob
+from repro.jobs.spec import JobSpec
+from repro.nuca import POLICY_NAMES
+from repro.trace.workloads import make_workloads
+
+#: Space-file layout version.
+SPACE_FORMAT_VERSION = 1
+
+#: Scheme names a ``scheme`` dimension may take (D-NUCA is a valid
+#: policy too, but it always runs on the reference replay path — see
+#: ``kernel_supported`` — so it is opt-in, not part of the default set).
+SCHEME_CHOICES = POLICY_NAMES + ("D-NUCA",)
+
+#: Fault fields a ``fault.<field>`` dimension may set.
+_FAULT_FIELDS = ("age_fraction", "transient_rate", "remap_penalty_cycles")
+
+
+# -- dimensions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntDimension:
+    """Integer range ``[lo, hi]`` inclusive, stepped by ``step``."""
+
+    name: str
+    lo: int
+    hi: int
+    step: int = 1
+
+    kind = "int"
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ReproError(f"dimension {self.name!r}: lo > hi")
+        if self.step <= 0:
+            raise ReproError(f"dimension {self.name!r}: step must be positive")
+
+    def grid(self) -> list:
+        """All values, in order."""
+        return list(range(self.lo, self.hi + 1, self.step))
+
+    def from_unit(self, u: float) -> int:
+        """Map ``u`` in [0, 1) onto the grid."""
+        values = self.grid()
+        return values[min(len(values) - 1, int(u * len(values)))]
+
+    def to_dict(self) -> dict:
+        return {"kind": "int", "name": self.name, "lo": self.lo,
+                "hi": self.hi, "step": self.step}
+
+
+@dataclass(frozen=True)
+class FloatDimension:
+    """Float range ``[lo, hi]``; ``log=True`` samples geometrically.
+
+    ``steps`` is the grid resolution used by the grid sampler (endpoints
+    included); continuous samplers ignore it.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    steps: int = 5
+    log: bool = False
+
+    kind = "float"
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ReproError(f"dimension {self.name!r}: lo > hi")
+        if self.steps < 2:
+            raise ReproError(f"dimension {self.name!r}: need >= 2 grid steps")
+        if self.log and self.lo <= 0:
+            raise ReproError(
+                f"dimension {self.name!r}: log scale needs lo > 0"
+            )
+
+    def grid(self) -> list:
+        if self.hi == self.lo:
+            return [self.lo]
+        out = []
+        for i in range(self.steps):
+            out.append(self.from_unit(i / (self.steps - 1)))
+        return out
+
+    def from_unit(self, u: float) -> float:
+        """Map ``u`` in [0, 1] onto the range (geometric when ``log``)."""
+        u = min(1.0, max(0.0, u))
+        if self.log:
+            return float(self.lo * math.exp(u * math.log(self.hi / self.lo)))
+        return float(self.lo + u * (self.hi - self.lo))
+
+    def to_dict(self) -> dict:
+        return {"kind": "float", "name": self.name, "lo": self.lo,
+                "hi": self.hi, "steps": self.steps, "log": self.log}
+
+
+@dataclass(frozen=True)
+class ChoiceDimension:
+    """Explicit value list (strings, ints, or ``None``)."""
+
+    name: str
+    choices: tuple
+
+    kind = "choice"
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ReproError(f"dimension {self.name!r}: empty choice list")
+        object.__setattr__(self, "choices", tuple(self.choices))
+
+    def grid(self) -> list:
+        return list(self.choices)
+
+    def from_unit(self, u: float) -> object:
+        return self.choices[min(len(self.choices) - 1,
+                                int(u * len(self.choices)))]
+
+    def to_dict(self) -> dict:
+        return {"kind": "choice", "name": self.name,
+                "choices": list(self.choices)}
+
+
+_DIMENSION_KINDS = {
+    "int": IntDimension,
+    "float": FloatDimension,
+    "choice": ChoiceDimension,
+}
+
+
+def _dimension_from_dict(data: dict) -> object:
+    try:
+        kind = data["kind"]
+        cls = _DIMENSION_KINDS[kind]
+    except KeyError as exc:
+        raise ReproError(f"malformed dimension payload: {data!r}") from exc
+    fields = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {k: v for k, v in data.items() if k in fields}
+    if cls is ChoiceDimension and "choices" in kwargs:
+        kwargs["choices"] = tuple(kwargs["choices"])
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ReproError(f"malformed dimension payload: {exc}") from exc
+
+
+# -- points -------------------------------------------------------------------
+
+
+def point_id_of(values: dict) -> str:
+    """Stable content id of one point (12 hex chars of SHA-256)."""
+    canonical = json.dumps(values, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class EncodedPoint:
+    """One validated search point: values plus the machine they describe."""
+
+    point_id: str
+    values: dict
+    config: SystemConfig
+    scheme: str
+    fault: FaultConfig | None = None
+
+    def label(self) -> str:
+        """Short human-readable point name."""
+        return f"{self.point_id}/{self.scheme}"
+
+
+def _with_field(obj, path: str, parts: list[str], value):
+    name = parts[0]
+    if not any(f.name == name for f in dataclasses.fields(obj)):
+        raise ConfigError(
+            f"{path}: no such config field "
+            f"(at {type(obj).__name__}.{name})"
+        )
+    if len(parts) == 1:
+        return dataclasses.replace(obj, **{name: value})
+    sub = getattr(obj, name)
+    if not dataclasses.is_dataclass(sub):
+        raise ConfigError(f"{path}: {name} is not a config section")
+    return dataclasses.replace(
+        obj, **{name: _with_field(sub, path, parts[1:], value)}
+    )
+
+
+# -- the space ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """An ordered, named set of dimensions (see the module docstring)."""
+
+    dimensions: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimensions", tuple(self.dimensions))
+        if not self.dimensions:
+            raise ReproError("search space has no dimensions")
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate dimension names: {names}")
+        for dim in self.dimensions:
+            if dim.name == "scheme":
+                bad = [c for c in dim.grid() if c not in SCHEME_CHOICES]
+                if bad:
+                    raise ReproError(
+                        f"scheme dimension has unknown schemes {bad}; "
+                        f"known: {SCHEME_CHOICES}"
+                    )
+            elif dim.name.startswith("fault."):
+                field = dim.name.split(".", 1)[1]
+                if field not in _FAULT_FIELDS:
+                    raise ReproError(
+                        f"dimension {dim.name!r}: fault field must be one "
+                        f"of {_FAULT_FIELDS}"
+                    )
+
+    @property
+    def names(self) -> tuple:
+        """Dimension names in declaration order."""
+        return tuple(d.name for d in self.dimensions)
+
+    def cardinality(self) -> int:
+        """Full-factorial grid size."""
+        n = 1
+        for dim in self.dimensions:
+            n *= len(dim.grid())
+        return n
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(
+        self,
+        values: dict,
+        *,
+        base: SystemConfig | None = None,
+        default_scheme: str = "Re-NUCA",
+    ) -> EncodedPoint:
+        """Validate a point and build its machine configuration.
+
+        Raises:
+            ConfigError: the point describes an invalid machine (the
+                message names the offending field).
+            ReproError: the point does not match this space's dimensions.
+        """
+        if set(values) != set(self.names):
+            raise ReproError(
+                f"point keys {sorted(values)} do not match space "
+                f"dimensions {sorted(self.names)}"
+            )
+        config = base if base is not None else baseline_config()
+        scheme = default_scheme
+        fault_kwargs: dict = {}
+        # num_banks first: it rebuilds the mesh every other field
+        # validates against.
+        if "num_banks" in values:
+            config = scaled_config(config, cores=int(values["num_banks"]))
+        for name in self.names:
+            value = values[name]
+            if name == "num_banks":
+                continue
+            if name == "scheme":
+                if value not in SCHEME_CHOICES:
+                    raise ConfigError(f"scheme: unknown scheme {value!r}")
+                scheme = str(value)
+            elif name.startswith("fault."):
+                fault_kwargs[name.split(".", 1)[1]] = value
+            else:
+                config = _with_field(config, name, name.split("."), value)
+        fault = FaultConfig(**fault_kwargs) if fault_kwargs else None
+        if fault is not None and not fault.active:
+            fault = None
+        return EncodedPoint(
+            point_id=point_id_of(values),
+            values=dict(values),
+            config=config,
+            scheme=scheme,
+            fault=fault,
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SPACE_FORMAT_VERSION,
+            "dimensions": [d.to_dict() for d in self.dimensions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchSpace":
+        if (
+            not isinstance(data, dict)
+            or data.get("format_version") != SPACE_FORMAT_VERSION
+        ):
+            raise ReproError(
+                f"unsupported search-space format "
+                f"{data.get('format_version') if isinstance(data, dict) else data!r} "
+                f"(expected {SPACE_FORMAT_VERSION})"
+            )
+        dims = data.get("dimensions")
+        if not isinstance(dims, list) or not dims:
+            raise ReproError("search-space payload has no dimensions")
+        return cls(tuple(_dimension_from_dict(d) for d in dims))
+
+
+def load_space(path: str | Path) -> SearchSpace:
+    """Read a space JSON file (see :meth:`SearchSpace.to_dict`)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read search space {path}: {exc}") from exc
+    return SearchSpace.from_dict(payload)
+
+
+#: Built-in spaces, usable as ``repro search --space <preset>``.
+_PRESETS = {
+    # The headline NUCA trade-off space: scheme x cluster x criticality
+    # threshold x replacement policy x way throttling.  Corners pairing
+    # a way limit with a non-LRU policy are invalid by design (they
+    # demonstrate spec-build-time validation).
+    "nuca": lambda: SearchSpace((
+        ChoiceDimension("scheme", POLICY_NAMES),
+        ChoiceDimension("rnuca_cluster_size", (2, 4)),
+        FloatDimension("criticality.threshold_percent", 1.0, 10.0, steps=4),
+        ChoiceDimension("l3_replacement", ("lru", "srrip", "clean-first")),
+        ChoiceDimension("l3_way_limit", (None, 8)),
+    )),
+    # A small scheme-only space for smoke tests and CI.
+    "schemes": lambda: SearchSpace((
+        ChoiceDimension("scheme", POLICY_NAMES),
+        FloatDimension("criticality.threshold_percent", 1.0, 6.0, steps=3),
+    )),
+}
+
+
+def preset_space(name: str) -> SearchSpace:
+    """Resolve a named built-in space.
+
+    Raises:
+        ReproError: for an unknown preset name.
+    """
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown search-space preset {name!r}; "
+            f"known: {tuple(sorted(_PRESETS))}"
+        ) from None
+    return factory()
+
+
+# -- point -> jobs ------------------------------------------------------------
+
+_WORKLOAD_CACHE: dict = {}
+
+
+def workloads_for(num_cores: int, seed: int | None, count: int):
+    """Deterministic workload list for one machine size (memoized)."""
+    key = (num_cores, seed, count)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = make_workloads(
+            num_cores=num_cores, seed=seed, count=count
+        )
+    return _WORKLOAD_CACHE[key]
+
+
+def jobs_for_point(
+    point: EncodedPoint,
+    workload_numbers: tuple,
+    *,
+    seed: int | None,
+    n_instructions: int,
+) -> list[SweepJob]:
+    """The :func:`~repro.jobs.scheduler.run_jobs` batch of one point.
+
+    One job per workload number; each spec carries the point's own
+    (full-signature) configuration, so caching, journal resume and
+    quarantine apply per (point, workload, budget) with no extra
+    machinery.
+    """
+    if not workload_numbers:
+        raise ReproError("a point needs at least one workload")
+    count = max(workload_numbers)
+    workloads = workloads_for(point.config.num_cores, seed, count)
+    jobs = []
+    for number in workload_numbers:
+        if not (1 <= number <= len(workloads)):
+            raise ReproError(
+                f"workload number {number} out of range 1..{len(workloads)}"
+            )
+        workload = workloads[number - 1]
+        jobs.append(SweepJob(
+            spec=JobSpec.for_run(
+                workload, point.scheme, point.config,
+                seed=seed, n_instructions=n_instructions,
+                fault_config=point.fault,
+            ),
+            config=point.config,
+        ))
+    return jobs

@@ -42,6 +42,11 @@ class WorkloadSchemeResult:
     llc_fetches: int = 0
     llc_writebacks: int = 0
     noc_total_hops: int = 0
+    #: Total LLC energy (mJ) over the measured phase, from
+    #: :func:`repro.reram.energy.energy_of_result` (ReRAM coefficients):
+    #: leakage + bank reads/writes + NoC hop traversal.  A headline
+    #: metric so sweeps and the design-space search can minimise it.
+    energy_mj: float = 0.0
     # -- degradation metrics (fault-injection runs; defaults = pristine) --
     #: Fraction of nominal cell endurance consumed by the average bank.
     age_fraction: float = 0.0

@@ -35,6 +35,7 @@ from repro.nuca.kernel import kernel_supported
 from repro.nuca.kernel import replay as kernel_replay
 from repro.obs.spans import DISABLED_SPANS
 from repro.reram.endurance import lifetimes_for_banks
+from repro.reram.energy import energy_of_result
 from repro.reram.wear import WearTracker
 from repro.sim.calibrate import calibrated_base_cpi, config_signature
 from repro.sim.metrics import MatrixResult, WorkloadSchemeResult
@@ -577,6 +578,7 @@ def run_workload(
         transient_faults=llc.stats.transient_faults,
         intervals=intervals,
     )
+    result.energy_mj = energy_of_result(result, config).total_mj
 
     if ledger is not None:
         from repro.jobs.spec import JobSpec

@@ -68,6 +68,7 @@ def result_to_dict(result: WorkloadSchemeResult) -> dict:
         "llc_fetches": result.llc_fetches,
         "llc_writebacks": result.llc_writebacks,
         "noc_total_hops": result.noc_total_hops,
+        "energy_mj": result.energy_mj,
         "age_fraction": result.age_fraction,
         "effective_capacity": result.effective_capacity,
         "dead_banks": result.dead_banks,
@@ -105,6 +106,7 @@ def result_from_dict(data: dict) -> WorkloadSchemeResult:
         llc_fetches=data.get("llc_fetches", 0),
         llc_writebacks=data.get("llc_writebacks", 0),
         noc_total_hops=data.get("noc_total_hops", 0),
+        energy_mj=data.get("energy_mj", 0.0),
         age_fraction=data.get("age_fraction", 0.0),
         effective_capacity=data.get("effective_capacity", 1.0),
         dead_banks=data.get("dead_banks", 0),

@@ -2,12 +2,17 @@
 
 import pytest
 
-from repro.common.errors import ConfigError, SimulationError
+from repro.common.errors import ConfigError, ReproError, SimulationError
+from repro.config import baseline_config, scaled_config
 from repro.mem.model import MainMemory
 from repro.noc.mesh import Mesh
 from repro.nuca import NucaLLC, make_policy
 from repro.nuca.dnuca import DNucaPolicy
+from repro.nuca.kernel import kernel_supported
 from repro.reram.wear import WearTracker
+from repro.sim.runner import Stage1Cache, run_workload
+from repro.sim.store import result_to_dict
+from repro.trace.workloads import make_workloads
 
 
 @pytest.fixture
@@ -92,3 +97,44 @@ class TestLlcIntegration:
             return llc.wear.total_writes()
 
         assert total_wear("D-NUCA") > total_wear("R-NUCA")
+
+
+class TestKernelGate:
+    """The replay-kernel gate must route D-NUCA to the reference path.
+
+    Migration rewrites line→bank residency mid-replay, which the
+    vectorized kernel cannot reproduce; a silent kernel engagement here
+    would produce wrong wear numbers, so the gate decision itself is
+    pinned by these tests.
+    """
+
+    def test_kernel_unsupported_for_dnuca(self, llc):
+        assert kernel_supported(llc) is False
+
+    def test_kernel_supported_for_paper_schemes(self, config):
+        for scheme in ("S-NUCA", "R-NUCA", "Re-NUCA", "Private", "Naive"):
+            mesh = Mesh(config.noc)
+            wear = WearTracker(config.num_banks)
+            policy = make_policy(scheme, config, mesh, wear)
+            plain = NucaLLC(config, policy, mesh, MainMemory(config.memory),
+                            wear)
+            assert kernel_supported(plain), scheme
+
+    def test_forcing_kernel_on_dnuca_raises(self):
+        config = scaled_config(baseline_config(), cores=4)
+        workload = make_workloads(num_cores=4, seed=7)[0]
+        with pytest.raises(ReproError, match="kernel"):
+            run_workload(workload, "D-NUCA", config, seed=7,
+                         n_instructions=2000, use_kernel=True)
+
+    def test_dnuca_auto_matches_reference_path(self):
+        """Auto kernel selection must equal the pinned reference replay."""
+        config = scaled_config(baseline_config(), cores=4)
+        workload = make_workloads(num_cores=4, seed=7)[0]
+        stage1 = Stage1Cache()
+        auto = run_workload(workload, "D-NUCA", config, seed=7,
+                            n_instructions=4000, stage1=stage1)
+        pinned = run_workload(workload, "D-NUCA", config, seed=7,
+                              n_instructions=4000, stage1=stage1,
+                              use_kernel=False)
+        assert result_to_dict(auto) == result_to_dict(pinned)

@@ -77,6 +77,7 @@ def results(draw, workload="WL1", scheme="S-NUCA"):
         llc_fetches=draw(count),
         llc_writebacks=draw(count),
         noc_total_hops=draw(count),
+        energy_mj=draw(finite),
         age_fraction=draw(rate),
         effective_capacity=draw(rate),
         dead_banks=draw(st.integers(min_value=0, max_value=16)),
@@ -104,7 +105,8 @@ class TestResultRoundTrip:
             "workload", "scheme", "apps", "elapsed_cycles",
             "llc_fetch_hit_rate", "llc_mean_fetch_latency", "noc_mean_hops",
             "critical_fill_fraction", "llc_fetches", "llc_writebacks",
-            "noc_total_hops", "age_fraction", "effective_capacity",
+            "noc_total_hops", "energy_mj", "age_fraction",
+            "effective_capacity",
             "dead_banks", "remap_traffic", "fills_skipped",
             "transient_faults",
         ):
