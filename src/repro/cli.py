@@ -29,6 +29,12 @@ Commands:
   as one self-contained HTML file: inline SVG/CSS, no external refs.
 * ``bench-record`` — append a timing/IPC point to a machine-readable
   ``BENCH_*.json`` trajectory.
+* ``history``  — longitudinal history layer: index run ledgers,
+  ``BENCH_*.json`` trajectories and saved search outcomes into one
+  provenance-keyed store; ``--html`` renders frontier-evolution
+  overlays and per-scheme metric sparklines; ``history check`` gates
+  metric trajectories over a sliding window and exits 1 on sustained
+  drift (see docs/OBSERVABILITY.md).
 
 Every simulation command takes ``--instructions`` and ``--seed``;
 results are printed as the same text tables the benchmark harness
@@ -48,8 +54,8 @@ User-facing failures (unknown application, malformed trace file,
 inconsistent configuration — anything deriving from
 :class:`~repro.common.errors.ReproError`) print a one-line
 ``error: ...`` to stderr and exit with status 2; tracebacks are reserved
-for actual bugs.  ``diff`` reserves exit status 1 for tolerance
-violations, keeping it distinct from usage errors.  ``sweep
+for actual bugs.  ``diff`` and ``history check`` reserve exit status 1
+for tolerance violations, keeping it distinct from usage errors.  ``sweep
 --keep-going`` reserves exit status 3 for a sweep that completed with
 quarantined FAILED cells, and an interrupted, gracefully drained sweep
 exits 130 with a resume hint.
@@ -835,6 +841,88 @@ def _cmd_bench_record(args) -> int:
     return 0
 
 
+def _cmd_history(args) -> int:
+    from repro.obs.diff import load_rules
+    from repro.obs.history import RunIndex
+    from repro.obs.trajectory import (
+        gate_trajectories,
+        metric_trajectories,
+        render_trajectory_findings,
+    )
+
+    if args.ledger or args.bench or args.search:
+        from pathlib import Path
+
+        index = RunIndex()
+        # An explicitly named artefact must exist: the loaders tolerate
+        # missing files (append-first contract), but a typo'd --bench
+        # silently gating nothing would defeat the check.
+        for flag, paths, add in (
+            ("--ledger", args.ledger, index.add_ledger),
+            ("--bench", args.bench, index.add_bench),
+            ("--search", args.search, index.add_search),
+        ):
+            for path in paths or ():
+                if not Path(path).is_file():
+                    raise ReproError(f"{flag} {path}: no such file")
+                add(path)
+    else:
+        index = RunIndex.scan(args.dir)
+    for warning in index.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    rules = load_rules(args.tolerances) if args.tolerances else None
+
+    if args.html:
+        from repro.obs.html_report import render_history_report
+        from repro.sim.store import atomic_write_text
+
+        atomic_write_text(args.html, render_history_report(
+            index, last=args.last, rules=rules,
+            window=args.window, sustain=args.sustain,
+        ))
+        print(f"wrote history report ({len(index.records)} runs, "
+              f"{len(index.bench_points)} bench points, "
+              f"{len(index.searches)} searches) to {args.html}")
+
+    series = metric_trajectories(index)
+    if args.action == "check":
+        findings = gate_trajectories(
+            series, rules, window=args.window, sustain=args.sustain,
+        )
+        print(render_trajectory_findings(findings, series))
+        return 1 if findings else 0
+
+    commits = index.commits()
+    print(f"{len(index.records)} ledger runs, "
+          f"{len(index.bench_points)} bench points, "
+          f"{len(index.searches)} search outcomes "
+          f"across {len(commits)} commit(s) "
+          f"({len(index.sources)} files indexed)")
+    searches = index.searches_by_age()
+    if searches:
+        print("\nsearch outcomes (oldest first):")
+        print(format_table(
+            ["commit", "driver", "frontier", "hypervolume", "file"],
+            [
+                ((s.git_sha or "untracked")[:10], s.outcome.driver,
+                 len(s.outcome.frontier), f"{s.outcome.hypervolume:.6g}",
+                 s.path)
+                for s in searches
+            ],
+        ))
+    if series:
+        print("\ntrajectory series:")
+        print(format_table(
+            ["source", "scheme", "metric", "samples", "first", "last"],
+            [
+                (source, scheme, metric, len(points),
+                 f"{points[0].value:.4f}", f"{points[-1].value:.4f}")
+                for (source, scheme, metric), points in sorted(series.items())
+            ],
+        ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1088,6 +1176,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--label", default="",
                          help="point label (default: the matrix label)")
 
+    p_history = sub.add_parser(
+        "history",
+        help="longitudinal history: cross-run index, frontier-evolution "
+             "overlays and sliding-window trajectory gating",
+    )
+    p_history.add_argument("action", nargs="?", default="show",
+                           choices=["show", "check"],
+                           help="'show' prints the index summary; 'check' "
+                                "gates metric trajectories and exits 1 on "
+                                "sustained drift (default show)")
+    p_history.add_argument("--dir", default=".", metavar="DIR",
+                           help="directory tree to scan for ledgers, "
+                                "BENCH_*.json files and search outcomes "
+                                "(default: . ; ignored when explicit "
+                                "--ledger/--bench/--search are given)")
+    p_history.add_argument("--ledger", metavar="FILE", action="append",
+                           default=None,
+                           help="run-ledger JSONL to index (repeatable)")
+    p_history.add_argument("--bench", metavar="FILE", action="append",
+                           default=None,
+                           help="BENCH_*.json trajectory to index "
+                                "(repeatable)")
+    p_history.add_argument("--search", metavar="FILE", action="append",
+                           default=None,
+                           help="search outcome JSON to index (repeatable)")
+    p_history.add_argument("--html", metavar="FILE", default=None,
+                           help="write the self-contained timeline report "
+                                "(frontier overlays, sparklines, run index)")
+    p_history.add_argument("--last", type=int, default=5, metavar="K",
+                           help="search frontiers overlaid in the report "
+                                "(default 5)")
+    p_history.add_argument("--tolerances", metavar="FILE", default=None,
+                           help="tolerance-rule JSON for the gate (default: "
+                                "built-in rules; see "
+                                "baselines/tolerances.json)")
+    p_history.add_argument("--window", type=int, default=3, metavar="N",
+                           help="sliding window: samples in the "
+                                "rolling-median baseline (default 3)")
+    p_history.add_argument("--sustain", type=int, default=1, metavar="N",
+                           help="consecutive out-of-tolerance samples "
+                                "required before a finding fires "
+                                "(default 1)")
+
     return parser
 
 
@@ -1104,6 +1235,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "report": _cmd_report,
     "bench-record": _cmd_bench_record,
+    "history": _cmd_history,
     "top": _cmd_top,
 }
 

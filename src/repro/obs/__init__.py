@@ -20,14 +20,24 @@ notices when it changes:
   ``repro sweep --serve`` (``/status`` JSON, ``/metrics`` Prometheus);
 * :mod:`repro.obs.chrome_trace` — the Chrome ``trace_event`` /
   Perfetto exporter behind ``repro trace export``;
-* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard.
+* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard;
+* :mod:`repro.obs.history` — the cross-run :class:`RunIndex` joining
+  ledgers, bench trajectories and search outcomes by provenance
+  (``repro history``);
+* :mod:`repro.obs.trajectory` — per-scheme metric trajectories over
+  commits and the sliding-window drift gate (``repro history check``).
 
 See ``docs/OBSERVABILITY.md`` for the schemas and the CLI surface.
 """
 
 from __future__ import annotations
 
-from repro.obs.bench import append_bench_point, load_bench_trajectory
+from repro.obs.bench import (
+    append_bench_point,
+    load_bench,
+    load_bench_trajectory,
+    validate_bench_point,
+)
 from repro.obs.chrome_trace import (
     chrome_trace,
     export_chrome_trace,
@@ -42,7 +52,8 @@ from repro.obs.diff import (
     load_rules,
     render_findings,
 )
-from repro.obs.html_report import render_html_report
+from repro.obs.history import IndexedSearch, RunIndex
+from repro.obs.html_report import render_history_report, render_html_report
 from repro.obs.ledger import (
     LEDGER_FORMAT_VERSION,
     RunLedger,
@@ -63,14 +74,23 @@ from repro.obs.spans import (
     phase_wall_table,
 )
 from repro.obs.top import render_dashboard, run_top, status_from_files
+from repro.obs.trajectory import (
+    TrajectoryFinding,
+    TrajectoryPoint,
+    gate_trajectories,
+    metric_trajectories,
+    render_trajectory_findings,
+)
 
 __all__ = [
     "DEFAULT_RULES",
     "DISABLED_SPANS",
     "DiffFinding",
+    "IndexedSearch",
     "LEDGER_FORMAT_VERSION",
     "MonitorServer",
     "MonitorState",
+    "RunIndex",
     "RunLedger",
     "RunRecord",
     "SPAN_SCHEMA_VERSION",
@@ -79,24 +99,32 @@ __all__ = [
     "SpanWriter",
     "SweepProgress",
     "ToleranceRule",
+    "TrajectoryFinding",
+    "TrajectoryPoint",
     "append_bench_point",
     "canonical_span_set",
     "chrome_trace",
     "current_git_sha",
     "diff_metric_maps",
     "export_chrome_trace",
+    "gate_trajectories",
+    "load_bench",
     "load_bench_trajectory",
     "load_comparable",
     "load_rules",
     "load_spans",
+    "metric_trajectories",
     "new_run_id",
     "phase_wall_table",
     "render_dashboard",
     "render_findings",
+    "render_history_report",
     "render_html_report",
     "render_prometheus",
+    "render_trajectory_findings",
     "run_top",
     "status_from_files",
     "tee_observers",
+    "validate_bench_point",
     "validate_chrome_trace",
 ]

@@ -55,6 +55,78 @@ def load_bench_trajectory(path: str | Path) -> list[dict]:
     return payload["points"]
 
 
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_bench_point(point) -> str | None:
+    """Why ``point`` is unusable, or ``None`` when it validates.
+
+    Every flavour shares the provenance envelope (numeric ``timestamp``,
+    ``git_sha`` that is a string or ``None`` for runs outside a git
+    checkout); the flavour-specific payload is checked on top: matrix
+    points need per-scheme numeric ``mean_ipc``/``raw_min_lifetime``,
+    search points need ``frontier_size``/``hypervolume``, throughput
+    points need ``count`` and positive ``seconds``.
+    """
+    if not isinstance(point, dict):
+        return "point is not an object"
+    if not _is_number(point.get("timestamp")):
+        return "missing or non-numeric timestamp"
+    sha = point.get("git_sha")
+    if sha is not None and (not isinstance(sha, str) or not sha):
+        return "git_sha must be a non-empty string or null"
+    bench = point.get("bench")
+    if "schemes" in point:
+        schemes = point["schemes"]
+        if not isinstance(schemes, dict) or not schemes:
+            return "matrix point needs a non-empty schemes object"
+        for name, stats in schemes.items():
+            if not isinstance(stats, dict):
+                return f"scheme {name!r} stats are not an object"
+            for key in ("mean_ipc", "raw_min_lifetime"):
+                if not _is_number(stats.get(key)):
+                    return f"scheme {name!r} missing numeric {key}"
+        return None
+    if bench == "search":
+        if not isinstance(point.get("frontier_size"), int):
+            return "search point missing integer frontier_size"
+        if not _is_number(point.get("hypervolume")):
+            return "search point missing numeric hypervolume"
+        return None
+    if bench is not None:
+        if not isinstance(point.get("count"), int):
+            return "throughput point missing integer count"
+        if not _is_number(point.get("seconds")) or point["seconds"] <= 0:
+            return "throughput point missing positive seconds"
+        return None
+    return "unrecognised point flavour (no schemes and no bench key)"
+
+
+def load_bench(path: str | Path) -> tuple[list[dict], list[str]]:
+    """Validated points of one trajectory file, plus skip reasons.
+
+    The tolerant counterpart of :func:`load_bench_trajectory`: the file
+    envelope is still checked strictly (an unreadable file or a wrong
+    ``format_version`` raises, a missing file is empty), but individual
+    points that fail :func:`validate_bench_point` — torn writes patched
+    by hand, points from abandoned formats — are skipped rather than
+    poisoning the whole history.  Each skip yields one human-readable
+    reason; callers surface them as warnings.
+    """
+    path = Path(path)
+    points = load_bench_trajectory(path)
+    good: list[dict] = []
+    skipped: list[str] = []
+    for i, point in enumerate(points):
+        reason = validate_bench_point(point)
+        if reason is None:
+            good.append(point)
+        else:
+            skipped.append(f"{path}: point {i}: {reason}")
+    return good, skipped
+
+
 def bench_point(
     matrix: MatrixResult,
     *,

@@ -102,6 +102,10 @@ DEFAULT_RULES: dict[str, ToleranceRule] = {
                       direction="increase"),
         ToleranceRule("wall_time_s", rel_tol=0.75, abs_tol=2.0,
                       direction="increase"),
+        # Gated by the history layer (repro history check), not by
+        # repro diff: search quality must not silently shrink.
+        ToleranceRule("hypervolume", rel_tol=0.05, abs_tol=0.001,
+                      direction="decrease"),
     )
 }
 

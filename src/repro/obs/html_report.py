@@ -235,7 +235,7 @@ def _timeline(
 
 
 def _scatter_chart(
-    points: Sequence[tuple[float, float, str, str]],
+    points: Sequence[tuple],
     *,
     label: str,
     x_label: str,
@@ -244,7 +244,11 @@ def _scatter_chart(
     """Scatter of (x, y, css class, tooltip) points with padded axes.
 
     Classes: ``pt-front`` (frontier, full color), ``pt-dim`` (dominated,
-    faded), ``pt-ref`` (reference marker, ringed and labelled).
+    faded), ``pt-ref`` (reference marker, ringed and labelled); overlay
+    charts use the sequential ``h0``–``h7`` ramp instead.  A point may
+    carry an optional fifth element — an internal ``#fragment`` href —
+    and renders as a clickable marker (the history report's per-point
+    ledger drill-down).
     """
     if not points:
         return '<p class="note">(no data)</p>'
@@ -281,12 +285,17 @@ def _scatter_chart(
         )
     # Dominated points first so the frontier and reference draw on top.
     ordered = sorted(points, key=lambda p: ("pt-dim" not in p[2], "pt-ref" in p[2]))
-    for x, y, cls, name in ordered:
+    for point in ordered:
+        x, y, cls, name = point[0], point[1], point[2], point[3]
+        href = point[4] if len(point) > 4 else None
         r = 6 if "pt-ref" in cls else 4
-        parts.append(
+        circle = (
             f'<circle class="{_esc(cls)}" cx="{sx(x):.1f}" cy="{sy(y):.1f}" '
             f'r="{r}"><title>{_esc(name)}</title></circle>'
         )
+        if href:
+            circle = f'<a href="{_esc(href)}">{circle}</a>'
+        parts.append(circle)
         if "pt-ref" in cls:
             parts.append(
                 f'<text class="lbl" x="{sx(x) + 9:.1f}" y="{sy(y) - 7:.1f}">'
@@ -296,6 +305,55 @@ def _scatter_chart(
         f'<text class="lbl" x="{left + plot_w}" y="{height - 6}" '
         f'text-anchor="end">{_esc(x_label)} &#8594;</text>'
         f'<text class="lbl" x="{left}" y="{top - 4}">{_esc(y_label)} &#8593;</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _sparkline(
+    values: Sequence[float],
+    *,
+    label: str,
+    digits: int = 3,
+    width: int = 170,
+    height: int = 34,
+) -> str:
+    """Tiny inline trend line with the latest value spelled out.
+
+    Sparklines trade axes for density, so the numeric endpoints ride
+    along: the last value is printed and the full range lives in the
+    tooltip — the chart is never color- or shape-alone.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return '<p class="note">(no samples)</p>'
+    pad, right = 4, 56
+    plot_w, plot_h = width - pad - right, height - 2 * pad
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    tooltip = (
+        f"{label}: {len(values)} samples, "
+        f"min {lo:.{digits}g}, max {hi:.{digits}g}"
+    )
+    parts = [_svg_open(width, height, label)]
+    coords = []
+    for i, value in enumerate(values):
+        x = pad + (i / max(1, len(values) - 1)) * plot_w
+        y = pad + plot_h * (1 - (value - lo) / span)
+        coords.append(f"{x:.1f},{y:.1f}")
+    if len(coords) > 1:
+        parts.append(
+            f'<polyline class="l0" points="{" ".join(coords)}">'
+            f"<title>{_esc(tooltip)}</title></polyline>"
+        )
+    end_x, end_y = coords[-1].split(",")
+    parts.append(
+        f'<circle class="s0" cx="{end_x}" cy="{end_y}" r="2.5">'
+        f"<title>{_esc(tooltip)}</title></circle>"
+    )
+    parts.append(
+        f'<text class="val" x="{width - pad}" y="{float(end_y) + 4:.1f}" '
+        f'text-anchor="end">{values[-1]:.{digits}g}</text>'
     )
     parts.append("</svg>")
     return "".join(parts)
@@ -377,6 +435,8 @@ svg polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
 svg .pt-front { fill: #2a78d6; }
 svg .pt-dim { fill: var(--muted); opacity: 0.4; }
 svg .pt-ref { fill: #eb6834; stroke: var(--ink); stroke-width: 1.5; }
+svg a circle { stroke: var(--ink-2); stroke-width: 0.8; cursor: pointer; }
+tr:target { outline: 2px solid #eb6834; }
 details summary { cursor: pointer; color: var(--ink-2); font-size: 13px; }
 """
 
@@ -387,7 +447,9 @@ def _series_css() -> str:
         lines.append(f"svg .s{i}, .swatch.s{i} {{ fill: {light}; background: {light}; }}")
         lines.append(f"svg .l{i} {{ stroke: {light}; }}")
     for i, shade in enumerate(_HEAT_LIGHT):
-        lines.append(f"svg .h{i} {{ fill: {shade}; }}")
+        lines.append(
+            f"svg .h{i}, .swatch.h{i} {{ fill: {shade}; background: {shade}; }}"
+        )
     dark_lines = []
     for i, (light, dark) in enumerate(_SERIES):
         dark_lines.append(
@@ -395,7 +457,9 @@ def _series_css() -> str:
         )
         dark_lines.append(f"svg .l{i} {{ stroke: {dark}; }}")
     for i, shade in enumerate(_HEAT_DARK):
-        dark_lines.append(f"svg .h{i} {{ fill: {shade}; }}")
+        dark_lines.append(
+            f"svg .h{i}, .swatch.h{i} {{ fill: {shade}; background: {shade}; }}"
+        )
     return (
         "\n".join(lines)
         + "\n@media (prefers-color-scheme: dark) {\n"
@@ -671,7 +735,7 @@ def render_html_report(
                 _fmt(record.metrics.get("ipc", 0.0)),
                 _fmt(record.metrics.get("min_lifetime", 0.0)),
                 f"{record.wall_time_s:.2f}s",
-                (record.git_sha or "-")[:10],
+                (record.git_sha or "untracked")[:10],
             ))
         chunks.append(_table(
             ["run", "when (UTC)", "cell", "source", "IPC",
@@ -829,6 +893,314 @@ def render_search_report(
     ))
     chunks.append("</section>")
 
+    body = "\n".join(chunks)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}\n{_series_css()}</style>\n"
+        "</head>\n<body>\n"
+        f"{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
+# -- longitudinal history report ----------------------------------------------
+
+#: Metric-trajectory sparkline tiles rendered at most.
+MAX_TRAJECTORY_TILES = 24
+
+
+def _when(timestamp: float | None) -> str:
+    if not timestamp:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M", time.gmtime(timestamp))
+
+
+def _anchored_ledger_table(records) -> str:
+    """Ledger table whose rows carry ``id="run-<run_id>"`` anchors.
+
+    The anchors are the targets of the frontier-overlay drill-down
+    links, so every row a frontier point resolves to must be in here.
+    """
+    headers = ("run", "when (UTC)", "cell", "source", "IPC",
+               "min life [y]", "wall", "commit", "fingerprint")
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = []
+    for record in records:
+        cells = (
+            record.run_id,
+            _when(record.timestamp),
+            f"{record.workload}/{record.scheme}",
+            record.source,
+            _fmt(record.metrics.get("ipc", 0.0)),
+            _fmt(record.metrics.get("min_lifetime", 0.0)),
+            f"{record.wall_time_s:.2f}s",
+            (record.git_sha or "untracked")[:10],
+            (record.fingerprint or "-")[:12],
+        )
+        body.append(
+            f'<tr id="run-{_esc(record.run_id)}">'
+            + "".join(f"<td>{_esc(c)}</td>" for c in cells)
+            + "</tr>"
+        )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def render_history_report(
+    index,
+    *,
+    last: int = 5,
+    rules=None,
+    window: int = 3,
+    sustain: int = 1,
+    title: str = "Re-NUCA longitudinal history",
+) -> str:
+    """Render a :class:`~repro.obs.history.RunIndex` timeline to HTML.
+
+    Same zero-external-reference contract as :func:`render_html_report`.
+    Sections: provenance tiles, the frontier-evolution overlay (last
+    ``last`` recorded search frontiers on the recency color ramp, every
+    point whose fingerprints resolve through the index hyperlinked to
+    its run-ledger row), hypervolume/frontier-size sparklines,
+    per-scheme metric-trajectory sparklines, the sliding-window
+    trajectory gate (same ``rules``/``window``/``sustain`` semantics as
+    ``repro history check``) and the anchored run-index table.
+    """
+    from repro.obs.trajectory import (
+        gate_trajectories,
+        metric_trajectories,
+        render_trajectory_findings,  # noqa: F401  (re-export convenience)
+    )
+
+    chunks: list[str] = []
+    generated = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime())
+    commits = index.commits()
+    chunks.append(f"<h1>{_esc(title)}</h1>")
+    chunks.append(
+        f'<p class="sub">{len(index.records)} ledger runs &#183; '
+        f"{len(index.bench_points)} bench points &#183; "
+        f"{len(index.searches)} search outcomes &#183; "
+        f"{len(commits)} commits &#183; generated {generated} UTC</p>"
+    )
+    if index.is_empty():
+        chunks.append(
+            '<p class="note">Nothing indexed — point the history layer '
+            "at a directory holding run ledgers, BENCH_*.json files or "
+            "saved search outcomes.</p>"
+        )
+        return _history_document(title, chunks)
+
+    tiles = (
+        ("ledger runs", str(len(index.records)),
+         f"{len(index.sources)} files indexed"),
+        ("bench points", str(len(index.bench_points)),
+         "matrix / throughput / search flavours"),
+        ("search outcomes", str(len(index.searches)),
+         f"overlaying the last {min(last, len(index.searches))}"),
+        ("commits", str(len(commits)),
+         "untracked runs count as one" if None in commits
+         else "all runs tracked"),
+    )
+    chunks.append('<div class="tiles">' + "".join(
+        f'<div class="tile"><div class="k">{_esc(k)}</div>'
+        f'<div class="v">{_esc(v)}</div>'
+        f'<div class="d">{_esc(d)}</div></div>'
+        for k, v, d in tiles
+    ) + "</div>")
+
+    # Frontier evolution: the last K search frontiers, oldest lightest.
+    chunks.append('<section class="card"><h2>Frontier evolution</h2>')
+    searches = index.searches_by_age()
+    shown = searches[-last:] if last > 0 else searches
+    linked_ids: set = set()
+    if shown:
+        overlay: list = []
+        resolved = unresolved = 0
+        chips = []
+        for i, search in enumerate(shown):
+            shade = 1 + round(i / (len(shown) - 1) * 6) if len(shown) > 1 \
+                else 7
+            chips.append(
+                f'<span class="chip"><span class="swatch h{shade}"></span>'
+                f"{_esc(search.label)}</span>"
+            )
+            for e in search.outcome.frontier:
+                records = index.linked_records(e)
+                if records:
+                    resolved += 1
+                    linked_ids.update(r.run_id for r in records)
+                    runs = "runs: " + ", ".join(r.run_id for r in records)
+                else:
+                    unresolved += 1
+                    runs = "(no matching ledger record indexed)"
+                tooltip = f"{search.label}\n{_point_tooltip(e)}\n{runs}"
+                overlay.append((
+                    float(e.metrics["ipc"]),
+                    float(e.metrics["lifetime"]),
+                    f"h{shade}",
+                    tooltip,
+                    f"#run-{records[0].run_id}" if records else None,
+                ))
+        chunks.append(f'<div class="legend">{"".join(chips)}</div>')
+        chunks.append(_scatter_chart(
+            overlay,
+            label=f"Pareto frontiers of the last {len(shown)} searches",
+            x_label="mean IPC", y_label="min lifetime [y]",
+        ))
+        chunks.append(
+            f'<p class="note">darker = more recent; {resolved} frontier '
+            f"point(s) hyperlinked to their run-ledger records"
+            + (
+                f', <span class="bad">{unresolved} unresolved</span> '
+                "(pre-linkage journal or ledger not indexed)"
+                if unresolved else ""
+            )
+            + ".</p>"
+        )
+        hv = [s.outcome.hypervolume for s in searches]
+        chunks.append(
+            '<div class="tiles">'
+            '<div class="tile"><div class="k">hypervolume</div>'
+            + _sparkline(hv, label="hypervolume over searches", digits=4)
+            + f'<div class="d">{len(hv)} searches</div></div>'
+            '<div class="tile"><div class="k">frontier size</div>'
+            + _sparkline(
+                [len(s.outcome.frontier) for s in searches],
+                label="frontier size over searches", digits=2,
+            )
+            + f'<div class="d">{len(hv)} searches</div></div></div>'
+        )
+        chunks.append("<details><summary>table view: searches</summary>")
+        chunks.append(_table(
+            ["when (UTC)", "commit", "driver", "points", "frontier",
+             "hypervolume", "file"],
+            [
+                (
+                    _when(s.created_at),
+                    (s.git_sha or "untracked")[:10],
+                    s.outcome.driver,
+                    s.outcome.report.get("points", "-"),
+                    len(s.outcome.frontier),
+                    f"{s.outcome.hypervolume:.4g}",
+                    s.path,
+                )
+                for s in reversed(shown)
+            ],
+        ))
+        chunks.append("</details>")
+    else:
+        chunks.append(
+            '<p class="note">No search outcomes indexed (save one with '
+            "repro search --out, or record BENCH search points).</p>"
+        )
+    chunks.append("</section>")
+
+    # Metric trajectories.
+    chunks.append('<section class="card"><h2>Metric trajectories</h2>')
+    series = metric_trajectories(index)
+    if series:
+        keys = sorted(series)
+        shown_keys = keys[:MAX_TRAJECTORY_TILES]
+        tiles_html = []
+        for key in shown_keys:
+            source, scheme, metric = key
+            points = series[key]
+            shas = {p.git_sha for p in points}
+            tiles_html.append(
+                '<div class="tile">'
+                f'<div class="k">{_esc(scheme)} &#183; {_esc(metric)} '
+                f"({_esc(source)})</div>"
+                + _sparkline(
+                    [p.value for p in points],
+                    label=f"{scheme} {metric} ({source})",
+                )
+                + f'<div class="d">{len(points)} samples &#183; '
+                f"{len(shas)} commit(s)</div></div>"
+            )
+        chunks.append(f'<div class="tiles">{"".join(tiles_html)}</div>')
+        if len(keys) > len(shown_keys):
+            chunks.append(
+                f'<p class="note">showing {len(shown_keys)} of '
+                f"{len(keys)} series.</p>"
+            )
+    else:
+        chunks.append('<p class="note">(no trajectory series)</p>')
+    chunks.append("</section>")
+
+    # Trajectory gate.
+    chunks.append(
+        '<section class="card"><h2>Trajectory gate '
+        f"(window {window}, sustain {sustain})</h2>"
+    )
+    findings = gate_trajectories(
+        series, rules, window=window, sustain=sustain
+    )
+    gated = sum(1 for points in series.values() if len(points) >= 2)
+    if findings:
+        chunks.append(_table(
+            ["source", "scheme", "metric", "first sha", "when (UTC)",
+             "baseline", "current", "note"],
+            [
+                (
+                    f.source, f.scheme, f.metric,
+                    (f.git_sha or "untracked")[:10],
+                    _when(f.timestamp),
+                    f"{f.baseline:.4f}", f"{f.current:.4f}", f.note,
+                )
+                for f in findings
+            ],
+        ))
+        chunks.append(
+            f'<p class="note"><span class="bad">{len(findings)} sustained '
+            f"drift finding(s)</span> across {gated} gated series.</p>"
+        )
+    else:
+        chunks.append(
+            f'<p class="note">{gated} series gated, no sustained '
+            "drift.</p>"
+        )
+    chunks.append("</section>")
+
+    # Run index (the drill-down targets).
+    chunks.append('<section class="card"><h2>Run index</h2>')
+    if index.records:
+        recent_ids = {r.run_id for r in index.records[-MAX_LEDGER_ROWS:]}
+        keep = recent_ids | linked_ids
+        rows = [r for r in index.records if r.run_id in keep]
+        chunks.append(_anchored_ledger_table(list(reversed(rows))))
+        if len(rows) < len(index.records):
+            chunks.append(
+                f'<p class="note">showing {len(rows)} of '
+                f"{len(index.records)} ledger records (most recent plus "
+                "all frontier-linked).</p>"
+            )
+    else:
+        chunks.append('<p class="note">No run ledgers indexed.</p>')
+    chunks.append("</section>")
+
+    # Sources and scan warnings.
+    chunks.append('<section class="card"><h2>Indexed sources</h2>')
+    chunks.append(_table(
+        ["file"], [(source,) for source in index.sources]
+    ))
+    if index.warnings:
+        chunks.append(
+            '<p class="note bad">'
+            + f"{len(index.warnings)} warning(s):</p>"
+        )
+        chunks.append(_table(
+            ["warning"], [(w,) for w in index.warnings]
+        ))
+    chunks.append("</section>")
+
+    return _history_document(title, chunks)
+
+
+def _history_document(title: str, chunks: list[str]) -> str:
     body = "\n".join(chunks)
     return (
         "<!DOCTYPE html>\n"

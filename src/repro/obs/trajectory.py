@@ -1,0 +1,273 @@
+"""Metric trajectories over commits, and sliding-window drift gating.
+
+Where :mod:`repro.obs.diff` answers "did these two result sets move?",
+this module answers the longitudinal question: *is a metric drifting
+across the recorded history?*  A :class:`~repro.obs.history.RunIndex`
+is folded into **series** — ordered samples of one metric for one
+scheme from one kind of source — and each series is gated by the same
+:class:`~repro.obs.diff.ToleranceRule` vocabulary ``repro diff`` uses,
+but against a **rolling-median baseline** over a sliding window instead
+of a single pairwise baseline:
+
+* for sample *i*, the baseline is the median of up to ``window``
+  preceding samples (the median shrugs off one outlier run);
+* a sample out of tolerance starts a violation run; only a run that
+  lasts ``sustain`` consecutive samples becomes a finding — transient
+  noise (one slow CI machine) does not fail the gate;
+* the finding points at the run's **first** offending sample, so the
+  reported sha is where the drift began, not where it was noticed.
+
+Series are keyed ``(source, scheme, metric)`` and sources are never
+mixed within one series: a bench point's mean IPC and a ledger batch's
+mean IPC can legitimately cover different workload sets, and comparing
+them pairwise would fabricate drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.obs.diff import DEFAULT_RULES, ToleranceRule
+
+#: Series key: (source, scheme, metric).  ``source`` is one of
+#: ``bench`` / ``ledger`` / ``search``.
+SeriesKey = tuple[str, str, str]
+
+#: Ledger metrics folded into trajectories, with their batch aggregator.
+#: ``min_lifetime`` keeps the worst line (that is what the paper's
+#: lifetime claim is about); the rest average over the batch.
+_LEDGER_METRICS = ("ipc", "min_lifetime", "wear_cov", "energy_mj")
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One sample of one series."""
+
+    timestamp: float
+    value: float
+    git_sha: str | None = None
+    #: How many underlying measurements were folded into this sample.
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class TrajectoryFinding:
+    """One sustained out-of-tolerance drift in one series."""
+
+    source: str
+    scheme: str
+    metric: str
+    #: Sample index (within the series) where the violation run began.
+    index: int
+    git_sha: str | None
+    timestamp: float
+    baseline: float
+    current: float
+    note: str = ""
+
+    @property
+    def delta_pct(self) -> float | None:
+        if self.baseline == 0.0:
+            return None
+        return 100.0 * (self.current - self.baseline) / abs(self.baseline)
+
+
+def metric_trajectories(index) -> dict[SeriesKey, list[TrajectoryPoint]]:
+    """Fold a :class:`~repro.obs.history.RunIndex` into metric series.
+
+    * bench matrix points → ``("bench", scheme, "ipc"/"min_lifetime")``;
+    * ledger records → consecutive same-sha batches, aggregated per
+      scheme over each batch (mean IPC/wear/energy, min lifetime) →
+      ``("ledger", scheme, metric)``;
+    * search bench points and indexed outcomes →
+      ``("search", "search", "hypervolume"/"frontier_size")``.
+
+    Every series comes back sorted by timestamp.
+    """
+    series: dict[SeriesKey, list[TrajectoryPoint]] = {}
+
+    def add(key: SeriesKey, point: TrajectoryPoint) -> None:
+        series.setdefault(key, []).append(point)
+
+    for point in index.bench_points:
+        ts = float(point.get("timestamp", 0.0))
+        sha = point.get("git_sha")
+        if "schemes" in point:
+            for scheme, stats in point["schemes"].items():
+                add(("bench", scheme, "ipc"), TrajectoryPoint(
+                    ts, float(stats["mean_ipc"]), sha,
+                    count=int(point.get("workloads", 1) or 1),
+                ))
+                add(("bench", scheme, "min_lifetime"), TrajectoryPoint(
+                    ts, float(stats["raw_min_lifetime"]), sha,
+                ))
+        elif point.get("bench") == "search":
+            add(("search", "search", "hypervolume"), TrajectoryPoint(
+                ts, float(point["hypervolume"]), sha,
+            ))
+            add(("search", "search", "frontier_size"), TrajectoryPoint(
+                ts, float(point["frontier_size"]), sha,
+            ))
+
+    for batch in _ledger_batches(index.records):
+        sha = batch[0].git_sha
+        ts = max(r.timestamp for r in batch)
+        by_scheme: dict[str, list] = {}
+        for record in batch:
+            if record.source == "failed":
+                continue
+            by_scheme.setdefault(record.scheme, []).append(record)
+        for scheme, records in by_scheme.items():
+            for metric in _LEDGER_METRICS:
+                values = [
+                    r.metrics[metric] for r in records
+                    if metric in r.metrics
+                ]
+                if not values:
+                    continue
+                folded = min(values) if metric == "min_lifetime" \
+                    else sum(values) / len(values)
+                add(("ledger", scheme, metric), TrajectoryPoint(
+                    ts, folded, sha, count=len(values),
+                ))
+
+    for search in index.searches:
+        add(("search", "search", "hypervolume"), TrajectoryPoint(
+            search.created_at, float(search.outcome.hypervolume),
+            search.git_sha,
+        ))
+        add(("search", "search", "frontier_size"), TrajectoryPoint(
+            search.created_at, float(len(search.outcome.frontier)),
+            search.git_sha,
+        ))
+
+    for points in series.values():
+        points.sort(key=lambda p: p.timestamp)
+    return series
+
+
+def _ledger_batches(records) -> list:
+    """Consecutive same-sha runs of ledger records, in index order.
+
+    Records land in the index per-file in append order, so a batch is
+    "what one commit's sweeps wrote" — the natural trajectory sample.
+    """
+    batches: list = []
+    for record in records:
+        if batches and batches[-1][0].git_sha == record.git_sha:
+            batches[-1].append(record)
+        else:
+            batches.append([record])
+    return batches
+
+
+def gate_trajectories(
+    series: dict[SeriesKey, list[TrajectoryPoint]],
+    rules: dict[str, ToleranceRule] | None = None,
+    *,
+    window: int = 3,
+    sustain: int = 1,
+) -> list[TrajectoryFinding]:
+    """Gate every series against its metric's tolerance rule.
+
+    Only metrics with a rule are gated; series shorter than two samples
+    are skipped (there is no trajectory to judge).  See the module
+    docstring for the rolling-median / sustain semantics.
+
+    Findings come back in ``(source, scheme, metric, index)`` order.
+    """
+    rules = DEFAULT_RULES if rules is None else rules
+    if window < 1:
+        window = 1
+    if sustain < 1:
+        sustain = 1
+    findings: list[TrajectoryFinding] = []
+    for key in sorted(series):
+        source, scheme, metric = key
+        rule = rules.get(metric)
+        points = series[key]
+        if rule is None or len(points) < 2:
+            continue
+        run_start: int | None = None
+        run_length = 0
+        reported = False
+        for i in range(1, len(points)):
+            lo = max(0, i - window)
+            baseline = median(p.value for p in points[lo:i])
+            if rule.violated_by(baseline, points[i].value):
+                if run_start is None:
+                    run_start = i
+                run_length += 1
+                if run_length >= sustain and not reported:
+                    first = points[run_start]
+                    base_at_start = median(
+                        p.value
+                        for p in points[max(0, run_start - window):run_start]
+                    )
+                    findings.append(TrajectoryFinding(
+                        source=source,
+                        scheme=scheme,
+                        metric=metric,
+                        index=run_start,
+                        git_sha=first.git_sha,
+                        timestamp=first.timestamp,
+                        baseline=base_at_start,
+                        current=first.value,
+                        note=_sustain_note(rule, run_length, sustain),
+                    ))
+                    reported = True
+            else:
+                run_start = None
+                run_length = 0
+                reported = False
+    return findings
+
+
+def _sustain_note(rule: ToleranceRule, run_length: int, sustain: int) -> str:
+    from repro.obs.diff import _limit_text
+
+    note = _limit_text(rule)
+    if sustain > 1:
+        note += f" for {run_length} consecutive samples"
+    return note
+
+
+def render_trajectory_findings(
+    findings: list[TrajectoryFinding],
+    series: dict[SeriesKey, list[TrajectoryPoint]] | None = None,
+) -> str:
+    """Human-readable gate summary (table of findings, or the all-clear)."""
+    from repro.experiments.report import format_table
+
+    gated = 0
+    if series is not None:
+        gated = sum(1 for points in series.values() if len(points) >= 2)
+    if not findings:
+        return (
+            f"{gated} series gated, no sustained drift"
+            if series is not None else "no sustained drift"
+        )
+    rows = []
+    for f in findings:
+        delta = f.delta_pct
+        rows.append((
+            "FAIL",
+            f.source,
+            f.scheme,
+            f.metric,
+            (f.git_sha or "untracked")[:10],
+            f"{f.baseline:.4f}",
+            f"{f.current:.4f}",
+            "-" if delta is None else f"{delta:+.2f}%",
+            f.note,
+        ))
+    table = format_table(
+        ["", "source", "scheme", "metric", "first sha", "baseline",
+         "current", "drift", "note"],
+        rows,
+    )
+    tail = f"{len(findings)} sustained drift finding(s)"
+    if series is not None:
+        tail += f" across {gated} gated series"
+    return f"{table}\n{tail}"

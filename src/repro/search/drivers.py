@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.common.errors import ConfigError, ReproError
 from repro.config import SystemConfig, baseline_config
 from repro.jobs.scheduler import run_jobs
+from repro.obs.ledger import current_git_sha
 from repro.search.pareto import (
     default_reference,
     hypervolume,
@@ -75,6 +77,11 @@ class Evaluation:
     #: True for the paper's Re-NUCA default, evaluated alongside the
     #: final rung as the plot's reference marker.
     reference: bool = False
+    #: JobSpec fingerprints of the simulations folded into ``metrics``
+    #: (one per workload, job order).  The linkage key into run ledgers:
+    #: a ledger record with a matching fingerprint is the exact run that
+    #: produced this measurement.  Empty for pre-linkage journals.
+    fingerprints: tuple = ()
 
     def to_dict(self) -> dict:
         return {
@@ -85,6 +92,7 @@ class Evaluation:
             "budget": self.budget,
             "metrics": self.metrics,
             "reference": self.reference,
+            "fingerprints": list(self.fingerprints),
         }
 
     @classmethod
@@ -98,6 +106,9 @@ class Evaluation:
                 budget=int(data["budget"]),
                 metrics={str(k): float(v) for k, v in data["metrics"].items()},
                 reference=bool(data.get("reference", False)),
+                fingerprints=tuple(
+                    str(f) for f in data.get("fingerprints", ())
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed evaluation payload: {exc}") from exc
@@ -213,6 +224,11 @@ class SearchOutcome:
     #: Engine accounting summed over rungs plus search-level counters.
     report: dict = field(default_factory=dict)
     space: dict = field(default_factory=dict)
+    #: Provenance: commit the search ran at (None outside a checkout)
+    #: and its wall-clock completion time — the keys the history layer
+    #: orders frontier overlays by.
+    git_sha: str | None = None
+    created_at: float | None = None
 
     def final_evaluations(self) -> list:
         """Evaluations at the last budget (the frontier's candidates)."""
@@ -234,6 +250,8 @@ class SearchOutcome:
             "reference_point_id": self.reference_point_id,
             "report": self.report,
             "space": self.space,
+            "git_sha": self.git_sha,
+            "created_at": self.created_at,
         }
 
     @classmethod
@@ -263,6 +281,14 @@ class SearchOutcome:
                 reference_point_id=data.get("reference_point_id"),
                 report=dict(data["report"]),
                 space=dict(data.get("space", {})),
+                git_sha=(
+                    None if data.get("git_sha") is None
+                    else str(data["git_sha"])
+                ),
+                created_at=(
+                    None if data.get("created_at") is None
+                    else float(data["created_at"])
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed search outcome: {exc}") from exc
@@ -490,20 +516,23 @@ def run_search(
             # reference point vs a sampled Re-NUCA default); the batch
             # is deduplicated by job fingerprint and both evaluations
             # read the shared result.
-            jobs, index_of, slices = [], {}, {}
+            jobs, index_of, slices, prints = [], {}, {}, {}
             for point in pending:
                 batch = jobs_for_point(
                     point, workload_numbers,
                     seed=seed, n_instructions=budget,
                 )
                 indices = []
+                fingerprints = []
                 for job in batch:
                     fingerprint = job.spec.fingerprint()
                     if fingerprint not in index_of:
                         index_of[fingerprint] = len(jobs)
                         jobs.append(job)
                     indices.append(index_of[fingerprint])
+                    fingerprints.append(fingerprint)
                 slices[point.point_id] = indices
+                prints[point.point_id] = tuple(fingerprints)
             results, report = run_jobs(
                 jobs,
                 max_workers=max_workers,
@@ -539,6 +568,7 @@ def run_search(
                         reference_point is not None
                         and point.point_id == reference_point.point_id
                     ),
+                    fingerprints=prints[point.point_id],
                 )
                 rung_evals[point.point_id] = evaluation
                 if journal is not None:
@@ -585,4 +615,6 @@ def run_search(
         ),
         report=counters,
         space=space.to_dict(),
+        git_sha=current_git_sha(),
+        created_at=time.time(),
     )

@@ -1,0 +1,552 @@
+"""Longitudinal history layer: RunIndex, trajectories, gating, CLI.
+
+Covers the provenance index (explicit loaders, directory-scan sniffing,
+fingerprint linkage), trajectory extraction and the sliding-window gate
+with pure unit tests, the HTML timeline report's acceptance contract
+(>= 2 overlaid frontiers, every resolvable frontier point hyperlinked
+to its run-ledger row), and the ``repro history`` CLI exit codes —
+including one small simulation-backed end-to-end search pair.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.config import baseline_config, scaled_config
+from repro.obs.bench import BENCH_FORMAT_VERSION
+from repro.obs.diff import DEFAULT_RULES, ToleranceRule
+from repro.obs.history import RunIndex
+from repro.obs.html_report import render_history_report
+from repro.obs.ledger import RunLedger
+from repro.obs.trajectory import (
+    TrajectoryPoint,
+    gate_trajectories,
+    metric_trajectories,
+    render_trajectory_findings,
+)
+from repro.search.drivers import Evaluation, SearchOutcome
+from tests.test_obs import make_record
+
+CONFIG4 = scaled_config(baseline_config(), cores=4)
+
+SHA_A = "a" * 40
+SHA_B = "b" * 40
+
+
+def bench_matrix_point(ipc=1.0, *, ts=100.0, sha=SHA_A, life=8.0,
+                       scheme="Re-NUCA", label="p"):
+    return {
+        "timestamp": ts, "git_sha": sha, "label": label,
+        "workloads": 2, "cells": 4, "wall_time_s": 1.0,
+        "schemes": {scheme: {"mean_ipc": ipc, "raw_min_lifetime": life}},
+    }
+
+
+def write_bench(path, points):
+    path.write_text(json.dumps(
+        {"format_version": BENCH_FORMAT_VERSION, "points": points}
+    ))
+    return path
+
+
+def make_outcome(*, hypervolume=4.0, git_sha=SHA_A, created_at=100.0,
+                 fingerprints=("fp1",), ipc=2.0, lifetime=5.0):
+    evaluation = Evaluation(
+        point_id="p" * 12, values={"scheme": "Re-NUCA"}, scheme="Re-NUCA",
+        rung=0, budget=1000,
+        metrics={"ipc": ipc, "lifetime": lifetime, "energy": 1.0,
+                 "wear_cov": 0.3},
+        fingerprints=tuple(fingerprints),
+    )
+    return SearchOutcome(
+        driver="grid", seed=1, objectives=("ipc", "lifetime"),
+        budget_schedule=(1000,), workload_numbers=(1,),
+        evaluations=[evaluation], frontier=[evaluation],
+        hypervolume=hypervolume, reference={"ipc": 0.0, "lifetime": 0.0},
+        report={"points": 1, "evals_total": 1},
+        git_sha=git_sha, created_at=created_at,
+    )
+
+
+def write_outcome(path, outcome):
+    path.write_text(json.dumps(outcome.to_dict()))
+    return path
+
+
+def write_ledger(path, records):
+    with RunLedger(path) as ledger:
+        for record in records:
+            ledger.append(record)
+    return path
+
+
+# -- the index ----------------------------------------------------------------
+
+
+class TestRunIndex:
+    def test_ledger_fingerprint_lookup(self, tmp_path):
+        record = make_record(fingerprint="fp1")
+        write_ledger(tmp_path / "ledger.jsonl", [record])
+        index = RunIndex()
+        assert index.add_ledger(tmp_path / "ledger.jsonl") == 1
+        assert index.records_for("fp1") == [record]
+        assert index.records_for("missing") == []
+        assert index.records_for(None) == []
+
+    def test_same_run_indexed_once(self, tmp_path):
+        path = write_ledger(
+            tmp_path / "ledger.jsonl", [make_record(fingerprint="fp1")]
+        )
+        index = RunIndex()
+        index.add_ledger(path)
+        assert index.add_ledger(path) == 0
+        assert len(index.records) == 1
+
+    def test_add_bench_skips_invalid_points_with_warning(self, tmp_path):
+        path = write_bench(
+            tmp_path / "BENCH_t.json",
+            [bench_matrix_point(), {"timestamp": "not a number"}],
+        )
+        index = RunIndex()
+        assert index.add_bench(path) == 1
+        assert len(index.warnings) == 1
+        assert "point 1" in index.warnings[0]
+
+    def test_add_search_round_trips_provenance(self, tmp_path):
+        path = write_outcome(tmp_path / "o.json", make_outcome())
+        index = RunIndex()
+        index.add_search(path)
+        search = index.searches[0]
+        assert search.git_sha == SHA_A
+        assert search.created_at == pytest.approx(100.0)
+        assert search.outcome.frontier[0].fingerprints == ("fp1",)
+
+    def test_add_search_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            RunIndex().add_search(tmp_path / "nope.json")
+
+    def test_outcome_mtime_fallback_when_no_created_at(self, tmp_path):
+        outcome = make_outcome(created_at=None)
+        path = write_outcome(tmp_path / "o.json", outcome)
+        index = RunIndex()
+        index.add_search(path)
+        assert index.searches[0].created_at == pytest.approx(
+            path.stat().st_mtime)
+
+    def test_linked_records_dedup_and_order(self, tmp_path):
+        r1 = make_record(fingerprint="fp1")
+        r2 = make_record(scheme="Re-NUCA", fingerprint="fp2")
+        write_ledger(tmp_path / "ledger.jsonl", [r1, r2])
+        index = RunIndex()
+        index.add_ledger(tmp_path / "ledger.jsonl")
+        evaluation = make_outcome(
+            fingerprints=("fp2", "fp1", "fp2")).frontier[0]
+        linked = index.linked_records(evaluation)
+        assert [r.run_id for r in linked] == [r2.run_id, r1.run_id]
+
+    def test_linked_records_empty_for_prelinkage_evaluation(self):
+        evaluation = make_outcome(fingerprints=()).frontier[0]
+        assert RunIndex().linked_records(evaluation) == []
+
+    def test_scan_sniffs_artefact_kinds(self, tmp_path):
+        write_ledger(tmp_path / "runs.jsonl", [make_record()])
+        write_bench(tmp_path / "BENCH_s.json", [bench_matrix_point()])
+        write_outcome(tmp_path / "outcome.json", make_outcome())
+        # Non-artefacts the scan must leave alone:
+        (tmp_path / "sweep.jsonl").write_text(
+            json.dumps({"v": 1, "fingerprint": "x", "result": {}}) + "\n")
+        (tmp_path / "config.json").write_text(json.dumps({"cores": 4}))
+        (tmp_path / ".hidden").mkdir()
+        write_outcome(tmp_path / ".hidden" / "o.json", make_outcome())
+        index = RunIndex.scan(tmp_path)
+        assert len(index.records) == 1
+        assert len(index.bench_points) == 1
+        assert len(index.searches) == 1
+        assert index.warnings == []
+
+    def test_scan_bad_bench_is_warning_not_error(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{torn")
+        index = RunIndex.scan(tmp_path)
+        assert index.is_empty()
+        assert len(index.warnings) == 1
+
+    def test_scan_rejects_missing_root(self, tmp_path):
+        with pytest.raises(ReproError, match="not a directory"):
+            RunIndex.scan(tmp_path / "nope")
+
+    def test_commits_first_seen_order_with_untracked(self):
+        index = RunIndex()
+        index.bench_points.extend([
+            bench_matrix_point(ts=30.0, sha=SHA_B),
+            bench_matrix_point(ts=10.0, sha=SHA_A),
+            dict(bench_matrix_point(ts=20.0), git_sha=None),
+        ])
+        assert index.commits() == [SHA_A, None, SHA_B]
+
+
+# -- trajectories -------------------------------------------------------------
+
+
+class TestTrajectories:
+    def test_bench_series_sorted_by_timestamp(self):
+        index = RunIndex()
+        index.bench_points.extend([
+            bench_matrix_point(1.2, ts=20.0),
+            bench_matrix_point(1.0, ts=10.0),
+        ])
+        series = metric_trajectories(index)
+        ipc = series[("bench", "Re-NUCA", "ipc")]
+        assert [p.value for p in ipc] == [1.0, 1.2]
+        assert series[("bench", "Re-NUCA", "min_lifetime")][0].value == 8.0
+
+    def test_search_series_from_outcomes_and_bench_points(self, tmp_path):
+        index = RunIndex()
+        index.add_search(write_outcome(
+            tmp_path / "o.json", make_outcome(hypervolume=3.0)))
+        index.bench_points.append({
+            "timestamp": 200.0, "git_sha": SHA_B, "label": "s",
+            "bench": "search", "frontier_size": 4, "hypervolume": 3.5,
+        })
+        series = metric_trajectories(index)
+        hv = series[("search", "search", "hypervolume")]
+        assert [p.value for p in hv] == [3.0, 3.5]
+        assert [p.value for p in
+                series[("search", "search", "frontier_size")]] == [1.0, 4.0]
+
+    def test_ledger_batches_split_on_sha_change(self):
+        records = []
+        for i, sha in enumerate((SHA_A, SHA_A, SHA_B)):
+            record = make_record(workload=f"WL{i % 2 + 1}")
+            record.git_sha = sha
+            record.timestamp = 10.0 * (i + 1)
+            records.append(record)
+        index = RunIndex()
+        index.records.extend(records)
+        series = metric_trajectories(index)
+        ipc = series[("ledger", "S-NUCA", "ipc")]
+        assert len(ipc) == 2                      # A-batch, B-batch
+        assert ipc[0].count == 2 and ipc[1].count == 1
+        assert ipc[0].git_sha == SHA_A and ipc[1].git_sha == SHA_B
+
+    def test_ledger_min_lifetime_keeps_worst_and_skips_failed(self):
+        good = make_record()
+        good.metrics["min_lifetime"] = 6.0
+        worse = make_record(workload="WL2")
+        worse.metrics["min_lifetime"] = 4.0
+        failed = make_record(workload="WL3", source="failed")
+        for record in (good, worse, failed):
+            record.git_sha = SHA_A
+        index = RunIndex()
+        index.records.extend([good, worse, failed])
+        series = metric_trajectories(index)
+        life = series[("ledger", "S-NUCA", "min_lifetime")]
+        assert [p.value for p in life] == [4.0]
+        assert life[0].count == 2                 # failed record excluded
+
+    def test_sources_never_share_a_series(self):
+        index = RunIndex()
+        index.bench_points.append(bench_matrix_point(scheme="S-NUCA"))
+        record = make_record()
+        index.records.append(record)
+        series = metric_trajectories(index)
+        assert ("bench", "S-NUCA", "ipc") in series
+        assert ("ledger", "S-NUCA", "ipc") in series
+        assert all(len(points) == 1 for points in series.values())
+
+
+# -- the sliding-window gate --------------------------------------------------
+
+
+def series_of(values, metric="ipc", source="bench", scheme="Re-NUCA",
+              shas=None):
+    points = [
+        TrajectoryPoint(float(i), float(v),
+                        shas[i] if shas else f"sha{i:02d}" + "0" * 34)
+        for i, v in enumerate(values)
+    ]
+    return {(source, scheme, metric): points}
+
+
+class TestGate:
+    def test_flags_regression_at_first_offending_sample(self):
+        findings = gate_trajectories(
+            series_of([1.0, 1.001, 0.999, 0.90, 0.89]))
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.metric == "ipc"
+        assert finding.index == 3                 # where the drop began
+        assert finding.git_sha.startswith("sha03")
+        assert finding.current == pytest.approx(0.90)
+
+    def test_passes_healthy_trajectory(self):
+        values = [1.0 + 0.001 * i for i in range(6)]
+        assert gate_trajectories(series_of(values)) == []
+
+    def test_sustain_absorbs_single_outlier(self):
+        values = [1.0, 1.0, 1.3, 1.0, 1.0]
+        assert gate_trajectories(series_of(values)) != []
+        assert gate_trajectories(series_of(values), sustain=2) == []
+
+    def test_sustain_fires_on_consecutive_violations(self):
+        values = [1.0, 1.0, 0.9, 0.89, 0.9]
+        findings = gate_trajectories(series_of(values), sustain=2)
+        assert len(findings) == 1
+        assert findings[0].index == 2
+
+    def test_rolling_median_baseline_follows_window(self):
+        # After 3 high samples the median moves up; an old-level sample
+        # then violates against the new local baseline.
+        values = [1.0, 2.0, 2.0, 2.0, 1.0]
+        findings = gate_trajectories(series_of(values), window=3)
+        assert any(f.index == 4 for f in findings)
+        assert findings[-1].baseline == pytest.approx(2.0)
+
+    def test_short_series_and_unruled_metrics_skipped(self):
+        assert gate_trajectories(series_of([1.0])) == []
+        assert gate_trajectories(
+            series_of([1.0, 99.0], metric="frontier_size")) == []
+
+    def test_direction_respected(self):
+        rising = [5.0, 5.0, 6.0]
+        assert gate_trajectories(
+            series_of(rising, metric="min_lifetime")) == []
+        falling = [5.0, 5.0, 4.0]
+        assert gate_trajectories(
+            series_of(falling, metric="min_lifetime")) != []
+
+    def test_hypervolume_rule_gates_shrinkage(self):
+        assert "hypervolume" in DEFAULT_RULES
+        values = [4.0, 4.0, 3.0]
+        findings = gate_trajectories(
+            series_of(values, metric="hypervolume", source="search",
+                      scheme="search"))
+        assert len(findings) == 1
+        assert findings[0].source == "search"
+
+    def test_custom_rules_override_defaults(self):
+        loose = {"ipc": ToleranceRule("ipc", rel_tol=0.5)}
+        values = [1.0, 1.0, 0.9]
+        assert gate_trajectories(series_of(values), loose) == []
+        assert gate_trajectories(series_of(values)) != []
+
+    def test_render_findings(self):
+        series = series_of([1.0, 1.0, 0.5])
+        findings = gate_trajectories(series)
+        text = render_trajectory_findings(findings, series)
+        assert "FAIL" in text and "ipc" in text
+        assert "1 sustained drift finding(s)" in text
+        assert "sha02" in text
+        clean = render_trajectory_findings([], series)
+        assert "no sustained drift" in clean
+
+
+# -- the HTML timeline --------------------------------------------------------
+
+
+class TestHistoryReport:
+    def build_index(self, tmp_path, *, with_ledger=True):
+        records = [
+            make_record(fingerprint="fp1"),
+            make_record(scheme="Re-NUCA", fingerprint="fp2"),
+        ]
+        index = RunIndex()
+        if with_ledger:
+            write_ledger(tmp_path / "ledger.jsonl", records)
+            index.add_ledger(tmp_path / "ledger.jsonl")
+        index.add_search(write_outcome(
+            tmp_path / "o1.json",
+            make_outcome(fingerprints=("fp1",), created_at=100.0,
+                         hypervolume=4.0),
+        ))
+        index.add_search(write_outcome(
+            tmp_path / "o2.json",
+            make_outcome(fingerprints=("fp2",), created_at=200.0,
+                         hypervolume=4.1, git_sha=SHA_B, ipc=2.1),
+        ))
+        return index, records
+
+    def test_overlay_links_every_frontier_point(self, tmp_path):
+        """Acceptance: >=2 frontiers overlaid, every point hyperlinked."""
+        index, records = self.build_index(tmp_path)
+        html = render_history_report(index)
+        frontier_points = sum(
+            len(s.outcome.frontier) for s in index.searches)
+        assert frontier_points >= 2
+        assert html.count('<a href="#run-') == frontier_points
+        for record in records:
+            assert f'href="#run-{record.run_id}"' in html
+            assert f'id="run-{record.run_id}"' in html
+        assert "2 frontier point(s) hyperlinked" in html
+        assert "unresolved" not in html
+
+    def test_self_contained(self, tmp_path):
+        index, _ = self.build_index(tmp_path)
+        html = render_history_report(index)
+        assert html.startswith("<!DOCTYPE html>")
+        for banned in ("http://", "https://", "<script", "<link",
+                       "url(", "@import"):
+            assert banned not in html, f"external reference: {banned}"
+
+    def test_sections_present(self, tmp_path):
+        index, _ = self.build_index(tmp_path)
+        html = render_history_report(index)
+        for heading in ("Frontier evolution", "Metric trajectories",
+                        "Trajectory gate", "Run index", "Indexed sources"):
+            assert heading in html
+
+    def test_unresolved_points_flagged(self, tmp_path):
+        index, _ = self.build_index(tmp_path, with_ledger=False)
+        html = render_history_report(index)
+        assert '<a href="#run-' not in html
+        assert "unresolved" in html
+
+    def test_untracked_sha_rendered(self, tmp_path):
+        record = make_record(fingerprint="fp1")
+        record.git_sha = None
+        write_ledger(tmp_path / "ledger.jsonl", [record])
+        index = RunIndex()
+        index.add_ledger(tmp_path / "ledger.jsonl")
+        index.add_search(write_outcome(
+            tmp_path / "o.json", make_outcome(git_sha=None)))
+        html = render_history_report(index)
+        assert "untracked" in html
+
+    def test_last_limits_overlaid_frontiers(self, tmp_path):
+        index, _ = self.build_index(tmp_path)
+        html = render_history_report(index, last=1)
+        assert "last 1 search" in html
+
+    def test_empty_index(self):
+        html = render_history_report(RunIndex())
+        assert "Nothing indexed" in html
+
+    def test_gate_findings_surface_in_report(self, tmp_path):
+        index = RunIndex()
+        write_bench(tmp_path / "BENCH_t.json", [
+            bench_matrix_point(1.0, ts=10.0),
+            bench_matrix_point(1.0, ts=20.0),
+            bench_matrix_point(0.5, ts=30.0, sha=SHA_B),
+        ])
+        index.add_bench(tmp_path / "BENCH_t.json")
+        html = render_history_report(index)
+        assert "sustained drift finding(s)" in html
+        assert SHA_B[:10] in html
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_check_exits_1_on_injected_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_bench(tmp_path / "BENCH_bad.json", [
+            bench_matrix_point(1.0, ts=10.0),
+            bench_matrix_point(1.001, ts=20.0),
+            bench_matrix_point(0.9, ts=30.0, sha=SHA_B),
+        ])
+        code = main(["history", "check",
+                     "--bench", str(tmp_path / "BENCH_bad.json"),
+                     "--tolerances", "baselines/tolerances.json"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and SHA_B[:10] in out
+
+    def test_check_exits_0_on_healthy_trajectory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_bench(tmp_path / "BENCH_ok.json", [
+            bench_matrix_point(1.0 + 0.001 * i, ts=10.0 * (i + 1))
+            for i in range(4)
+        ])
+        code = main(["history", "check", "--dir", str(tmp_path),
+                     "--tolerances", "baselines/tolerances.json"])
+        assert code == 0
+        assert "no sustained drift" in capsys.readouterr().out
+
+    def test_show_summarises_index(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_bench(tmp_path / "BENCH_t.json", [bench_matrix_point()])
+        write_outcome(tmp_path / "o.json", make_outcome())
+        assert main(["history", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 bench points" in out
+        assert "1 search outcomes" in out
+        assert "trajectory series" in out
+
+    def test_html_written_with_links(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_ledger(tmp_path / "ledger.jsonl",
+                     [make_record(fingerprint="fp1")])
+        write_outcome(tmp_path / "o.json",
+                      make_outcome(fingerprints=("fp1",)))
+        html_path = tmp_path / "timeline.html"
+        assert main(["history", "--dir", str(tmp_path),
+                     "--html", str(html_path)]) == 0
+        html = html_path.read_text()
+        assert '<a href="#run-' in html
+        assert "wrote history report" in capsys.readouterr().out
+
+    def test_scan_warnings_go_to_stderr(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "BENCH_bad.json").write_text("{torn")
+        assert main(["history", "--dir", str(tmp_path)]) == 0
+        assert "warning:" in capsys.readouterr().err
+
+    def test_unreadable_explicit_file_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["history", "check",
+                     "--search", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--ledger", "--bench", "--search"])
+    def test_missing_explicit_file_is_usage_error(self, tmp_path, capsys,
+                                                  flag):
+        """A typo'd explicit path must not silently gate nothing."""
+        from repro.cli import main
+
+        code = main(["history", "check", flag, str(tmp_path / "nope")])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+# -- simulation-backed end to end ---------------------------------------------
+
+
+class TestEndToEnd:
+    def test_two_searches_link_back_to_ledger(self, tmp_path):
+        """Two real searches -> scan -> every frontier point resolves."""
+        from repro.search import preset_space, run_search
+
+        ledger = tmp_path / "ledger.jsonl"
+        for seed in (1, 2):
+            outcome = run_search(
+                preset_space("schemes"), driver="grid", n_points=3,
+                budget_schedule=(400,), workload_numbers=(1,), seed=seed,
+                base=CONFIG4, ledger=str(ledger),
+            )
+            write_outcome(tmp_path / f"outcome{seed}.json", outcome)
+        index = RunIndex.scan(tmp_path)
+        assert len(index.searches) == 2
+        assert index.records and index.warnings == []
+        frontier_points = 0
+        for search in index.searches:
+            for evaluation in search.outcome.frontier:
+                frontier_points += 1
+                linked = index.linked_records(evaluation)
+                assert linked, "frontier point did not resolve to ledger"
+                assert all(
+                    r.fingerprint in evaluation.fingerprints for r in linked
+                )
+        html = render_history_report(index)
+        assert html.count('<a href="#run-') == frontier_points
+        # The real trajectory is healthy: the gate holds.
+        assert gate_trajectories(metric_trajectories(index)) == []

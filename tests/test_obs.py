@@ -11,7 +11,9 @@ from repro.obs.bench import (
     BENCH_FORMAT_VERSION,
     append_bench_point,
     bench_point,
+    load_bench,
     load_bench_trajectory,
+    validate_bench_point,
 )
 from repro.obs.diff import (
     DEFAULT_RULES,
@@ -23,7 +25,7 @@ from repro.obs.diff import (
     matrix_metric_map,
     render_findings,
 )
-from repro.obs.html_report import render_html_report
+from repro.obs.html_report import _scatter_chart, render_html_report
 from repro.obs.ledger import (
     LEDGER_FORMAT_VERSION,
     RunLedger,
@@ -387,6 +389,110 @@ class TestBenchTrajectory:
             {"format_version": BENCH_FORMAT_VERSION + 1, "points": []}))
         with pytest.raises(ReproError, match="unsupported trajectory"):
             load_bench_trajectory(path)
+
+
+class TestBenchValidation:
+    def test_matrix_and_search_points_valid(self):
+        matrix_point = bench_point(make_matrix(), label="m")
+        assert validate_bench_point(matrix_point) is None
+        search_point = {
+            "timestamp": 1.0, "git_sha": None, "label": "s",
+            "bench": "search", "frontier_size": 3, "hypervolume": 2.5,
+        }
+        assert validate_bench_point(search_point) is None
+
+    def test_rejects_malformed_points(self):
+        assert "not an object" in validate_bench_point([1, 2])
+        assert "timestamp" in validate_bench_point({"timestamp": "late"})
+        base = {"timestamp": 1.0, "git_sha": ""}
+        assert "git_sha" in validate_bench_point(base)
+        flavourless = {"timestamp": 1.0, "git_sha": None}
+        assert "flavour" in validate_bench_point(flavourless)
+        bad_scheme = {
+            "timestamp": 1.0, "git_sha": None,
+            "schemes": {"S-NUCA": {"mean_ipc": "fast"}},
+        }
+        assert "S-NUCA" in validate_bench_point(bad_scheme)
+        bad_search = {
+            "timestamp": 1.0, "git_sha": None, "bench": "search",
+            "frontier_size": 2.5, "hypervolume": 1.0,
+        }
+        assert "frontier_size" in validate_bench_point(bad_search)
+
+    def test_bool_is_not_a_number(self):
+        point = {
+            "timestamp": True, "git_sha": None,
+            "frontier_size": 1, "hypervolume": 1.0,
+        }
+        assert "timestamp" in validate_bench_point(point)
+
+    def test_load_bench_skips_bad_points_with_reasons(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        good = bench_point(make_matrix(), label="ok")
+        path.write_text(json.dumps({
+            "format_version": BENCH_FORMAT_VERSION,
+            "points": [good, {"timestamp": "bad"}, good],
+        }))
+        points, skipped = load_bench(path)
+        assert len(points) == 2
+        assert len(skipped) == 1
+        assert "point 1" in skipped[0] and str(path) in skipped[0]
+
+    def test_load_bench_missing_file_is_empty(self, tmp_path):
+        assert load_bench(tmp_path / "nope.json") == ([], [])
+
+    def test_load_bench_keeps_strict_envelope(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        path.write_text(json.dumps(
+            {"format_version": BENCH_FORMAT_VERSION + 1, "points": []}))
+        with pytest.raises(ReproError, match="unsupported trajectory"):
+            load_bench(path)
+
+
+class TestScatterEdgeCases:
+    def test_empty_frontier_renders_placeholder(self):
+        assert "(no data)" in _scatter_chart(
+            [], label="l", x_label="x", y_label="y")
+
+    def test_single_point_pads_axes(self):
+        svg = _scatter_chart(
+            [(1.5, 8.0, "pt-front", "only")],
+            label="l", x_label="x", y_label="y",
+        )
+        assert svg.count("<circle") == 1
+        assert "NaN" not in svg and "Infinity" not in svg
+
+    def test_single_point_at_origin(self):
+        svg = _scatter_chart(
+            [(0.0, 0.0, "pt-front", "origin")],
+            label="l", x_label="x", y_label="y",
+        )
+        assert "NaN" not in svg and "Infinity" not in svg
+
+    def test_all_dominated_points_draw_dimmed(self):
+        svg = _scatter_chart(
+            [(1.0, 1.0, "pt-dim", "a"), (2.0, 2.0, "pt-dim", "b")],
+            label="l", x_label="x", y_label="y",
+        )
+        assert svg.count('class="pt-dim"') == 2
+        assert "pt-front" not in svg
+
+    def test_optional_href_wraps_marker(self):
+        svg = _scatter_chart(
+            [(1.0, 1.0, "h3", "linked", "#run-r1"),
+             (2.0, 2.0, "h3", "plain")],
+            label="l", x_label="x", y_label="y",
+        )
+        assert svg.count('<a href="#run-r1">') == 1
+        assert svg.count("<circle") == 2
+
+
+class TestUntrackedProvenance:
+    def test_ledger_history_renders_untracked_sha(self):
+        record = make_record()
+        record.git_sha = None
+        html = render_html_report(make_matrix(), ledger_records=[record])
+        assert "untracked" in html
 
 
 class TestSweepProgress:

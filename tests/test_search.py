@@ -425,6 +425,58 @@ class TestRunSearch:
         assert clone.reference_point_id == outcome.reference_point_id
 
 
+class TestProvenance:
+    """Fingerprint linkage and commit stamps on search artefacts."""
+
+    def test_evaluation_fingerprints_round_trip(self):
+        evaluation = _evaluation()
+        stamped = Evaluation(
+            **{**evaluation.__dict__, "fingerprints": ("fp1", "fp2")})
+        clone = Evaluation.from_dict(
+            json.loads(json.dumps(stamped.to_dict())))
+        assert clone.fingerprints == ("fp1", "fp2")
+
+    def test_evaluation_tolerates_prelinkage_payload(self):
+        payload = _evaluation().to_dict()
+        del payload["fingerprints"]
+        assert Evaluation.from_dict(payload).fingerprints == ()
+
+    def test_outcome_provenance_round_trip(self):
+        outcome = _synthetic_outcome()
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        clone = SearchOutcome.from_dict(payload)
+        assert clone.git_sha is None and clone.created_at is None
+        payload["git_sha"] = "a" * 40
+        payload["created_at"] = 123.5
+        stamped = SearchOutcome.from_dict(payload)
+        assert stamped.git_sha == "a" * 40
+        assert stamped.created_at == pytest.approx(123.5)
+
+    def test_outcome_tolerates_prestamp_payload(self):
+        payload = _synthetic_outcome().to_dict()
+        del payload["git_sha"], payload["created_at"]
+        clone = SearchOutcome.from_dict(payload)
+        assert clone.git_sha is None and clone.created_at is None
+
+    def test_run_search_stamps_fingerprints_and_commit(self):
+        outcome = run_search(
+            preset_space("schemes"), driver="grid", n_points=3,
+            budget_schedule=(400,), objectives=("ipc", "lifetime"),
+            workload_numbers=(1, 2), seed=1, base=CONFIG4,
+            stage1=Stage1Cache(),
+        )
+        for evaluation in outcome.evaluations:
+            # One simulated job per requested workload.
+            assert len(evaluation.fingerprints) == 2
+            assert all(
+                isinstance(f, str) and len(f) == 64
+                for f in evaluation.fingerprints
+            )
+        assert outcome.created_at is not None and outcome.created_at > 0
+        # This test runs inside the repo checkout, so the sha resolves.
+        assert outcome.git_sha is None or len(outcome.git_sha) == 40
+
+
 class TestPaperClaim:
     """The paper's qualitative Pareto story, reproduced by the engine."""
 
