@@ -1,0 +1,69 @@
+"""Stage-1 characterisation-kernel benchmark (true timing bench).
+
+Times the vectorized stage-1 kernel (:mod:`repro.cpu.kernel`) against
+the reference object-graph loop (:meth:`~repro.cpu.core.AppSimulator.run`
+with ``use_kernel=False``) over the same app, configuration and seed.
+A fresh simulator is built per measurement — the run mutates the warmed
+caches — and the whole characterisation (trace synthesis + hot loop) is
+timed, which is what sweeps actually pay per stage-1 miss.
+
+The floor is calibrated to ``_INSTRUCTIONS``: the kernel pays fixed
+per-run costs (warm-up, numpy meter reduction), so its margin grows
+with the budget and dips below 2x only at toy budgets.
+
+Set ``REPRO_BENCH_RECORD=<path>`` to append the measurement to a
+trajectory file via :func:`repro.obs.bench.stage1_point` (the committed
+``BENCH_throughput.json`` holds the historical points).
+"""
+
+import os
+import time
+
+from repro.config import baseline_config
+from repro.cpu.core import AppSimulator
+
+_APP = "milc"
+_SEED = 9
+#: Budget the >= 2x floor is calibrated to (the sweep-scale default).
+_INSTRUCTIONS = 150_000
+_MIN_SPEEDUP = 2.0
+
+
+def _measure(use_kernel: bool):
+    """Best-of-3 wall time of one full characterisation run."""
+    best = float("inf")
+    result = None
+    for _ in range(3):
+        sim = AppSimulator(_APP, baseline_config(), seed=_SEED)
+        t0 = time.perf_counter()
+        result = sim.run(_INSTRUCTIONS, use_kernel=use_kernel)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_stage1_kernel_vs_reference():
+    """The stage-1 kernel must beat the reference loop by >= 2x."""
+    kernel_s, kres = _measure(True)
+    reference_s, rres = _measure(False)
+    speedup = reference_s / kernel_s
+    print(f"\nstage-1 kernel: {kres.instructions} instructions in "
+          f"{kernel_s:.3f}s ({kres.instructions / kernel_s / 1e6:.2f} "
+          f"Minstr/s), reference {reference_s:.3f}s "
+          f"({rres.instructions / reference_s / 1e6:.2f} Minstr/s), "
+          f"speedup {speedup:.2f}x")
+
+    out = os.environ.get("REPRO_BENCH_RECORD")
+    if out:
+        from repro.obs.bench import append_bench_point, stage1_point
+
+        append_bench_point(out, stage1_point(
+            instructions=kres.instructions,
+            kernel_seconds=kernel_s,
+            reference_seconds=reference_s,
+        ))
+
+    assert kres.instructions == rres.instructions
+    assert speedup >= _MIN_SPEEDUP, (
+        f"stage-1 kernel is only {speedup:.2f}x the reference loop "
+        f"(floor {_MIN_SPEEDUP}x at {_INSTRUCTIONS} instructions)"
+    )

@@ -119,6 +119,14 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                              "above the default (default: no watchdog)")
 
 
+def _add_stage1(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stage1-cache", metavar="DIR", default=None,
+                        help="shared on-disk stage-1 characterisation store; "
+                             "workers, rungs and repeat runs reuse one "
+                             "characterisation per (app, config, seed, "
+                             "budget) (see docs/PERFORMANCE.md)")
+
+
 def _add_ledger(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ledger", metavar="FILE", default=None,
                         help="append run-provenance records (JSONL ledger; "
@@ -196,7 +204,7 @@ def _cmd_compare(args) -> int:
         return 2
     workload = workloads[index]
     print(f"{workload.name}: {', '.join(workload.apps)}\n")
-    stage1 = Stage1Cache()
+    stage1 = Stage1Cache(store=args.stage1_cache)
     telemetry = _make_telemetry(args)
     observer = _make_progress(args, total=len(args.schemes))
     rows = []
@@ -220,6 +228,7 @@ def _cmd_compare(args) -> int:
         try:
             results, _report = run_jobs(
                 jobs, max_workers=args.jobs, telemetry=telemetry,
+                stage1_store=args.stage1_cache,
                 observer=tee_observers(
                     observer,
                     monitor.observe if monitor is not None else None,
@@ -378,6 +387,7 @@ def _cmd_sweep(args) -> int:
             journal=args.journal,
             resume=args.resume,
             retries=args.retries,
+            stage1_store=args.stage1_cache,
             telemetry=telemetry,
             # The live status line owns stderr; per-cell narration yields.
             progress=None if observer is not None else _narrate,
@@ -526,6 +536,7 @@ def _cmd_search(args) -> int:
             journal=args.journal,
             resume=args.resume,
             retries=args.retries,
+            stage1_store=args.stage1_cache,
             telemetry=telemetry,
             observer=tee_observers(
                 observer, monitor.observe if monitor is not None else None,
@@ -630,6 +641,7 @@ def _cmd_endoflife(args) -> int:
             schemes=schemes,
             seed=args.seed,
             n_instructions=args.instructions,
+            stage1_store=args.stage1_cache,
             bank_failures=tuple(args.fail_bank),
             transient_rate=args.transient_rate,
             progress=_progress,
@@ -691,7 +703,7 @@ def _cmd_stats(args) -> int:
         return 2
     workload = workloads[index]
     print(f"{workload.name}: {', '.join(workload.apps)}")
-    stage1 = Stage1Cache()
+    stage1 = Stage1Cache(store=args.stage1_cache)
     covs: dict[str, float] = {}
     traced = 0
     for number, scheme in enumerate(args.schemes):
@@ -867,7 +879,7 @@ def _cmd_history(args) -> int:
                     raise ReproError(f"{flag} {path}: no such file")
                 add(path)
     else:
-        index = RunIndex.scan(args.dir)
+        index = RunIndex.scan(args.dir, cache=args.scan_cache)
     for warning in index.warnings:
         print(f"warning: {warning}", file=sys.stderr)
     rules = load_rules(args.tolerances) if args.tolerances else None
@@ -951,6 +963,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_compare)
     _add_telemetry(p_compare)
     _add_jobs(p_compare)
+    _add_stage1(p_compare)
     _add_ledger(p_compare)
     _add_monitor(p_compare)
 
@@ -989,6 +1002,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sweep)
     _add_telemetry(p_sweep)
     _add_jobs(p_sweep)
+    _add_stage1(p_sweep)
     _add_ledger(p_sweep)
     _add_monitor(p_sweep)
 
@@ -1048,6 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_search)
     _add_telemetry(p_search)
     _add_jobs(p_search)
+    _add_stage1(p_search)
     _add_ledger(p_search)
     _add_monitor(p_search)
 
@@ -1068,6 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "spans.jsonl file and exit (no simulation)")
     _add_common(p_stats)
     _add_telemetry(p_stats)
+    _add_stage1(p_stats)
     _add_ledger(p_stats)
 
     p_wl = sub.add_parser("workloads", help="show the WL1..WL10 mixes")
@@ -1128,6 +1144,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_eol)
     _add_telemetry(p_eol)
     _add_jobs(p_eol)
+    _add_stage1(p_eol)
     _add_ledger(p_eol)
     _add_monitor(p_eol)
 
@@ -1201,6 +1218,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_history.add_argument("--search", metavar="FILE", action="append",
                            default=None,
                            help="search outcome JSON to index (repeatable)")
+    p_history.add_argument("--scan-cache", metavar="FILE", default=None,
+                           help="on-disk scan cache keyed by file "
+                                "mtime/size; rescans of large history "
+                                "trees re-read only changed files")
     p_history.add_argument("--html", metavar="FILE", default=None,
                            help="write the self-contained timeline report "
                                 "(frontier overlays, sparklines, run index)")

@@ -26,6 +26,7 @@ It produces:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -197,10 +198,49 @@ class AppSimulator:
 
     # -- main loop ----------------------------------------------------------------
 
-    def run(self, n_instructions: int, *, base_line: int = 0) -> Stage1Result:
-        """Simulate approximately ``n_instructions`` committed instructions."""
+    def _kernel_engaged(self, use_kernel: bool | None) -> bool:
+        """Resolve the ``use_kernel`` tri-state for this simulator."""
+        from repro.cpu.kernel import kernel_supported
+
+        if use_kernel is None:
+            if os.environ.get("REPRO_KERNEL", "1") == "0":
+                return False
+            return kernel_supported(self)
+        if use_kernel:
+            if not kernel_supported(self):
+                raise SimulationError(
+                    "the stage-1 kernel cannot drive this run (a pluggable "
+                    "replacement policy, retired ways, index shift or set "
+                    "rotation is active); drop use_kernel=True to use the "
+                    "reference path"
+                )
+            return True
+        return False
+
+    def run(
+        self,
+        n_instructions: int,
+        *,
+        base_line: int = 0,
+        use_kernel: bool | None = None,
+    ) -> Stage1Result:
+        """Simulate approximately ``n_instructions`` committed instructions.
+
+        ``use_kernel`` selects the loop implementation: ``None`` (default)
+        auto-engages the vectorized characterisation kernel
+        (:mod:`repro.cpu.kernel`) whenever the configuration is supported;
+        ``True`` forces it (raising :class:`SimulationError` when it
+        cannot run); ``False`` pins the reference object-graph path.  Both
+        paths produce field-for-field identical results (see
+        ``docs/PERFORMANCE.md``); ``REPRO_KERNEL=0`` in the environment
+        disables auto-engagement globally.
+        """
         if n_instructions <= 0:
             raise SimulationError("instruction budget must be positive")
+        if self._kernel_engaged(use_kernel):
+            from repro.cpu.kernel import characterize
+
+            return characterize(self, n_instructions, base_line=base_line)
         self._warm_caches(base_line)
         rng = derive_rng(self.seed, "trace", self.profile.name)
 

@@ -57,7 +57,7 @@ def run_criticality_sweep(
 ) -> CriticalitySweep:
     """Run the study apps once and extract all three figures."""
     config = config or baseline_config()
-    stage1 = stage1 or Stage1Cache()
+    stage1 = Stage1Cache() if stage1 is None else stage1
     accuracy: dict[str, dict[float, float]] = {}
     blocks: dict[str, dict[float, float]] = {}
     writes: dict[str, dict[float, float]] = {}

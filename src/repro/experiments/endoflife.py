@@ -80,6 +80,7 @@ def run_endoflife(
     seed: int | None = None,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     stage1: Stage1Cache | None = None,
+    stage1_store=None,
     bank_failures: tuple[tuple[int, float], ...] = (),
     transient_rate: float = 0.0,
     progress=None,
@@ -115,6 +116,9 @@ def run_endoflife(
             keeps the historical in-process sweep.  Results are
             deterministic either way (see ``docs/SWEEPS.md``).
         cache_dir: optional content-addressed result cache directory.
+        stage1_store: optional shared on-disk stage-1 store (a
+            :class:`~repro.sim.stage1_store.Stage1Store` or its root
+            directory); ages and schemes reuse one characterisation.
         journal: optional completion-journal path enabling ``resume``.
         resume: replay cells already recorded in ``journal``.
         observer: optional live :class:`~repro.obs.progress.JobEvent`
@@ -185,6 +189,7 @@ def run_endoflife(
         journal=journal,
         resume=resume,
         stage1=stage1,
+        stage1_store=stage1_store,
         telemetry=telemetry,
         progress=_narrate,
         observer=observer,

@@ -22,7 +22,7 @@ def run_fig5(
 ) -> dict[str, float]:
     """Per-app percentage of non-critical (non-ROB-blocking) loads."""
     config = config or baseline_config()
-    stage1 = stage1 or Stage1Cache()
+    stage1 = Stage1Cache() if stage1 is None else stage1
     names = apps or tuple(p.name for p in ALL_APPS)
     return {
         app: stage1.get(

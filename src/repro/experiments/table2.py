@@ -45,7 +45,7 @@ def run_table2(
 ) -> list[Table2Row]:
     """Characterise each application on the stage-1 nominal machine."""
     config = config or baseline_config()
-    stage1 = stage1 or Stage1Cache()
+    stage1 = Stage1Cache() if stage1 is None else stage1
     names = apps or tuple(p.name for p in ALL_APPS)
     rows = []
     for app in names:

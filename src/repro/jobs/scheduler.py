@@ -82,6 +82,7 @@ from repro.obs.progress import JobEvent, tee_observers
 from repro.obs.spans import SpanObserver, SpanRecorder, SpanWriter
 from repro.sim.metrics import WorkloadSchemeResult
 from repro.sim.runner import DEFAULT_INSTRUCTIONS, Stage1Cache, run_workload
+from repro.sim.stage1_store import Stage1Store, as_stage1_store
 from repro.telemetry import Telemetry
 from repro.trace.workloads import Workload
 
@@ -190,6 +191,9 @@ class _Payload:
     #: The cell's parent-side ``job`` span id, so worker phases nest
     #: under their cell in the merged trace.
     span_parent: str | None = None
+    #: Root of the shared on-disk :class:`Stage1Store`; None runs the
+    #: worker's stage-1 memo purely in-memory.
+    stage1_store: str | None = None
 
 
 @dataclass
@@ -205,13 +209,20 @@ class _Outcome:
     span_state: list | None = None
 
 
+def _worker_store_root(cache: Stage1Cache) -> str | None:
+    return str(cache.store.root) if cache.store is not None else None
+
+
 def _execute_payload(payload: _Payload) -> _Outcome:
     """Run one job inside a worker process (also usable in-process)."""
     global _WORKER_STAGE1
     if payload.chaos is not None:
         payload.chaos.apply(payload.spec.label(), payload.attempt)
-    if _WORKER_STAGE1 is None:
-        _WORKER_STAGE1 = Stage1Cache()
+    if (
+        _WORKER_STAGE1 is None
+        or _worker_store_root(_WORKER_STAGE1) != payload.stage1_store
+    ):
+        _WORKER_STAGE1 = Stage1Cache(store=payload.stage1_store)
     telemetry = None
     if payload.collect_telemetry:
         telemetry = Telemetry(
@@ -401,6 +412,7 @@ def run_jobs(
     resume: bool = False,
     retries: int = DEFAULT_RETRIES,
     stage1: Stage1Cache | None = None,
+    stage1_store: Stage1Store | str | Path | None = None,
     telemetry: Telemetry | None = None,
     progress=None,
     observer=None,
@@ -425,6 +437,12 @@ def run_jobs(
             merging.
         cache: a :class:`~repro.jobs.cache.ResultCache` (or its root
             directory) consulted before executing and updated after.
+        stage1_store: a :class:`~repro.sim.stage1_store.Stage1Store`
+            (or its root directory) layered under every stage-1 cache —
+            the serial run's and each pool worker's — so parallel
+            workers and repeat runs share one on-disk characterisation
+            per ``(app, config signature, seed, budget)`` instead of
+            re-simulating it per process.
         journal: a :class:`~repro.jobs.journal.SweepJournal` (or its
             path) appended to as cells complete.  Without ``resume`` the
             journal restarts empty.
@@ -504,6 +522,13 @@ def run_jobs(
     ledger = as_ledger(ledger)
     quarantine = _as_quarantine(quarantine)
     chaos = as_chaos(chaos)
+    stage1_store = as_stage1_store(stage1_store)
+    if (
+        stage1 is not None
+        and stage1_store is not None
+        and stage1.store is None
+    ):
+        stage1.store = stage1_store
     report = SweepReport(total=len(jobs))
     if telemetry is not None:
         telemetry.registry.counter("jobs.executed")
@@ -513,8 +538,12 @@ def run_jobs(
         telemetry.registry.counter("jobs.recovery.timeouts")
         telemetry.registry.counter("jobs.recovery.requeued")
         telemetry.registry.counter("jobs.recovery.quarantined")
+        telemetry.registry.counter("jobs.stage1.hits")
+        telemetry.registry.counter("jobs.stage1.misses")
         if cache is not None:
             cache.bind_telemetry(telemetry.registry)
+        if stage1_store is not None:
+            stage1_store.bind_telemetry(telemetry.registry)
 
     journaled: dict[str, WorkloadSchemeResult] = {}
     if journal is not None:
@@ -628,7 +657,10 @@ def run_jobs(
                 _run_serial(
                     pending, resolved, report,
                     res=res,
-                    stage1=stage1 or Stage1Cache(),
+                    stage1=(
+                        stage1 if stage1 is not None
+                        else Stage1Cache(store=stage1_store)
+                    ),
                     cache=cache, journal=journal,
                     telemetry=telemetry, progress=progress,
                     observer=observer, provenance=provenance,
@@ -638,6 +670,7 @@ def run_jobs(
                 _run_parallel(
                     pending, resolved, report,
                     max_workers=max_workers, res=res,
+                    stage1_store=stage1_store,
                     cache=cache, journal=journal,
                     telemetry=telemetry, progress=progress,
                     observer=observer, provenance=provenance,
@@ -982,6 +1015,7 @@ class _Flight:
 def _run_parallel(
     pending, resolved, report, *,
     max_workers, res, cache, journal, telemetry, progress,
+    stage1_store=None,
     observer=None, provenance=None,
     span_recorder=None, span_observer=None,
 ) -> None:
@@ -1011,6 +1045,9 @@ def _run_parallel(
             spans=span_recorder is not None,
             trace_id=(
                 span_recorder.trace_id if span_recorder is not None else None
+            ),
+            stage1_store=(
+                str(stage1_store.root) if stage1_store is not None else None
             ),
         )
         for index, job in pending

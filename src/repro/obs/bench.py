@@ -189,6 +189,37 @@ def throughput_point(
     }
 
 
+def stage1_point(
+    *,
+    instructions: int,
+    kernel_seconds: float,
+    reference_seconds: float,
+    label: str = "",
+) -> dict:
+    """Build one trajectory point from a stage-1 kernel measurement.
+
+    The stage-1 bench (``benchmarks/test_bench_stage1.py``) times the
+    vectorized characterisation kernel (:mod:`repro.cpu.kernel`) and the
+    reference object-graph loop over the same app/config/seed; the point
+    records the kernel time as the headline throughput and keeps the
+    reference time and speedup in ``details`` so the trajectory shows
+    both absolute speed and the kernel's margin over the reference.
+    """
+    if kernel_seconds <= 0 or reference_seconds <= 0:
+        raise ReproError("stage1 point needs positive kernel and reference times")
+    return throughput_point(
+        "stage1_kernel",
+        count=instructions,
+        seconds=kernel_seconds,
+        unit="instructions",
+        label=label,
+        details={
+            "reference_seconds": reference_seconds,
+            "speedup": round(reference_seconds / kernel_seconds, 3),
+        },
+    )
+
+
 def search_bench_point(outcome, *, label: str = "") -> dict:
     """Build one trajectory point from a design-space search outcome.
 

@@ -42,6 +42,9 @@ from repro.obs.ledger import RunLedger
 #: Directory names never descended into by :meth:`RunIndex.scan`.
 _SKIP_DIRS = {"__pycache__", "node_modules", ".git"}
 
+#: Scan-cache layout version; bump to invalidate every cached parse.
+SCAN_CACHE_VERSION = 1
+
 
 @dataclass
 class IndexedSearch:
@@ -81,7 +84,9 @@ class RunIndex:
 
     def add_ledger(self, path: str | Path) -> int:
         """Fold in one run-ledger JSONL; returns records added."""
-        records = RunLedger(path).load()
+        return self._fold_ledger(path, RunLedger(path).load())
+
+    def _fold_ledger(self, path, records) -> int:
         added = 0
         for record in records:
             if record.run_id in self._seen_run_ids:
@@ -104,6 +109,9 @@ class RunIndex:
         file or wrong format version raises.
         """
         points, skipped = load_bench(path)
+        return self._fold_bench(path, points, skipped)
+
+    def _fold_bench(self, path, points, skipped) -> int:
         self.warnings.extend(skipped)
         self.bench_points.extend(points)
         self.sources.append(str(path))
@@ -111,11 +119,6 @@ class RunIndex:
 
     def add_search(self, path: str | Path) -> int:
         """Fold in one saved ``SearchOutcome`` JSON; returns 1."""
-        # Imported lazily: repro.search.drivers transitively imports the
-        # job scheduler, which imports back into repro.obs — a module-top
-        # import here would cycle through the package __init__.
-        from repro.search.drivers import SearchOutcome
-
         path = Path(path)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -123,6 +126,15 @@ class RunIndex:
             raise ReproError(
                 f"cannot read search outcome {path}: {exc}"
             ) from exc
+        return self._fold_search(path, payload)
+
+    def _fold_search(self, path, payload) -> int:
+        # Imported lazily: repro.search.drivers transitively imports the
+        # job scheduler, which imports back into repro.obs — a module-top
+        # import here would cycle through the package __init__.
+        from repro.search.drivers import SearchOutcome
+
+        path = Path(path)
         if not isinstance(payload, dict):
             raise ReproError(f"{path}: search outcome is not an object")
         outcome = SearchOutcome.from_dict(payload)
@@ -144,7 +156,7 @@ class RunIndex:
     # -- tolerant directory scan ---------------------------------------------
 
     @classmethod
-    def scan(cls, root: str | Path) -> "RunIndex":
+    def scan(cls, root: str | Path, *, cache: str | Path | None = None) -> "RunIndex":
         """Index every recognisable artefact under ``root``.
 
         Sniffing rules: ``BENCH_*.json`` files are bench trajectories;
@@ -154,29 +166,98 @@ class RunIndex:
         ledgers.  Everything else (sweep/search journals, configs) is
         left alone.  Files that sniff positive but fail to load become
         warnings, not errors.
+
+        ``cache`` names an on-disk scan cache (JSON): every file's
+        parsed contribution is stored keyed by its ``(mtime_ns, size)``
+        stamp, so a rescan of a multi-thousand-run history re-reads only
+        the files that changed.  A changed stamp, a deleted file, an
+        unreadable cache or a ``SCAN_CACHE_VERSION`` bump all fall back
+        to parsing — the cache can only ever cost a re-read, never
+        correctness.  The cache file itself is never indexed.
         """
         root = Path(root)
         if not root.is_dir():
             raise ReproError(f"history scan root {root} is not a directory")
         index = cls()
+        cache_path = Path(cache) if cache is not None else None
+        cached = _load_scan_cache(cache_path)
+        fresh: dict[str, dict] = {}
         for path in sorted(root.rglob("*")):
             if not path.is_file():
+                continue
+            if cache_path is not None and path == cache_path:
                 continue
             if any(
                 part in _SKIP_DIRS or part.startswith(".")
                 for part in path.relative_to(root).parts[:-1]
             ):
                 continue
+            key = str(path.relative_to(root))
+            stamp = _stamp(path)
+            if cache_path is not None and stamp is not None:
+                hit = cached.get(key)
+                if (
+                    hit is not None
+                    and hit.get("stamp") == stamp
+                    and index._fold_cached(path, hit)
+                ):
+                    fresh[key] = hit
+                    continue
+            entry = {"stamp": stamp, "kind": "other", "payload": None}
             try:
                 if path.name.startswith("BENCH_") and path.suffix == ".json":
-                    index.add_bench(path)
+                    points, skipped = load_bench(path)
+                    index._fold_bench(path, points, skipped)
+                    entry.update(kind="bench", payload={
+                        "points": points, "warnings": skipped,
+                    })
                 elif path.suffix == ".json" and _sniff_search(path):
-                    index.add_search(path)
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    index._fold_search(path, payload)
+                    entry.update(kind="search", payload=payload)
                 elif path.suffix == ".jsonl" and _sniff_ledger(path):
-                    index.add_ledger(path)
+                    records = RunLedger(path).load()
+                    index._fold_ledger(path, records)
+                    entry.update(kind="ledger", payload=[
+                        record.to_dict() for record in records
+                    ])
             except ReproError as exc:
                 index.warnings.append(str(exc))
+                entry.update(kind="warn", payload=str(exc))
+            if stamp is not None:
+                fresh[key] = entry
+        if cache_path is not None:
+            _save_scan_cache(cache_path, fresh)
         return index
+
+    def _fold_cached(self, path: Path, entry: dict) -> bool:
+        """Replay one scan-cache entry; False sends the file to a re-parse."""
+        from repro.obs.ledger import RunRecord
+
+        kind = entry.get("kind")
+        payload = entry.get("payload")
+        try:
+            if kind == "other":
+                return True
+            if kind == "warn":
+                self.warnings.append(str(payload))
+                return True
+            if kind == "bench":
+                self._fold_bench(
+                    path, list(payload["points"]), list(payload["warnings"]),
+                )
+                return True
+            if kind == "search":
+                self._fold_search(path, payload)
+                return True
+            if kind == "ledger":
+                self._fold_ledger(
+                    path, [RunRecord.from_dict(d) for d in payload],
+                )
+                return True
+        except (ReproError, KeyError, TypeError, ValueError):
+            return False
+        return False
 
     # -- queries --------------------------------------------------------------
 
@@ -229,6 +310,46 @@ class RunIndex:
 
     def is_empty(self) -> bool:
         return not (self.records or self.bench_points or self.searches)
+
+
+def _stamp(path: Path) -> list | None:
+    """Invalidation key of one scanned file: ``[mtime_ns, size]``."""
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return [st.st_mtime_ns, st.st_size]
+
+
+def _load_scan_cache(path: Path | None) -> dict:
+    """Entries of one scan cache ({} for None/missing/damaged/stale)."""
+    if path is None or not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format_version") != SCAN_CACHE_VERSION
+        or not isinstance(payload.get("files"), dict)
+    ):
+        return {}
+    return payload["files"]
+
+
+def _save_scan_cache(path: Path, files: dict) -> None:
+    """Persist the scan cache (atomic; failures are non-fatal)."""
+    from repro.sim.store import atomic_write_text
+
+    try:
+        atomic_write_text(path, json.dumps({
+            "format_version": SCAN_CACHE_VERSION,
+            "files": files,
+        }))
+    except (OSError, TypeError, ValueError):
+        # An unwritable or unserialisable cache only costs the speedup.
+        pass
 
 
 def _sniff_ledger(path: Path) -> bool:

@@ -408,6 +408,7 @@ def run_search(
     resume: bool = False,
     retries: int = 2,
     stage1=None,
+    stage1_store=None,
     telemetry=None,
     progress=None,
     observer=None,
@@ -541,6 +542,7 @@ def run_search(
                 resume=resume,
                 retries=retries,
                 stage1=stage1,
+                stage1_store=stage1_store,
                 telemetry=telemetry,
                 progress=progress,
                 observer=observer,

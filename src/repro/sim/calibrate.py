@@ -54,6 +54,13 @@ def config_signature(config: SystemConfig) -> tuple:
 
 
 def _build_signature(config: SystemConfig) -> tuple:
+    # Every field stage 1 reads, and nothing stage 2 owns: trace synthesis
+    # (cache geometries incl. line size), the interval core (ROB), the
+    # private hierarchy and nominal L3 (sizes/assoc/latencies), the
+    # one-hop L3 round trip, the DRAM model (row-buffer + bandwidth), and
+    # the criticality predictor.  NUCA/NoC-topology/ReRAM/TLB knobs are
+    # deliberately absent so sweeps over them share one characterisation
+    # (guarded by tests/test_stage1_store.py).
     return (
         config.num_cores,
         config.core.clock_hz,
@@ -61,16 +68,24 @@ def _build_signature(config: SystemConfig) -> tuple:
         config.l1.size_bytes,
         config.l1.assoc,
         config.l1.latency,
+        config.l1.line_bytes,
         config.l2.size_bytes,
         config.l2.assoc,
         config.l2.latency,
+        config.l2.line_bytes,
         config.l3_bank.size_bytes,
         config.l3_bank.assoc,
         config.l3_bank.latency,
+        config.l3_bank.line_bytes,
         config.noc.hop_cycles,
         config.memory.latency_cycles,
+        config.memory.row_hit_latency_cycles,
         config.memory.bandwidth_lines_per_cycle,
+        config.memory.lines_per_row,
+        config.memory.dram_banks,
         config.criticality.threshold_percent,
+        config.criticality.block_cycles,
+        config.criticality.table_entries,
     )
 
 

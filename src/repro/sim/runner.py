@@ -77,15 +77,35 @@ class Stage1Cache:
     The memo is a bounded LRU: once ``max_entries`` distinct
     (app, configuration, seed, budget) runs are held, the least recently
     used one is evicted.  Size and eviction totals are observable as the
-    ``jobs.stage1.entries`` / ``jobs.stage1.evictions`` telemetry gauges
-    (bound by :func:`run_workload` whenever telemetry is attached).
+    ``jobs.stage1.entries`` / ``jobs.stage1.evictions`` telemetry gauges,
+    lookup totals as the ``jobs.stage1.hits`` / ``jobs.stage1.misses``
+    counters (bound by :func:`run_workload` whenever telemetry is
+    attached).
+
+    ``store`` layers a shared on-disk tier
+    (:class:`~repro.sim.stage1_store.Stage1Store`, or a directory path)
+    below the memo: LRU misses consult the store before simulating, and
+    fresh simulations are persisted.  A store hit also skips the
+    calibration probes — the stored result carries its ``base_cpi`` — so
+    a fully warm store performs zero stage-1 simulations.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_STAGE1_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_STAGE1_ENTRIES,
+        *,
+        store=None,
+    ) -> None:
+        from repro.sim.stage1_store import as_stage1_store
+
         if max_entries <= 0:
             raise ReproError("stage-1 cache needs at least one entry")
         self.max_entries = max_entries
         self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+        self.store = as_stage1_store(store)
+        self._registry = None
         self._cache: OrderedDict[tuple, Stage1Result] = OrderedDict()
 
     def get(
@@ -99,22 +119,49 @@ class Stage1Cache:
         """Fetch (or compute) the stage-1 result for one app."""
         key = (app, config_signature(config), seed, n_instructions)
         result = self._cache.get(key)
-        if result is None:
-            base_cpi = calibrated_base_cpi(app, config, seed=seed)
-            sim = AppSimulator(app, config, seed=seed, base_cpi=base_cpi)
-            result = sim.run(n_instructions)
-            self._cache[key] = result
-            while len(self._cache) > self.max_entries:
-                self._cache.popitem(last=False)
-                self.evictions += 1
-        else:
+        if result is not None:
             self._cache.move_to_end(key)
+            self.hits += 1
+            self._count("hits")
+            return result
+        self.misses += 1
+        self._count("misses")
+        if self.store is not None:
+            result = self.store.get(
+                app, config, seed=seed, n_instructions=n_instructions
+            )
+            if result is not None:
+                self._install(key, result)
+                return result
+        base_cpi = calibrated_base_cpi(app, config, seed=seed)
+        sim = AppSimulator(app, config, seed=seed, base_cpi=base_cpi)
+        result = sim.run(n_instructions)
+        if self.store is not None:
+            self.store.put(
+                result, config, seed=seed, n_instructions=n_instructions
+            )
+        self._install(key, result)
         return result
 
+    def _install(self, key: tuple, result: Stage1Result) -> None:
+        self._cache[key] = result
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+
+    def _count(self, name: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(f"jobs.stage1.{name}").inc()
+
     def bind_telemetry(self, registry) -> None:
-        """Expose occupancy/evictions as ``jobs.stage1.*`` gauges."""
+        """Expose the memo as ``jobs.stage1.*`` gauges and counters."""
+        self._registry = registry
         registry.gauge("jobs.stage1.entries", fn=lambda: float(len(self._cache)))
         registry.gauge("jobs.stage1.evictions", fn=lambda: float(self.evictions))
+        registry.counter("jobs.stage1.hits")
+        registry.counter("jobs.stage1.misses")
+        if self.store is not None:
+            self.store.bind_telemetry(registry)
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -307,7 +354,7 @@ def prepare_replay(
             f"workload {workload.name} has {workload.num_cores} apps but the "
             f"configuration has {config.num_cores} cores"
         )
-    stage1 = stage1 or Stage1Cache()
+    stage1 = Stage1Cache() if stage1 is None else stage1
     with prof.phase("stage1"), spans.span("stage1"):
         results1 = [
             stage1.get(app, config, seed=seed, n_instructions=n_instructions)
@@ -444,7 +491,7 @@ def run_workload(
     engaged.  Defaults to ``telemetry.spans`` when a handle carries
     one, else to the disabled recorder.
     """
-    stage1 = stage1 or Stage1Cache()
+    stage1 = Stage1Cache() if stage1 is None else stage1
     if telemetry is not None:
         stage1.bind_telemetry(telemetry.registry)
     if spans is None:
@@ -702,6 +749,7 @@ def run_matrix(
     seed: int | None = None,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     stage1: Stage1Cache | None = None,
+    stage1_store=None,
     fault_config: FaultConfig | None = None,
     telemetry: Telemetry | None = None,
     progress=None,
@@ -738,6 +786,10 @@ def run_matrix(
       not consulted (workers keep their own).
     * ``cache_dir`` — content-addressed result cache directory; cells
       whose inputs are unchanged are served without simulating.
+    * ``stage1_store`` — shared on-disk stage-1 store
+      (:class:`~repro.sim.stage1_store.Stage1Store` or a directory
+      path); workers and repeat runs reuse one characterisation per
+      (app, config, seed, budget) instead of re-simulating it.
     * ``journal``/``resume`` — append-only completion journal enabling
       resumption of an interrupted sweep.
     * ``retries`` — per-cell retries on transient (non-``ReproError``)
@@ -773,6 +825,7 @@ def run_matrix(
         resume=resume,
         retries=retries,
         stage1=stage1,
+        stage1_store=stage1_store,
         telemetry=telemetry,
         progress=(
             None if progress is None

@@ -1,0 +1,309 @@
+"""Content-addressed on-disk store of stage-1 characterisation results.
+
+A :class:`Stage1Store` persists full :class:`~repro.cpu.core.Stage1Result`
+payloads — Table II statistics, criticality meters and the complete L3
+reference stream — keyed by ``(app, config_signature, seed,
+n_instructions)``.  It is the disk tier below the in-memory
+:class:`~repro.sim.runner.Stage1Cache`: parallel sweep workers,
+successive-halving search rungs and repeat runs all need the *same*
+per-app characterisation for a given upper-hierarchy configuration, and
+without a shared store each worker process re-simulates it from cold.
+
+Because the stored result carries its calibrated ``base_cpi``, a store
+hit skips the calibration probes too — a fully warm store performs zero
+stage-1 simulations.
+
+Invalidation rules (mirroring :class:`~repro.jobs.cache.ResultCache`):
+
+* the key covers every stage-1 input — the app, the stage-1-relevant
+  configuration fields (:func:`~repro.sim.calibrate.config_signature`),
+  the seed and the instruction budget — plus ``STAGE1_FORMAT_VERSION``;
+* every entry embeds ``STAGE1_FORMAT_VERSION``; entries written by an
+  incompatible engine read as misses, never as errors;
+* corrupt or truncated entries read as misses (writes are atomic:
+  temp file + ``os.replace``), and are additionally counted on the
+  ``corrupt`` telemetry counter.
+
+Hit/miss/write/corrupt totals are observable as ``jobs.stage1.store.*``
+counters once :meth:`Stage1Store.bind_telemetry` is called.
+
+The payload is a single ``.npz`` member set: the stream and meter arrays
+verbatim (dtype-preserving, so round-trips are bit-exact) plus one JSON
+metadata member for the scalar statistics.  Python's JSON float encoding
+uses ``repr``, which round-trips every finite double exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.config import SystemConfig
+
+#: On-disk entry layout version; bump to invalidate every stored result.
+STAGE1_FORMAT_VERSION = 1
+
+#: L3Stream array fields, in declaration order.
+_STREAM_FIELDS = (
+    "ts", "line", "pc", "is_wb", "is_load", "predicted", "true_critical",
+    "nominal_lat", "stall", "slack", "mlp",
+)
+
+#: CriticalityMeters array fields.
+_METER_ARRAYS = (
+    "true_positive", "predicted_critical", "agree",
+    "noncritical_fetches", "noncritical_writes",
+)
+
+_CACHE_STATS_FIELDS = (
+    "demand_reads", "demand_writes", "hits", "misses", "fills",
+    "writebacks", "clean_evictions", "invalidations",
+)
+_MSHR_STATS_FIELDS = ("primary_misses", "secondary_misses", "stalls")
+_CPT_STATS_FIELDS = (
+    "lookups", "lookup_hits", "predictions_critical", "inserts", "evictions",
+)
+
+
+class Stage1Store:
+    """Content-addressed on-disk tier for stage-1 results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot create stage-1 store at {self.root}: {exc}"
+            ) from exc
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt_entries = 0
+        self._registry = None
+
+    # -- telemetry ---------------------------------------------------------
+
+    def bind_telemetry(self, registry) -> None:
+        """Mirror totals onto ``jobs.stage1.store.*`` counters."""
+        self._registry = registry
+        for name in ("hits", "misses", "writes", "corrupt"):
+            registry.counter(f"jobs.stage1.store.{name}")
+
+    def _count(self, name: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(f"jobs.stage1.store.{name}").inc()
+
+    # -- addressing --------------------------------------------------------
+
+    def fingerprint(
+        self,
+        app: str,
+        config: SystemConfig,
+        *,
+        seed: int | None,
+        n_instructions: int,
+    ) -> str:
+        """Content address of one stage-1 run's entry."""
+        from repro.sim.calibrate import config_signature
+
+        key = {
+            "format_version": STAGE1_FORMAT_VERSION,
+            "app": app,
+            "config_signature": list(config_signature(config)),
+            "seed": seed,
+            "n_instructions": n_instructions,
+        }
+        digest = hashlib.sha256(
+            json.dumps(key, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        return digest[:32]
+
+    def path_for(self, fingerprint: str) -> Path:
+        """On-disk location of one fingerprint's entry."""
+        return self.root / f"{fingerprint}.npz"
+
+    # -- read/write --------------------------------------------------------
+
+    def get(
+        self,
+        app: str,
+        config: SystemConfig,
+        *,
+        seed: int | None = None,
+        n_instructions: int,
+    ):
+        """The stored result, or None on a miss.
+
+        Stale-version, corrupt and unreadable entries all read as misses
+        (the store is an accelerator; re-simulating is always safe);
+        damaged entries additionally bump the ``corrupt`` counter.
+        """
+        path = self.path_for(
+            self.fingerprint(app, config, seed=seed, n_instructions=n_instructions)
+        )
+        if not path.exists():
+            self.misses += 1
+            self._count("misses")
+            return None
+        try:
+            result = self._load(path)
+        except (
+            OSError, zipfile.BadZipFile, KeyError, ValueError, TypeError,
+            EOFError,
+        ):
+            self.corrupt_entries += 1
+            self._count("corrupt")
+            self.misses += 1
+            self._count("misses")
+            return None
+        if result is None:  # valid file, incompatible version
+            self.misses += 1
+            self._count("misses")
+            return None
+        self.hits += 1
+        self._count("hits")
+        return result
+
+    def put(
+        self,
+        result,
+        config: SystemConfig,
+        *,
+        seed: int | None = None,
+        n_instructions: int,
+    ) -> None:
+        """Persist one result under its key (atomic)."""
+        fingerprint = self.fingerprint(
+            result.app, config, seed=seed, n_instructions=n_instructions
+        )
+        path = self.path_for(fingerprint)
+        meters = result.meters
+        meta = {
+            "format_version": STAGE1_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "app": result.app,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "base_cpi": result.base_cpi,
+            "mem_queue_cycles": result.mem_queue_cycles,
+            "meters": {
+                "thresholds": list(meters.thresholds),
+                "loads": meters.loads,
+                "blocked_loads": meters.blocked_loads,
+                "fetches": meters.fetches,
+                "writes": meters.writes,
+            },
+            "l1_stats": self._stats_dict(result.l1_stats, _CACHE_STATS_FIELDS),
+            "l2_stats": self._stats_dict(result.l2_stats, _CACHE_STATS_FIELDS),
+            "l3_stats": self._stats_dict(result.l3_stats, _CACHE_STATS_FIELDS),
+            "mshr_stats": self._stats_dict(result.mshr_stats, _MSHR_STATS_FIELDS),
+            "cpt_stats": self._stats_dict(result.cpt_stats, _CPT_STATS_FIELDS),
+        }
+        arrays = {
+            f"stream_{name}": getattr(result.stream, name)
+            for name in _STREAM_FIELDS
+        }
+        arrays.update(
+            {f"meters_{name}": getattr(meters, name) for name in _METER_ARRAYS}
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, meta=json.dumps(meta), **arrays)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        self._count("writes")
+
+    @staticmethod
+    def _stats_dict(stats, fields) -> dict:
+        return {name: getattr(stats, name) for name in fields}
+
+    def _load(self, path: Path):
+        from repro.cache.cache import CacheStats
+        from repro.cache.mshr import MshrStats
+        from repro.core.criticality import CptStats, CriticalityMeters
+        from repro.cpu.core import L3Stream, Stage1Result
+
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            if (
+                not isinstance(meta, dict)
+                or meta.get("format_version") != STAGE1_FORMAT_VERSION
+            ):
+                return None
+            stream = L3Stream(
+                **{name: data[f"stream_{name}"] for name in _STREAM_FIELDS}
+            )
+            m = meta["meters"]
+            meters = CriticalityMeters(
+                thresholds=tuple(m["thresholds"]),
+                loads=m["loads"],
+                blocked_loads=m["blocked_loads"],
+                fetches=m["fetches"],
+                writes=m["writes"],
+                **{name: data[f"meters_{name}"] for name in _METER_ARRAYS},
+            )
+        return Stage1Result(
+            app=meta["app"],
+            instructions=meta["instructions"],
+            cycles=meta["cycles"],
+            base_cpi=meta["base_cpi"],
+            stream=stream,
+            meters=meters,
+            l1_stats=CacheStats(**meta["l1_stats"]),
+            l2_stats=CacheStats(**meta["l2_stats"]),
+            l3_stats=CacheStats(**meta["l3_stats"]),
+            mshr_stats=MshrStats(**meta["mshr_stats"]),
+            cpt_stats=CptStats(**meta["cpt_stats"]),
+            mem_queue_cycles=meta["mem_queue_cycles"],
+        )
+
+    # -- chaos -------------------------------------------------------------
+
+    def corrupt(
+        self,
+        app: str,
+        config: SystemConfig,
+        *,
+        seed: int | None = None,
+        n_instructions: int,
+    ) -> None:
+        """Overwrite one entry with a truncated payload (chaos harness).
+
+        The invariant under test is that the next :meth:`get` treats the
+        mangled entry as a miss — the run re-simulates — rather than
+        raising.  Deliberately bypasses the atomic-write path; a missing
+        entry is left missing.
+        """
+        path = self.path_for(
+            self.fingerprint(app, config, seed=seed, n_instructions=n_instructions)
+        )
+        if not path.exists():
+            return
+        path.write_bytes(b"PK\x03\x04 truncated")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.npz"))
+
+
+def as_stage1_store(store) -> Stage1Store | None:
+    """Coerce a ``Stage1Store``/path/None into a store handle."""
+    if store is None or isinstance(store, Stage1Store):
+        return store
+    return Stage1Store(store)

@@ -550,3 +550,76 @@ class TestEndToEnd:
         assert html.count('<a href="#run-') == frontier_points
         # The real trajectory is healthy: the gate holds.
         assert gate_trajectories(metric_trajectories(index)) == []
+
+
+class TestScanCache:
+    """On-disk scan cache: rescans re-read only changed files."""
+
+    def _populate(self, tmp_path):
+        write_ledger(tmp_path / "runs.jsonl", [make_record()])
+        write_bench(tmp_path / "BENCH_s.json", [bench_matrix_point()])
+        write_outcome(tmp_path / "outcome.json", make_outcome())
+
+    @staticmethod
+    def _snapshot(index):
+        return (
+            sorted(r.run_id for r in index.records),
+            index.bench_points,
+            [s.outcome.hypervolume for s in index.searches],
+            sorted(index.warnings),
+        )
+
+    def test_cached_rescan_matches_live_scan(self, tmp_path):
+        self._populate(tmp_path)
+        cache = tmp_path / "scan-cache.json"
+        first = RunIndex.scan(tmp_path, cache=cache)
+        assert cache.exists()
+        cached = RunIndex.scan(tmp_path, cache=cache)
+        live = RunIndex.scan(tmp_path)
+        assert self._snapshot(cached) == self._snapshot(live)
+        assert self._snapshot(cached) == self._snapshot(first)
+
+    def test_cache_file_itself_is_not_indexed(self, tmp_path):
+        self._populate(tmp_path)
+        cache = tmp_path / "scan-cache.json"
+        RunIndex.scan(tmp_path, cache=cache)
+        rescan = RunIndex.scan(tmp_path, cache=cache)
+        assert len(rescan.bench_points) == 1
+        assert rescan.warnings == []
+
+    def test_modified_file_is_reparsed(self, tmp_path):
+        self._populate(tmp_path)
+        cache = tmp_path / "scan-cache.json"
+        RunIndex.scan(tmp_path, cache=cache)
+        write_bench(
+            tmp_path / "BENCH_s.json",
+            [bench_matrix_point(), bench_matrix_point(ipc=2.0, ts=200.0)],
+        )
+        index = RunIndex.scan(tmp_path, cache=cache)
+        assert len(index.bench_points) == 2
+
+    def test_deleted_file_drops_its_entries(self, tmp_path):
+        self._populate(tmp_path)
+        cache = tmp_path / "scan-cache.json"
+        RunIndex.scan(tmp_path, cache=cache)
+        (tmp_path / "outcome.json").unlink()
+        index = RunIndex.scan(tmp_path, cache=cache)
+        assert index.searches == []
+        assert len(index.bench_points) == 1
+
+    def test_damaged_cache_falls_back_to_live_parse(self, tmp_path):
+        self._populate(tmp_path)
+        cache = tmp_path / "scan-cache.json"
+        cache.write_text("{torn")
+        index = RunIndex.scan(tmp_path, cache=cache)
+        assert self._snapshot(index) == self._snapshot(RunIndex.scan(tmp_path))
+        # The damaged cache was rewritten and now serves hits.
+        assert json.loads(cache.read_text())["files"]
+
+    def test_warning_files_replay_from_cache(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{torn")
+        cache = tmp_path / "scan-cache.json"
+        first = RunIndex.scan(tmp_path, cache=cache)
+        assert len(first.warnings) == 1
+        cached = RunIndex.scan(tmp_path, cache=cache)
+        assert cached.warnings == first.warnings

@@ -1,0 +1,142 @@
+"""Vectorized stage-1 characterisation kernel: equivalence + gate tests.
+
+The kernel's contract is *field-for-field identical*
+:class:`~repro.cpu.core.Stage1Result`s to the reference object-graph
+path for every supported configuration (see ``docs/PERFORMANCE.md``
+"Stage-1 kernel & store").  The equivalence class below drives both
+paths over every application profile and compares every result field
+recursively — the full L3 stream arrays (values *and* dtypes), the
+criticality meters and all nested statistics dataclasses.  The gate
+class covers the ``use_kernel`` tri-state, which mirrors stage 2's.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.config import baseline_config
+from repro.cpu.core import AppSimulator
+from repro.cpu.kernel import kernel_supported
+from repro.trace.profiles import ALL_APPS
+
+INSTR = 6_000
+SEEDS = (3, 11)
+APPS = tuple(profile.name for profile in ALL_APPS)
+
+
+def assert_identical(a, b, path=""):
+    """Recursive field-for-field comparison (arrays bit-exact + dtype)."""
+    if isinstance(a, np.ndarray):
+        assert isinstance(b, np.ndarray), path
+        assert a.dtype == b.dtype, f"{path}: {a.dtype} != {b.dtype}"
+        assert np.array_equal(a, b), path
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        for field in dataclasses.fields(a):
+            assert_identical(
+                getattr(a, field.name),
+                getattr(b, field.name),
+                f"{path}.{field.name}",
+            )
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """Memoised (reference, kernel) Stage1Result pairs per (app, seed)."""
+    cache: dict[tuple, tuple] = {}
+
+    def get(app, seed):
+        key = (app, seed)
+        if key not in cache:
+            cache[key] = tuple(
+                AppSimulator(app, baseline_config(), seed=seed).run(
+                    INSTR, use_kernel=use_kernel
+                )
+                for use_kernel in (False, True)
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("app", APPS)
+class TestStage1KernelEquivalence:
+    def test_every_field_identical(self, pair, app, seed):
+        ref, fast = pair(app, seed)
+        assert_identical(ref, fast, app)
+
+    def test_headline_metrics(self, pair, app, seed):
+        ref, fast = pair(app, seed)
+        assert ref.instructions == fast.instructions
+        assert ref.cycles == fast.cycles
+        assert ref.ipc == fast.ipc
+        assert ref.wpki == fast.wpki
+        assert ref.mpki == fast.mpki
+        assert len(ref.stream) == len(fast.stream)
+
+
+class TestStage1KernelGate:
+    def _degraded(self):
+        """A simulator the kernel cannot drive (rotated L3 sets)."""
+        sim = AppSimulator("milc", baseline_config(), seed=3)
+        sim.l3._rotation = 1
+        return sim
+
+    def test_supported_on_pristine_sim(self):
+        assert kernel_supported(AppSimulator("milc", baseline_config(), seed=3))
+
+    def test_degraded_cache_not_supported(self):
+        assert not kernel_supported(self._degraded())
+
+    def test_forced_kernel_on_degraded_sim_raises(self):
+        with pytest.raises(SimulationError, match="kernel cannot drive"):
+            self._degraded().run(INSTR, use_kernel=True)
+
+    def test_auto_engagement_and_env_override(self, monkeypatch):
+        calls = []
+        import repro.cpu.kernel as kernel_mod
+
+        real = kernel_mod.characterize
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(kernel_mod, "characterize", spy)
+        AppSimulator("milc", baseline_config(), seed=3).run(INSTR)
+        assert len(calls) == 1
+        # An unsupported simulator silently falls back to the reference.
+        self._degraded().run(INSTR)
+        assert len(calls) == 1
+        # REPRO_KERNEL=0 disables auto-engagement globally ...
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        AppSimulator("milc", baseline_config(), seed=3).run(INSTR)
+        assert len(calls) == 1
+        # ... but a forced kernel still runs.
+        AppSimulator("milc", baseline_config(), seed=3).run(
+            INSTR, use_kernel=True
+        )
+        assert len(calls) == 2
+
+    def test_use_kernel_false_pins_reference(self, monkeypatch):
+        calls = []
+        import repro.cpu.kernel as kernel_mod
+
+        monkeypatch.setattr(
+            kernel_mod, "characterize",
+            lambda *a, **k: calls.append(1),
+        )
+        AppSimulator("milc", baseline_config(), seed=3).run(
+            INSTR, use_kernel=False
+        )
+        assert calls == []
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(SimulationError, match="positive"):
+            AppSimulator("milc", baseline_config(), seed=3).run(
+                0, use_kernel=True
+            )
